@@ -1,0 +1,136 @@
+(* Benchmark harness.
+
+   Two jobs:
+
+   1. Regenerate the data behind every table and figure of the paper's
+      evaluation (the rows/series are printed exactly as
+      [bin/experiments.exe] prints them) — this is the reproduction
+      artifact.
+
+   2. Bechamel wall-clock benchmarks, one group per figure, timing the
+      compile+simulate pipeline that produces each exhibit on reduced
+      configurations — this tracks the cost of the reproduction itself
+      and catches performance regressions in the simulator/compiler. *)
+
+open Bechamel
+open Toolkit
+
+(* ---- Part 1: figure regeneration ---- *)
+
+let regenerate () =
+  Format.printf "==================================================================@.";
+  Format.printf "Reproduction of the paper's evaluation (CGO 2020, Section 5)@.";
+  Format.printf "==================================================================@.@.";
+  Format.printf "%a@." Core.Experiments.pp_table2 (Core.Experiments.table2 ());
+  let measurements = Core.Experiments.measure_table2 () in
+  Format.printf "%a@." Core.Experiments.pp_figure7 (Core.Experiments.figure7 measurements);
+  Format.printf "%a@." Core.Experiments.pp_figure8 (Core.Experiments.figure8 measurements);
+  Format.printf "%a@." Core.Experiments.pp_figure9 (Core.Experiments.figure9 ());
+  Format.printf "%a@." Core.Experiments.pp_figure10 (Core.Experiments.figure10 ());
+  Format.printf "%a@." Core.Experiments.pp_funnel (Core.Experiments.corpus_funnel ());
+  Format.printf "@.%a@." Core.Ablations.pp_deconfliction (Core.Ablations.deconfliction ());
+  Format.printf "%a@." Core.Ablations.pp_policies (Core.Ablations.policies ());
+  Format.printf "%a@." Core.Ablations.pp_warp_scaling (Core.Ablations.warp_scaling ())
+
+(* ---- Part 2: Bechamel micro-benchmarks ---- *)
+
+(* A small machine so a single simulated launch stays in the millisecond
+   range. *)
+let bench_config = { Simt.Config.default with Simt.Config.n_warps = 1 }
+
+let run_spec_bench options (spec : Workloads.Spec.t) () =
+  ignore (Core.Runner.run_spec ~config:bench_config options spec)
+
+let compile_bench options (spec : Workloads.Spec.t) () =
+  let options =
+    match options.Core.Compile.coarsen with
+    | Some _ -> options
+    | None -> { options with Core.Compile.coarsen = spec.Workloads.Spec.coarsen }
+  in
+  ignore (Core.Compile.compile options ~source:spec.Workloads.Spec.source)
+
+let spec_of = Workloads.Registry.find
+
+let fig7_group =
+  (* Figure 7/8 cost: simulating a workload under both compilation modes. *)
+  Test.make_grouped ~name:"fig7"
+    [
+      Test.make ~name:"rsbench-baseline"
+        (Staged.stage (run_spec_bench Core.Compile.baseline (spec_of "rsbench")));
+      Test.make ~name:"rsbench-specrecon"
+        (Staged.stage (run_spec_bench Core.Compile.speculative (spec_of "rsbench")));
+      Test.make ~name:"pathtracer-baseline"
+        (Staged.stage (run_spec_bench Core.Compile.baseline (spec_of "pathtracer")));
+      Test.make ~name:"pathtracer-specrecon"
+        (Staged.stage (run_spec_bench Core.Compile.speculative (spec_of "pathtracer")));
+    ]
+
+let fig8_group =
+  (* Figure 8 reuses the Figure-7 simulations; the compile stage is what
+     differs per bar, so time it alone. *)
+  Test.make_grouped ~name:"fig8"
+    [
+      Test.make ~name:"compile-baseline"
+        (Staged.stage (compile_bench Core.Compile.baseline (spec_of "rsbench")));
+      Test.make ~name:"compile-specrecon"
+        (Staged.stage (compile_bench Core.Compile.speculative (spec_of "rsbench")));
+      Test.make ~name:"compile-interproc"
+        (Staged.stage (compile_bench Core.Compile.speculative (spec_of "common-call")));
+    ]
+
+let fig9_group =
+  let sweep_point threshold (spec : Workloads.Spec.t) () =
+    let options =
+      { Core.Compile.speculative with Core.Compile.threshold = Core.Compile.Set threshold }
+    in
+    ignore (Core.Runner.run_spec ~config:bench_config options spec)
+  in
+  Test.make_grouped ~name:"fig9"
+    [
+      Test.make ~name:"xsbench-threshold-4" (Staged.stage (sweep_point 4 (spec_of "xsbench")));
+      Test.make ~name:"xsbench-threshold-32" (Staged.stage (sweep_point 32 (spec_of "xsbench")));
+      Test.make ~name:"pathtracer-threshold-32"
+        (Staged.stage (sweep_point 32 (spec_of "pathtracer")));
+    ]
+
+let fig10_group =
+  Test.make_grouped ~name:"fig10"
+    [
+      Test.make ~name:"meiyamd5-auto"
+        (Staged.stage (run_spec_bench Core.Compile.automatic (spec_of "meiyamd5")));
+      Test.make ~name:"optix-auto"
+        (Staged.stage (run_spec_bench Core.Compile.automatic (spec_of "optix-trace")));
+      Test.make ~name:"detector-only"
+        (Staged.stage (compile_bench Core.Compile.automatic (spec_of "optix-trace")));
+    ]
+
+let funnel_group =
+  Test.make_grouped ~name:"funnel"
+    [
+      Test.make ~name:"corpus-16-apps"
+        (Staged.stage (fun () -> ignore (Core.Experiments.corpus_funnel ~seed:520 ~count:16 ())));
+    ]
+
+let all_groups =
+  Test.make_grouped ~name:"specrecon"
+    [ fig7_group; fig8_group; fig9_group; fig10_group; funnel_group ]
+
+let benchmark () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+  let raw = Benchmark.all cfg instances all_groups in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.printf "==================================================================@.";
+  Format.printf "Bechamel wall-clock benchmarks (per-run time)@.";
+  Format.printf "==================================================================@.";
+  Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, result) ->
+         match Analyze.OLS.estimates result with
+         | Some [ ns ] -> Format.printf "  %-45s %12.3f ms/run@." name (ns /. 1e6)
+         | Some _ | None -> Format.printf "  %-45s (no estimate)@." name)
+
+let () =
+  regenerate ();
+  benchmark ()

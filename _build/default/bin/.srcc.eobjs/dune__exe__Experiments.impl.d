@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Cmd Cmdliner Core Format Lazy Term

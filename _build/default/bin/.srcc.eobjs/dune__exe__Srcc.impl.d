@@ -1,0 +1,1 @@
+bin/srcc.ml: Analysis Arg Array Cmd Cmdliner Core Format Front Fun Ir List Passes Printf Term

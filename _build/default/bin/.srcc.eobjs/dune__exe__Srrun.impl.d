@@ -1,0 +1,1 @@
+bin/srrun.ml: Arg Cmd Cmdliner Core Format Front Fun Ir List Passes Simt String Term

@@ -1,0 +1,58 @@
+(* experiments: regenerate every table and figure of the paper's
+   evaluation section. With no flags, everything runs. *)
+
+let run_table2 () = Format.printf "%a@." Core.Experiments.pp_table2 (Core.Experiments.table2 ())
+
+let measurements = lazy (Core.Experiments.measure_table2 ())
+
+let run_fig7 () =
+  Format.printf "%a@." Core.Experiments.pp_figure7
+    (Core.Experiments.figure7 (Lazy.force measurements))
+
+let run_fig8 () =
+  Format.printf "%a@." Core.Experiments.pp_figure8
+    (Core.Experiments.figure8 (Lazy.force measurements))
+
+let run_fig9 () = Format.printf "%a@." Core.Experiments.pp_figure9 (Core.Experiments.figure9 ())
+
+let run_fig10 () =
+  Format.printf "%a@." Core.Experiments.pp_figure10 (Core.Experiments.figure10 ())
+
+let run_funnel count =
+  Format.printf "%a@." Core.Experiments.pp_funnel (Core.Experiments.corpus_funnel ~count ())
+
+let run_ablations () =
+  Format.printf "%a@." Core.Ablations.pp_deconfliction (Core.Ablations.deconfliction ());
+  Format.printf "%a@." Core.Ablations.pp_policies (Core.Ablations.policies ());
+  Format.printf "%a@." Core.Ablations.pp_warp_scaling (Core.Ablations.warp_scaling ())
+
+let main table2 fig7 fig8 fig9 fig10 funnel ablations funnel_count =
+  let all = not (table2 || fig7 || fig8 || fig9 || fig10 || funnel || ablations) in
+  if table2 || all then run_table2 ();
+  if fig7 || all then run_fig7 ();
+  if fig8 || all then run_fig8 ();
+  if fig9 || all then run_fig9 ();
+  if fig10 || all then run_fig10 ();
+  if funnel || all then run_funnel funnel_count;
+  if ablations || all then run_ablations ()
+
+open Cmdliner
+
+let flag name doc = Arg.(value & flag & info [ name ] ~doc)
+
+let cmd =
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's evaluation tables and figures (all by default)")
+    Term.(
+      const main
+      $ flag "table2" "Print the benchmark inventory (Table 2)"
+      $ flag "fig7" "SIMT efficiency per app (Figure 7)"
+      $ flag "fig8" "Efficiency improvement vs speedup (Figure 8)"
+      $ flag "fig9" "Soft-barrier threshold sweep (Figure 9)"
+      $ flag "fig10" "Automatic speculative reconvergence (Figure 10)"
+      $ flag "funnel" "Synthetic-corpus detection funnel (§5.4)"
+      $ flag "ablations" "Design-choice ablations (deconfliction, policy, warps)"
+      $ Arg.(value & opt int 520 & info [ "funnel-count" ] ~doc:"Corpus size"))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,147 @@
+(* srcc: the MiniSIMT compiler driver.
+
+   Parses a .simt file, runs the selected synchronization pipeline, and
+   dumps the result (IR, disassembly, applied hints, analyses). *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+type dump = Dump_ir | Dump_asm | Dump_hints | Dump_analysis | Dump_candidates | Dump_source
+
+let mode_of_string = function
+  | "baseline" -> Ok Core.Compile.Baseline
+  | "none" -> Ok Core.Compile.No_sync
+  | "specrecon" -> Ok (Core.Compile.Speculative Passes.Deconflict.Dynamic)
+  | "specrecon-static" -> Ok (Core.Compile.Speculative Passes.Deconflict.Static)
+  | "auto" ->
+    Ok
+      (Core.Compile.Automatic
+         {
+           params = Passes.Auto_detect.default_params;
+           strategy = Passes.Deconflict.Dynamic;
+           profile = None;
+         })
+  | other -> Error (Printf.sprintf "unknown mode %s" other)
+
+let run path mode coarsen threshold dumps =
+  match mode_of_string mode with
+  | Error msg ->
+    prerr_endline msg;
+    exit 2
+  | Ok mode -> (
+    let threshold =
+      match threshold with
+      | None -> Core.Compile.Keep
+      | Some k when k < 0 -> Core.Compile.Unset
+      | Some k -> Core.Compile.Set k
+    in
+    let options = { Core.Compile.mode; coarsen; threshold; cleanup = true } in
+    let source = read_file path in
+    (* --dump source prints the (possibly coarsened) program back as
+       MiniSIMT text *)
+    List.iter
+      (fun d ->
+        if d = Dump_source then begin
+          let ast = Front.Parser.parse_string source in
+          let ast =
+            match coarsen with Some f -> Front.Coarsen.apply ast ~factor:f | None -> ast
+          in
+          print_string (Front.Pretty.to_string ast)
+        end)
+      dumps;
+    match Core.Compile.compile options ~source with
+    | exception Front.Parser.Parse_error (pos, msg) ->
+      Format.eprintf "%s:%a: parse error: %s@." path Front.Ast.pp_pos pos msg;
+      exit 1
+    | exception Front.Lexer.Lex_error (pos, msg) ->
+      Format.eprintf "%s:%a: lex error: %s@." path Front.Ast.pp_pos pos msg;
+      exit 1
+    | exception Front.Lower.Lower_error (pos, msg) ->
+      Format.eprintf "%s:%a: error: %s@." path Front.Ast.pp_pos pos msg;
+      exit 1
+    | compiled ->
+      let dump = function
+        | Dump_ir -> Format.printf "%a@." Ir.Printer.pp_program compiled.Core.Compile.program
+        | Dump_asm -> Format.printf "%a@." Ir.Linear.pp compiled.Core.Compile.linear
+        | Dump_hints ->
+          List.iter
+            (fun a -> Format.printf "%a@." Passes.Specrecon.pp_applied a)
+            compiled.Core.Compile.applied;
+          List.iter
+            (fun a -> Format.printf "%a@." Passes.Interproc.pp_applied a)
+            compiled.Core.Compile.interproc_applied;
+          (match compiled.Core.Compile.deconflict_report with
+          | None -> ()
+          | Some r ->
+            List.iter
+              (fun (res : Passes.Deconflict.resolution) ->
+                Format.printf "deconflict: kept b%d, demoted b%d (%s)@." res.kept res.demoted
+                  (match res.strategy with
+                  | Passes.Deconflict.Static -> "static"
+                  | Passes.Deconflict.Dynamic -> "dynamic"))
+              r.resolutions;
+            List.iter
+              (fun (f, x, y) -> Format.printf "deconflict: UNRESOLVED %s b%d b%d@." f x y)
+              r.unresolved)
+        | Dump_analysis ->
+          let divergence = Analysis.Divergence.run compiled.Core.Compile.program in
+          Format.printf "%a@." Analysis.Divergence.pp divergence
+        | Dump_candidates ->
+          List.iter
+            (fun c -> Format.printf "%a@." Passes.Auto_detect.pp_candidate c)
+            compiled.Core.Compile.candidates
+        | Dump_source -> () (* handled before compilation *)
+      in
+      List.iter dump dumps;
+      if dumps = [] then
+        Format.printf "compiled %s: %d instructions, %d barriers@." path
+          (Array.length compiled.Core.Compile.linear.Ir.Linear.code)
+          compiled.Core.Compile.linear.Ir.Linear.n_barriers)
+
+open Cmdliner
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniSIMT source file")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt string "specrecon"
+    & info [ "mode" ]
+        ~doc:
+          "Compilation mode: baseline (PDOM only), specrecon (dynamic deconfliction), \
+           specrecon-static, auto (automatic detection), none")
+
+let coarsen_arg =
+  Arg.(value & opt (some int) None & info [ "coarsen" ] ~doc:"Thread-coarsening factor")
+
+let threshold_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "threshold" ]
+        ~doc:"Override soft-barrier threshold (negative forces hard barriers)")
+
+let dumps_arg =
+  let conv_dump =
+    Arg.enum
+      [
+        ("ir", Dump_ir);
+        ("asm", Dump_asm);
+        ("hints", Dump_hints);
+        ("analysis", Dump_analysis);
+        ("candidates", Dump_candidates);
+        ("source", Dump_source);
+      ]
+  in
+  Arg.(value & opt_all conv_dump [] & info [ "dump" ] ~doc:"What to print: ir|asm|hints|analysis|candidates|source")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "srcc" ~doc:"MiniSIMT compiler with Speculative Reconvergence")
+    Term.(const run $ path_arg $ mode_arg $ coarsen_arg $ threshold_arg $ dumps_arg)
+
+let () = exit (Cmd.eval cmd)

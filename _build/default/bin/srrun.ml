@@ -1,0 +1,94 @@
+(* srrun: compile a MiniSIMT file and execute it on the SIMT simulator,
+   reporting nvprof-style metrics. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_args args =
+  List.map
+    (fun s ->
+      if String.contains s '.' then Ir.Types.F (float_of_string s)
+      else Ir.Types.I (int_of_string s))
+    args
+
+let run path mode coarsen threshold warps warp_size policy seed args =
+  let mode =
+    match mode with
+    | "baseline" -> Core.Compile.Baseline
+    | "none" -> Core.Compile.No_sync
+    | "specrecon" -> Core.Compile.Speculative Passes.Deconflict.Dynamic
+    | "specrecon-static" -> Core.Compile.Speculative Passes.Deconflict.Static
+    | "auto" ->
+      Core.Compile.Automatic
+        {
+          params = Passes.Auto_detect.default_params;
+          strategy = Passes.Deconflict.Dynamic;
+          profile = None;
+        }
+    | other ->
+      prerr_endline ("unknown mode " ^ other);
+      exit 2
+  in
+  let threshold =
+    match threshold with
+    | None -> Core.Compile.Keep
+    | Some k when k < 0 -> Core.Compile.Unset
+    | Some k -> Core.Compile.Set k
+  in
+  let policy =
+    match policy with
+    | "most-threads" -> Simt.Config.Most_threads
+    | "lowest-pc" -> Simt.Config.Lowest_pc
+    | "round-robin" -> Simt.Config.Round_robin
+    | other ->
+      prerr_endline ("unknown policy " ^ other);
+      exit 2
+  in
+  let config =
+    { Simt.Config.default with Simt.Config.n_warps = warps; warp_size; policy; seed }
+  in
+  let options = { Core.Compile.mode; coarsen; threshold; cleanup = true } in
+  try
+    let outcome =
+      Core.Runner.run_source ~config options ~source:(read_file path) ~args:(parse_args args)
+    in
+    Format.printf "%a@." Simt.Metrics.pp outcome.Core.Runner.metrics;
+    Format.printf "simt efficiency: %.2f%%@."
+      (100.0 *. Core.Runner.efficiency outcome)
+  with
+  | Front.Parser.Parse_error (pos, msg) ->
+    Format.eprintf "%s:%a: parse error: %s@." path Front.Ast.pp_pos pos msg;
+    exit 1
+  | Front.Lower.Lower_error (pos, msg) ->
+    Format.eprintf "%s:%a: error: %s@." path Front.Ast.pp_pos pos msg;
+    exit 1
+  | Simt.Interp.Deadlock msg ->
+    Format.eprintf "DEADLOCK: %s@." msg;
+    exit 3
+  | Simt.Interp.Runtime_error msg ->
+    Format.eprintf "runtime error: %s@." msg;
+    exit 4
+
+open Cmdliner
+
+let cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let mode = Arg.(value & opt string "specrecon" & info [ "mode" ]) in
+  let coarsen = Arg.(value & opt (some int) None & info [ "coarsen" ]) in
+  let threshold = Arg.(value & opt (some int) None & info [ "threshold" ]) in
+  let warps = Arg.(value & opt int Simt.Config.default.Simt.Config.n_warps & info [ "warps" ]) in
+  let warp_size =
+    Arg.(value & opt int Simt.Config.default.Simt.Config.warp_size & info [ "warp-size" ])
+  in
+  let policy = Arg.(value & opt string "most-threads" & info [ "policy" ]) in
+  let seed = Arg.(value & opt int Simt.Config.default.Simt.Config.seed & info [ "seed" ]) in
+  let kargs = Arg.(value & opt_all string [] & info [ "arg" ] ~doc:"Kernel argument (repeatable)") in
+  Cmd.v
+    (Cmd.info "srrun" ~doc:"Run a MiniSIMT kernel on the SIMT simulator")
+    Term.(
+      const run $ path $ mode $ coarsen $ threshold $ warps $ warp_size $ policy $ seed $ kargs)
+
+let () = exit (Cmd.eval cmd)

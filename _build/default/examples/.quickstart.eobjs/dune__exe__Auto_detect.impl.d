@@ -1,0 +1,1 @@
+examples/auto_detect.ml: Core Format List Passes Printf Workloads

@@ -1,0 +1,1 @@
+examples/common_call.ml: Core Format List Passes Printf Simt Workloads

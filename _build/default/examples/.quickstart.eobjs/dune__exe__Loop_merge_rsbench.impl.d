@@ -1,0 +1,1 @@
+examples/loop_merge_rsbench.ml: Analysis Core Format Hashtbl Ir List Passes Printf Simt Workloads

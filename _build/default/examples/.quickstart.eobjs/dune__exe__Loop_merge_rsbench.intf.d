@@ -1,0 +1,1 @@
+examples/loop_merge_rsbench.mli:

@@ -1,0 +1,1 @@
+examples/pathtracer_tuning.ml: Core List Printf String Workloads

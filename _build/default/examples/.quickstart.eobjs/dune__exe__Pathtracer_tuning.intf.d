@@ -1,0 +1,1 @@
+examples/pathtracer_tuning.mli:

@@ -1,0 +1,1 @@
+examples/timeline.ml: Analysis Core Hashtbl Ir List Printf Simt String

@@ -1,0 +1,1 @@
+examples/timeline.mli:

@@ -1,0 +1,32 @@
+(* Interprocedural reconvergence (Figure 2(c), §4.4).
+
+   Both sides of a divergent branch call the same expensive function from
+   different program points. PDOM reconvergence never sees the call
+   bodies as common code, so the warp runs the function once per side;
+   [predict func shade;] makes all threads wait at the callee's entry and
+   run its body once, fully converged.
+
+   Run with: dune exec examples/common_call.exe *)
+
+let () =
+  let spec = Workloads.Registry.find "common-call" in
+  let baseline = Core.Runner.run_spec Core.Compile.baseline spec in
+  let interproc = Core.Runner.run_spec Core.Compile.speculative spec in
+  Printf.printf "PDOM baseline:              eff %5.1f%%  issues %7d\n"
+    (100.0 *. Core.Runner.efficiency baseline)
+    baseline.Core.Runner.metrics.Simt.Metrics.issues;
+  Printf.printf "interprocedural specrecon:  eff %5.1f%%  issues %7d\n"
+    (100.0 *. Core.Runner.efficiency interproc)
+    interproc.Core.Runner.metrics.Simt.Metrics.issues;
+  Printf.printf "speedup: %.2fx\n\n" (Core.Runner.speedup ~baseline ~optimized:interproc);
+  print_endline "Interprocedural synchronization:";
+  List.iter
+    (fun a -> Format.printf "  %a@." Passes.Interproc.pp_applied a)
+    interproc.compiled.Core.Compile.interproc_applied;
+  (* The function body executes about half as many warp instructions once
+     the two call paths converge at its entry. *)
+  let issues (o : Core.Runner.outcome) = o.Core.Runner.metrics.Simt.Metrics.issues in
+  if issues interproc >= issues baseline then begin
+    print_endline "expected the interprocedural variant to issue fewer instructions!";
+    exit 1
+  end

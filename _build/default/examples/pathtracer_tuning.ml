@@ -1,0 +1,34 @@
+(* Soft-barrier tuning (§4.6 / Figure 9).
+
+   Sweeps the soft-barrier threshold on the two Figure-9 subjects.
+   PathTracer's refill (camera-ray generation) is cheap, so it runs
+   fastest at full convergence (threshold = warp size); XSBench's refill
+   (a binary search of the energy grid) is expensive, so it peaks when
+   the inner loop keeps running until only a few threads remain.
+
+   Run with: dune exec examples/pathtracer_tuning.exe *)
+
+let () =
+  let thresholds = [ 0; 2; 4; 8; 16; 24; 32 ] in
+  List.iter
+    (fun (spec : Workloads.Spec.t) ->
+      Printf.printf "=== %s ===\n" spec.name;
+      let baseline = Core.Runner.run_spec Core.Compile.baseline spec in
+      Printf.printf "  baseline: eff %5.1f%%\n" (100.0 *. Core.Runner.efficiency baseline);
+      let best = ref (0, 0.0) in
+      List.iter
+        (fun threshold ->
+          let options =
+            { Core.Compile.speculative with Core.Compile.threshold = Core.Compile.Set threshold }
+          in
+          let o = Core.Runner.run_spec options spec in
+          let speedup = Core.Runner.speedup ~baseline ~optimized:o in
+          if speedup > snd !best then best := (threshold, speedup);
+          let bar = String.make (int_of_float (speedup *. 20.0)) '#' in
+          Printf.printf "  threshold %2d: eff %5.1f%%  speedup %.2fx  %s\n" threshold
+            (100.0 *. Core.Runner.efficiency o)
+            speedup bar)
+        thresholds;
+      Printf.printf "  -> best threshold for %s: %d (%.2fx)\n\n" spec.name (fst !best)
+        (snd !best))
+    Workloads.Registry.soft_barrier_subjects

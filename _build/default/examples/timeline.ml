@@ -1,0 +1,98 @@
+(* Execution-diagram example: reproduce the cartoon of Figure 1 (and
+   Figure 3(b)) from real simulator traces.
+
+   Runs a four-lane warp through the Listing-1 kernel under PDOM
+   reconvergence and under Speculative Reconvergence, and draws each
+   lane's activity over time: which instruction category the lane's
+   issue at that moment belonged to. Expensive common code shows up as
+   'E'; under PDOM the E columns are serialized per lane, under
+   Speculative Reconvergence they line up.
+
+   Run with: dune exec examples/timeline.exe *)
+
+let source =
+  {|
+global out: float[64];
+
+kernel k(n: int) {
+  var acc: float = 0.0;
+  predict L1;
+  for i in 0 .. n {
+    let r = randint(3);
+    if (r == 0) {
+      L1:
+      var j: int = 0;
+      while (j < 6) { acc = acc + sin(acc) * 0.25; j = j + 1; }
+    }
+    acc = acc + 0.01;
+  }
+  out[tid()] = acc;
+}
+|}
+
+let config =
+  {
+    Simt.Config.default with
+    Simt.Config.n_warps = 1;
+    warp_size = 4;
+    seed = 11;
+  }
+
+(* Category of a block: 'E' for the expensive predicted region (blocks
+   dominated by the L1 label block), '.' for everything else. *)
+let expensive_blocks (compiled : Core.Compile.compiled) =
+  let f = Hashtbl.find compiled.program.Ir.Types.funcs compiled.program.Ir.Types.kernel in
+  match Ir.Builder.label_block f "L1" with
+  | None -> (fun _ -> false)
+  | Some l1 ->
+    let g = Analysis.Cfg.of_func f in
+    let dom = Analysis.Dom.compute g in
+    fun block -> Analysis.Cfg.mem g block && Analysis.Dom.dominates dom l1 block
+
+let trace options =
+  let compiled = Core.Compile.compile options ~source in
+  let is_expensive = expensive_blocks compiled in
+  let events = ref [] in
+  let result =
+    Simt.Interp.run config compiled.linear
+      ~tracer:(fun e -> events := e :: !events)
+      ~args:[ Ir.Types.I 10 ]
+      ~init_memory:(fun _ -> ())
+  in
+  (compiled, result, List.rev !events, is_expensive)
+
+let draw title options =
+  let _, result, events, is_expensive = trace options in
+  Printf.printf "%s  (SIMT efficiency %.1f%%, %d cycles)\n" title
+    (100.0 *. Simt.Metrics.simt_efficiency result.Simt.Interp.metrics)
+    result.Simt.Interp.metrics.Simt.Metrics.cycles;
+  (* One column per issue (time flows left to right), one row per lane. *)
+  let columns = List.length events in
+  let width = min columns 150 in
+  let step = max 1 (columns / width) in
+  let sampled =
+    List.filteri (fun i _ -> i mod step = 0) events
+  in
+  for lane = 0 to config.Simt.Config.warp_size - 1 do
+    let row =
+      String.concat ""
+        (List.map
+           (fun (e : Simt.Interp.issue_event) ->
+             if not (List.mem lane e.Simt.Interp.active) then " "
+             else if is_expensive e.Simt.Interp.where.Ir.Linear.in_block then "E"
+             else ".")
+           sampled)
+    in
+    Printf.printf "  T%d |%s\n" lane row
+  done;
+  print_newline ()
+
+let () =
+  print_endline "Execution diagrams (cf. Figure 1): E = expensive common code,";
+  print_endline ". = other work, blank = lane idle. Time flows left to right.\n";
+  draw "(a) PDOM reconvergence" Core.Compile.baseline;
+  draw "(b) Speculative Reconvergence" Core.Compile.speculative;
+  print_endline
+    "Under PDOM the E segments appear in different columns per lane (the\n\
+     warp serializes them); under Speculative Reconvergence the lanes'\n\
+     E segments align into shared columns — the repacking of Figure 1(b)."

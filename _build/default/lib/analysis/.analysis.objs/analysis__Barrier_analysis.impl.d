@@ -1,0 +1,1 @@
+lib/analysis/barrier_analysis.ml: Cfg Dataflow Format Int_set Ir List Set Sets

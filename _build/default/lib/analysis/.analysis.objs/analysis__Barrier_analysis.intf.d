@@ -1,0 +1,1 @@
+lib/analysis/barrier_analysis.mli: Format Int_set Ir Sets

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Format Hashtbl Ir List Option String

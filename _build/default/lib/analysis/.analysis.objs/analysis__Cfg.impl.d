@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Format Hashtbl Ir List Option String

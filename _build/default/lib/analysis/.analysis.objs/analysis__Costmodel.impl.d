@@ -1,0 +1,1 @@
+lib/analysis/costmodel.ml: Hashtbl Int_set Ir List Loops Profile Sets String

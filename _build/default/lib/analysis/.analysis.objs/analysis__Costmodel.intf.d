@@ -1,0 +1,1 @@
+lib/analysis/costmodel.mli: Ir Loops Profile Sets

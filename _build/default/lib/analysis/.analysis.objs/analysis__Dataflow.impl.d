@@ -1,0 +1,1 @@
+lib/analysis/dataflow.ml: Cfg Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/analysis/divergence.ml: Callgraph Cfg Dom Format Hashtbl Int_set Ir List Printf Sets String

@@ -1,0 +1,1 @@
+lib/analysis/divergence.mli: Format Int_set Ir Sets

@@ -1,0 +1,1 @@
+lib/analysis/dom.ml: Cfg Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Cfg Dom Format Hashtbl Int_set List Option Printf Sets String

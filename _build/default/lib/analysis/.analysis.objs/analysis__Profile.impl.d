@@ -1,0 +1,1 @@
+lib/analysis/profile.ml: Format Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/analysis/profile.mli: Format

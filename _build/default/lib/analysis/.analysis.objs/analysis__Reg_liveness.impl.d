@@ -1,0 +1,1 @@
+lib/analysis/reg_liveness.ml: Cfg Dataflow Format Int_set Ir List Sets

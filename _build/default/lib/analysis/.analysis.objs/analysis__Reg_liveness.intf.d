@@ -1,0 +1,1 @@
+lib/analysis/reg_liveness.mli: Format Int_set Ir Sets

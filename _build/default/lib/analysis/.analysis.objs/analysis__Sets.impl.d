@@ -1,0 +1,1 @@
+lib/analysis/sets.ml: Format Int List Map Set String

@@ -1,0 +1,1 @@
+lib/analysis/sets.mli: Format Map Set

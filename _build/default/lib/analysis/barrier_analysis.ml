@@ -1,0 +1,122 @@
+open Sets
+
+type point = { block : int; index : int }
+
+module Set_lattice = struct
+  type t = Int_set.t
+
+  let bottom = Int_set.empty
+  let equal = Int_set.equal
+  let join = Int_set.union
+end
+
+module Solver = Dataflow.Make (Set_lattice)
+
+(* Effect of one instruction on the joined-barrier state (forward). *)
+let joined_step state inst =
+  match inst with
+  | Ir.Types.Join b | Ir.Types.Rejoin b -> Int_set.add b state
+  | Ir.Types.Wait b | Ir.Types.Wait_threshold (b, _) | Ir.Types.Cancel b -> Int_set.remove b state
+  | Ir.Types.Bin _ | Ir.Types.Un _ | Ir.Types.Mov _ | Ir.Types.Load _ | Ir.Types.Store _
+  | Ir.Types.Tid _ | Ir.Types.Lane _ | Ir.Types.Nthreads _ | Ir.Types.Rand _
+  | Ir.Types.Randint _ | Ir.Types.Call _ | Ir.Types.Arrived _ -> state
+
+(* Effect of one instruction on the live-barrier state (backward: the
+   state *before* the instruction given the state after it). *)
+let live_step state inst =
+  match inst with
+  | Ir.Types.Wait b | Ir.Types.Wait_threshold (b, _) -> Int_set.add b state
+  | Ir.Types.Join b | Ir.Types.Rejoin b -> Int_set.remove b state
+  | Ir.Types.Cancel _ | Ir.Types.Bin _ | Ir.Types.Un _ | Ir.Types.Mov _ | Ir.Types.Load _
+  | Ir.Types.Store _ | Ir.Types.Tid _ | Ir.Types.Lane _ | Ir.Types.Nthreads _ | Ir.Types.Rand _
+  | Ir.Types.Randint _ | Ir.Types.Call _ | Ir.Types.Arrived _ -> state
+
+type t = { func : Ir.Types.func; joined : Solver.result; live : Solver.result }
+
+let run (func : Ir.Types.func) =
+  let g = Cfg.of_func func in
+  let joined =
+    Solver.solve g Dataflow.Forward ~boundary:Int_set.empty ~transfer:(fun id state ->
+        List.fold_left joined_step state (Ir.Types.block func id).insts)
+  in
+  let live =
+    Solver.solve g Dataflow.Backward ~boundary:Int_set.empty ~transfer:(fun id state ->
+        List.fold_left live_step state (List.rev (Ir.Types.block func id).insts))
+  in
+  { func; joined; live }
+
+let joined_in t id = Solver.before t.joined id
+let joined_out t id = Solver.after t.joined id
+let live_in t id = Solver.before t.live id
+let live_out t id = Solver.after t.live id
+
+let joined_at t { block; index } =
+  let insts = (Ir.Types.block t.func block).insts in
+  let rec replay state i = function
+    | [] -> state
+    | inst :: rest -> if i >= index then state else replay (joined_step state inst) (i + 1) rest
+  in
+  replay (joined_in t block) 0 insts
+
+let live_at t { block; index } =
+  (* Replay backward from the block's live-out down to the point. *)
+  let insts = (Ir.Types.block t.func block).insts in
+  let n = List.length insts in
+  let suffix = List.filteri (fun i _ -> i >= index) insts in
+  ignore n;
+  List.fold_left live_step (live_out t block) (List.rev suffix)
+
+let points_satisfying t pred barrier =
+  let points = ref [] in
+  Ir.Types.iter_blocks t.func (fun b ->
+      let n = List.length b.insts in
+      for index = 0 to n do
+        let pt = { block = b.id; index } in
+        if Int_set.mem barrier (pred t pt) then points := pt :: !points
+      done);
+  List.rev !points
+
+let live_points t barrier = points_satisfying t live_at barrier
+let joined_points t barrier = points_satisfying t joined_at barrier
+
+let barriers_of_func func =
+  let acc = ref Int_set.empty in
+  Ir.Types.iter_blocks func (fun b ->
+      List.iter
+        (fun i -> match Ir.Types.barrier_of i with Some x -> acc := Int_set.add x !acc | None -> ())
+        b.insts);
+  !acc
+
+module Point_set = Set.Make (struct
+  type t = point
+
+  let compare = compare
+end)
+
+let conflicts t =
+  (* §4.3: "a barrier live range extends from the moment threads join the
+     barrier until the barrier is cleared either by waiting or exiting" —
+     i.e. the joined range (Equation 1, with the effects of already
+     inserted Cancel/Rejoin primitives), which is what Figure 5's interval
+     arrows depict. *)
+  let barriers = Int_set.elements (barriers_of_func t.func) in
+  let range b = Point_set.of_list (joined_points t b) in
+  let ranges = List.map (fun b -> (b, range b)) barriers in
+  let rec pairs = function
+    | [] -> []
+    | (b1, r1) :: rest ->
+      List.filter_map
+        (fun (b2, r2) ->
+          let overlap = not (Point_set.disjoint r1 r2) in
+          let inclusive = Point_set.subset r1 r2 || Point_set.subset r2 r1 in
+          if overlap && not inclusive then Some (min b1 b2, max b1 b2) else None)
+        rest
+      @ pairs rest
+  in
+  List.sort_uniq compare (pairs ranges)
+
+let pp ppf t =
+  Ir.Types.iter_blocks t.func (fun b ->
+      Format.fprintf ppf "bb%d: joined_in=%a joined_out=%a live_in=%a live_out=%a@." b.id
+        pp_int_set (joined_in t b.id) pp_int_set (joined_out t b.id) pp_int_set (live_in t b.id)
+        pp_int_set (live_out t b.id))

@@ -1,0 +1,63 @@
+(** The paper's two barrier dataflow analyses (§4.2.1) and the conflict
+    detection that drives deconfliction (§4.3).
+
+    Both analyses run at instruction granularity: block-level fixpoints via
+    {!Dataflow}, then an in-block replay exposes the state before and after
+    every instruction, which is where [CancelBarrier]/[RejoinBarrier]
+    placement decisions are made.
+
+    Effects of the primitives (Table 1):
+    - [Join]/[Rejoin] — gen for the joined analysis, kill for liveness;
+    - [Wait]/[Wait_threshold] — kill for the joined analysis, gen for
+      liveness;
+    - [Cancel] — kill for the joined analysis only. The paper's equations
+      ignore [Cancel]/[Rejoin] because they are not yet inserted when the
+      analyses first run; when the analyses are re-run for conflict
+      detection the inserted primitives participate with these effects. *)
+
+open Sets
+
+type point = { block : int; index : int }
+(** A program point: before instruction [index] of [block]; [index] equal
+    to the instruction count denotes the point before the terminator. *)
+
+type t
+
+(** [run func] computes both analyses for every barrier mentioned in
+    [func]. *)
+val run : Ir.Types.func -> t
+
+(** Set of barriers joined (member of an uncleared barrier) at block
+    entry/exit — Equation 1. *)
+val joined_in : t -> int -> Int_set.t
+
+val joined_out : t -> int -> Int_set.t
+
+(** Set of live barriers (a [Wait] lies on some path ahead) at block
+    entry/exit — Equation 2. *)
+val live_in : t -> int -> Int_set.t
+
+val live_out : t -> int -> Int_set.t
+
+(** [joined_at t point] / [live_at t point] — instruction-granular states
+    (state holding just before the instruction at [point]). *)
+val joined_at : t -> point -> Int_set.t
+
+val live_at : t -> point -> Int_set.t
+
+(** [live_points t barrier] — every program point where [barrier] is live
+    in the Equation-2 (backward) sense. *)
+val live_points : t -> int -> point list
+
+(** [joined_points t barrier] — every program point where a thread may be
+    an uncleared member of [barrier]: the §4.3 "live range ... from the
+    moment threads join the barrier until the barrier is cleared", which
+    Figure 5's interval arrows depict. *)
+val joined_points : t -> int -> point list
+
+(** [conflicts t] — pairs of barriers whose {!joined_points} ranges
+    overlap non-inclusively (neither contains the other), i.e. the §4.3
+    conflicts. Each unordered pair is reported once, smaller id first. *)
+val conflicts : t -> (int * int) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+(** Call graph over a program's functions. *)
+
+type t
+
+val build : Ir.Types.program -> t
+
+(** Direct callees of a function (each listed once). *)
+val callees : t -> string -> string list
+
+(** Direct callers of a function (each listed once). *)
+val callers : t -> string -> string list
+
+(** [call_sites t ~caller ~callee] — blocks of [caller] containing at least
+    one call to [callee]. *)
+val call_sites : t -> caller:string -> callee:string -> int list
+
+(** [is_recursive t name] — does [name] participate in a call cycle
+    (including self-recursion)? *)
+val is_recursive : t -> string -> bool
+
+(** Functions in bottom-up order: every function appears after all its
+    callees, except within cycles (broken arbitrarily). *)
+val bottom_up : t -> string list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+(** Immutable control-flow-graph view of a function.
+
+    Only reachable blocks are included. {!reverse} produces the reversed
+    graph used for post-dominance, with a synthetic exit node
+    {!synthetic_exit} added as the single source so functions with several
+    [Ret]/[Exit] blocks still have a rooted reverse graph. *)
+
+type t
+
+(** Id of the synthetic exit node in reversed graphs. Never a valid block
+    id (block ids are non-negative). *)
+val synthetic_exit : int
+
+(** [of_func f] builds the CFG of [f]'s reachable blocks. *)
+val of_func : Ir.Types.func -> t
+
+val entry : t -> int
+
+(** All node ids, in reverse post order from the entry. *)
+val nodes : t -> int list
+
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+val mem : t -> int -> bool
+
+(** Number of nodes. *)
+val size : t -> int
+
+(** [reverse g] flips every edge and roots the result at
+    {!synthetic_exit}, which has an edge to every sink of [g]. Nodes that
+    cannot reach any sink (infinite loops) remain unreachable from the new
+    root. *)
+val reverse : t -> t
+
+(** [rpo g] is the reverse post order from the entry (same as {!nodes}). *)
+val rpo : t -> int list
+
+val pp : Format.formatter -> t -> unit

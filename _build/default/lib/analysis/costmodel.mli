@@ -1,0 +1,44 @@
+(** Static cost estimation for the §4.5 profitability heuristics.
+
+    Instruction costs mirror the simulator's latency classes so that the
+    compiler's notion of "expensive" matches what the machine will see.
+    Loop nesting multiplies by a static trip-count guess that a profile
+    can override. *)
+
+type weights = {
+  alu : int;
+  float_op : int;
+  special : int; (* sqrt/exp/log/sin/cos *)
+  memory : int;
+  call_overhead : int;
+  barrier : int;
+  rand : int;
+  default_trip : int; (* static trip-count guess per loop level *)
+}
+
+val default_weights : weights
+
+(** [inst_cost w inst] — cost of a single instruction, calls counted at
+    [call_overhead] (callee bodies are added by [func_cost] callers that
+    need interprocedural totals). *)
+val inst_cost : weights -> Ir.Types.inst -> int
+
+(** [block_cost w block] — sum of the block's instruction costs plus 1 for
+    the terminator. *)
+val block_cost : weights -> Ir.Types.block -> int
+
+(** [region_cost w func blocks ~loops ~profile] — total weighted cost of a
+    set of blocks: each block's cost times its estimated execution
+    frequency ([default_trip] ^ relative nesting depth, or the profile's
+    measured frequency when available). *)
+val region_cost :
+  weights ->
+  Ir.Types.func ->
+  Sets.Int_set.t ->
+  loops:Loops.t ->
+  profile:Profile.t option ->
+  float
+
+(** [func_body_cost w program name] — cost of a whole function body with
+    direct callee bodies added (one level deep; recursion cut off). *)
+val func_body_cost : weights -> Ir.Types.program -> string -> int

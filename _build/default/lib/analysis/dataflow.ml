@@ -1,0 +1,62 @@
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) = struct
+  type result = { before_tbl : (int, L.t) Hashtbl.t; after_tbl : (int, L.t) Hashtbl.t }
+
+  let get tbl id = Option.value (Hashtbl.find_opt tbl id) ~default:L.bottom
+
+  let solve g dir ~boundary ~transfer =
+    let before_tbl = Hashtbl.create 16 in
+    let after_tbl = Hashtbl.create 16 in
+    let inputs, outputs_of, seed_order =
+      match dir with
+      | Forward -> (Cfg.preds g, Cfg.succs g, Cfg.rpo g)
+      | Backward -> (Cfg.succs g, Cfg.preds g, List.rev (Cfg.rpo g))
+    in
+    let in_tbl, out_tbl =
+      match dir with
+      | Forward -> (before_tbl, after_tbl)
+      | Backward -> (after_tbl, before_tbl)
+    in
+    let is_boundary id =
+      match dir with
+      | Forward -> id = Cfg.entry g
+      | Backward -> Cfg.succs g id = []
+    in
+    let worklist = Queue.create () in
+    let queued = Hashtbl.create 16 in
+    let push id =
+      if not (Hashtbl.mem queued id) then begin
+        Hashtbl.replace queued id ();
+        Queue.add id worklist
+      end
+    in
+    List.iter push seed_order;
+    while not (Queue.is_empty worklist) do
+      let id = Queue.pop worklist in
+      Hashtbl.remove queued id;
+      let incoming =
+        let flowing = List.map (get out_tbl) (inputs id) in
+        let base = if is_boundary id then boundary else L.bottom in
+        List.fold_left L.join base flowing
+      in
+      Hashtbl.replace in_tbl id incoming;
+      let outgoing = transfer id incoming in
+      if not (L.equal outgoing (get out_tbl id)) then begin
+        Hashtbl.replace out_tbl id outgoing;
+        List.iter push (outputs_of id)
+      end
+    done;
+    { before_tbl; after_tbl }
+
+  let before r id = get r.before_tbl id
+  let after r id = get r.after_tbl id
+end

@@ -1,0 +1,35 @@
+(** Generic iterative dataflow solver over a CFG.
+
+    The paper's Joined-Barrier analysis (Equation 1) and Barrier
+    Live-Range analysis (Equation 2) are both instances of this solver
+    with set union as the join. The solver iterates block transfer
+    functions to a fixpoint using a worklist seeded in a direction-friendly
+    order. *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) : sig
+  type result
+
+  (** [solve g dir ~boundary ~transfer] computes the fixpoint.
+      [boundary] is the IN value of the entry (Forward) or the OUT value of
+      every sink (Backward). [transfer id v] maps a block's IN to its OUT
+      (Forward) or OUT to IN (Backward). *)
+  val solve :
+    Cfg.t -> direction -> boundary:L.t -> transfer:(int -> L.t -> L.t) -> result
+
+  (** Value flowing into the block: IN for forward analyses, the value at
+      block entry for backward analyses too (i.e. the "live-in"). *)
+  val before : result -> int -> L.t
+
+  (** Value flowing out of the block (OUT / "live-out"). *)
+  val after : result -> int -> L.t
+end

@@ -1,0 +1,45 @@
+(** Thread-divergence analysis.
+
+    Determines which branches are divergent — able to evaluate differently
+    across the threads of a warp — so the baseline pass knows where PDOM
+    reconvergence is required at all, and the cost heuristics (§4.5) know
+    which memory accesses risk becoming divergent.
+
+    Sources of divergence: the thread/lane index, per-thread random draws,
+    loads from thread-varying addresses, calls to functions that return
+    thread-varying results, and any definition executed under divergent
+    control (different threads may or may not execute it), which is
+    modelled through control dependence on divergent branches. Kernel
+    parameters are uniform (set by the launch); device-function parameters
+    are as divergent as the arguments at their call sites, approximated
+    conservatively by a whole-function summary. *)
+
+open Sets
+
+type t
+
+(** [run program] analyses every function to a fixpoint across the call
+    graph (recursive cycles are treated conservatively as divergent). *)
+val run : Ir.Types.program -> t
+
+(** [divergent_regs t ~func] — registers that may hold thread-varying
+    values in [func]. *)
+val divergent_regs : t -> func:string -> Int_set.t
+
+(** [divergent_branches t ~func] — blocks of [func] whose terminator is a
+    conditional branch on a thread-varying value. *)
+val divergent_branches : t -> func:string -> Int_set.t
+
+(** [branch_is_divergent t ~func ~block]. *)
+val branch_is_divergent : t -> func:string -> block:int -> bool
+
+(** [returns_divergent t ~func] — may the function's return value be
+    thread-varying? *)
+val returns_divergent : t -> func:string -> bool
+
+(** [divergent_loads t ~func] — count of load/store instructions in [func]
+    whose address register is thread-varying (feeds the §4.5 memory
+    heuristic). *)
+val divergent_loads : t -> func:string -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+open Sets
+
+type loop = {
+  header : int;
+  body : Int_set.t;
+  latches : int list;
+  exits : (int * int) list;
+  depth : int;
+  parent : int option;
+}
+
+type t = { all : loop list }
+
+(* Body of the natural loop of back edge [latch -> header]: header plus all
+   nodes that reach the latch without passing through the header. *)
+let natural_loop_body g header latch =
+  let body = ref (Int_set.singleton header) in
+  let rec pull id =
+    if not (Int_set.mem id !body) then begin
+      body := Int_set.add id !body;
+      List.iter pull (Cfg.preds g id)
+    end
+  in
+  pull latch;
+  !body
+
+let compute g dom_tree =
+  (* Collect back edges and merge loops that share a header. *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if Dom.dominates dom_tree dst src then begin
+            let latches = Option.value (Hashtbl.find_opt by_header dst) ~default:[] in
+            Hashtbl.replace by_header dst (src :: latches)
+          end)
+        (Cfg.succs g src))
+    (Cfg.nodes g);
+  let raw =
+    Hashtbl.fold
+      (fun header latches acc ->
+        let body =
+          List.fold_left
+            (fun acc latch -> Int_set.union acc (natural_loop_body g header latch))
+            Int_set.empty latches
+        in
+        (header, List.sort compare latches, body) :: acc)
+      by_header []
+  in
+  (* Nesting: a loop is nested in another iff its body is contained in the
+     other's. Depth = number of enclosing loops + 1; parent = smallest
+     enclosing loop. *)
+  let all =
+    List.map
+      (fun (header, latches, body) ->
+        let enclosing =
+          List.filter (fun (h, _, b) -> h <> header && Int_set.subset body b) raw
+        in
+        let parent =
+          match
+            List.sort
+              (fun (_, _, a) (_, _, b) -> compare (Int_set.cardinal a) (Int_set.cardinal b))
+              enclosing
+          with
+          | [] -> None
+          | (h, _, _) :: _ -> Some h
+        in
+        let exits =
+          Int_set.fold
+            (fun src acc ->
+              List.fold_left
+                (fun acc dst -> if Int_set.mem dst body then acc else (src, dst) :: acc)
+                acc (Cfg.succs g src))
+            body []
+          |> List.sort compare
+        in
+        { header; body; latches; exits; depth = 1 + List.length enclosing; parent })
+      raw
+  in
+  let all = List.sort (fun a b -> compare (a.depth, a.header) (b.depth, b.header)) all in
+  { all }
+
+let loops t = t.all
+let loop_of t header = List.find_opt (fun l -> l.header = header) t.all
+
+let innermost_containing t id =
+  List.fold_left
+    (fun best l ->
+      if Int_set.mem id l.body then
+        match best with
+        | Some b when b.depth >= l.depth -> best
+        | Some _ | None -> Some l
+      else best)
+    None t.all
+
+let depth_of t id = match innermost_containing t id with Some l -> l.depth | None -> 0
+
+let pp ppf t =
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "loop header=bb%d depth=%d parent=%s body=%a latches=[%s]@." l.header
+        l.depth
+        (match l.parent with None -> "-" | Some h -> Printf.sprintf "bb%d" h)
+        pp_int_set l.body
+        (String.concat "; " (List.map string_of_int l.latches)))
+    t.all

@@ -1,0 +1,37 @@
+(** Natural-loop detection and the loop nesting forest.
+
+    Loop structure feeds the automatic detector (§4.5): Iteration Delay
+    looks for a divergent branch inside a loop, Loop Merge for an inner
+    loop with a divergent trip count nested in an outer loop, and the cost
+    model weights block costs by loop nesting depth. *)
+
+type loop = {
+  header : int;
+  body : Sets.Int_set.t; (* includes the header *)
+  latches : int list; (* sources of back edges into the header *)
+  exits : (int * int) list; (* (from-block-in-loop, to-block-outside) edges *)
+  depth : int; (* 1 = outermost *)
+  parent : int option; (* header of the enclosing loop *)
+}
+
+type t
+
+(** [compute g dom_tree] finds all natural loops of reducible back edges
+    (edges [n -> h] where [h] dominates [n]); loops sharing a header are
+    merged. *)
+val compute : Cfg.t -> Dom.t -> t
+
+(** All loops, outermost first. *)
+val loops : t -> loop list
+
+(** [loop_of t header] finds a loop by header. *)
+val loop_of : t -> int -> loop option
+
+(** [innermost_containing t id] is the deepest loop whose body contains
+    [id], if any. *)
+val innermost_containing : t -> int -> loop option
+
+(** [depth_of t id] is the nesting depth of [id] (0 if not in a loop). *)
+val depth_of : t -> int -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+open Sets
+
+module Set_lattice = struct
+  type t = Int_set.t
+
+  let bottom = Int_set.empty
+  let equal = Int_set.equal
+  let join = Int_set.union
+end
+
+module Solver = Dataflow.Make (Set_lattice)
+
+type t = { func : Ir.Types.func; solution : Solver.result }
+
+(* State before an instruction, given the state after it. *)
+let step state inst =
+  let without_defs = List.fold_left (fun s r -> Int_set.remove r s) state (Ir.Types.defs inst) in
+  List.fold_left (fun s r -> Int_set.add r s) without_defs (Ir.Types.uses inst)
+
+let block_transfer (f : Ir.Types.func) id out_state =
+  let b = Ir.Types.block f id in
+  let after_term =
+    List.fold_left (fun s r -> Int_set.add r s) out_state (Ir.Types.term_uses b.term)
+  in
+  List.fold_left step after_term (List.rev b.insts)
+
+let run (f : Ir.Types.func) =
+  let g = Cfg.of_func f in
+  let solution =
+    Solver.solve g Dataflow.Backward ~boundary:Int_set.empty ~transfer:(block_transfer f)
+  in
+  { func = f; solution }
+
+let live_in t id = Solver.before t.solution id
+let live_out t id = Solver.after t.solution id
+
+let live_after t ~block ~index =
+  let b = Ir.Types.block t.func block in
+  let after_term =
+    List.fold_left
+      (fun s r -> Int_set.add r s)
+      (live_out t block) (Ir.Types.term_uses b.term)
+  in
+  let suffix = List.filteri (fun i _ -> i > index) b.insts in
+  List.fold_left step after_term (List.rev suffix)
+
+let pp ppf t =
+  Ir.Types.iter_blocks t.func (fun b ->
+      Format.fprintf ppf "bb%d: live_in=%a live_out=%a@." b.id pp_int_set (live_in t b.id)
+        pp_int_set (live_out t b.id))

@@ -1,0 +1,26 @@
+(** Classic backward register liveness over the IR.
+
+    Barrier live-range analysis ({!Barrier_analysis}) is the paper's
+    specialised variant; this is the standard register form, used by the
+    dead-code-elimination cleanup pass and available to future passes. *)
+
+open Sets
+
+type t
+
+(** [run func] solves liveness for every reachable block. Call arguments
+    and stored values are uses; [Call] results, like all destination
+    registers, are defs. *)
+val run : Ir.Types.func -> t
+
+(** Registers live on entry/exit of a block. *)
+val live_in : t -> int -> Int_set.t
+
+val live_out : t -> int -> Int_set.t
+
+(** [live_after t ~block ~index] — registers live just after instruction
+    [index] of [block] (index [length insts] is just before the
+    terminator, whose uses are included). *)
+val live_after : t -> block:int -> index:int -> Int_set.t
+
+val pp : Format.formatter -> t -> unit

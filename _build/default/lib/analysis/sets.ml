@@ -1,0 +1,9 @@
+(* Shared set/map instantiations over small integer ids (blocks, registers,
+   barriers). *)
+
+module Int_set = Set.Make (Int)
+module Int_map = Map.Make (Int)
+
+let pp_int_set ppf s =
+  Format.fprintf ppf "{%s}"
+    (String.concat ", " (List.map string_of_int (Int_set.elements s)))

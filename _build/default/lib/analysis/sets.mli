@@ -1,0 +1,8 @@
+(** Shared set/map instantiations over small integer ids (blocks,
+    registers, barriers). *)
+
+module Int_set : Set.S with type elt = int
+module Int_map : Map.S with type key = int
+
+(** Renders as [{1, 2, 3}]. *)
+val pp_int_set : Format.formatter -> Int_set.t -> unit

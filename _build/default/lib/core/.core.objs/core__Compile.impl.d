@@ -1,0 +1,1 @@
+lib/core/compile.ml: Analysis Front Hashtbl Ir List Option Passes

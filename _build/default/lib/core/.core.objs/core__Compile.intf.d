@@ -1,0 +1,1 @@
+lib/core/compile.mli: Analysis Front Ir Passes

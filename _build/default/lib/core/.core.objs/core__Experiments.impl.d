@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Compile Float Format List Printf Runner String Workloads

@@ -1,0 +1,1 @@
+lib/core/region_stats.ml: Analysis Compile Format Hashtbl Ir List Passes Simt Workloads

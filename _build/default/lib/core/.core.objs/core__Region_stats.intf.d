@@ -1,0 +1,1 @@
+lib/core/region_stats.mli: Compile Format Simt Workloads

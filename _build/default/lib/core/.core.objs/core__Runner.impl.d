@@ -1,0 +1,1 @@
+lib/core/runner.ml: Analysis Compile Simt Workloads

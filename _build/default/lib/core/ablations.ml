@@ -1,0 +1,116 @@
+let subjects () =
+  List.map Workloads.Registry.find [ "rsbench"; "pathtracer"; "mc-gpu"; "gpu-mcml" ]
+
+(* ---- deconfliction strategy ---- *)
+
+type deconflict_row = {
+  app : string;
+  baseline_cycles : int;
+  dynamic_speedup : float;
+  static_speedup : float;
+  dynamic_barrier_issues : int;
+  static_barrier_issues : int;
+}
+
+let barrier_issues (o : Runner.outcome) =
+  let m = o.Runner.metrics in
+  m.Simt.Metrics.barrier_joins + m.Simt.Metrics.barrier_waits + m.Simt.Metrics.barrier_cancels
+
+let deconfliction ?config () =
+  List.map
+    (fun (spec : Workloads.Spec.t) ->
+      let baseline = Runner.run_spec ?config Compile.baseline spec in
+      let dynamic = Runner.run_spec ?config Compile.speculative spec in
+      let static =
+        Runner.run_spec ?config
+          { Compile.speculative with Compile.mode = Compile.Speculative Passes.Deconflict.Static }
+          spec
+      in
+      {
+        app = spec.name;
+        baseline_cycles = Runner.cycles baseline;
+        dynamic_speedup = Runner.speedup ~baseline ~optimized:dynamic;
+        static_speedup = Runner.speedup ~baseline ~optimized:static;
+        dynamic_barrier_issues = barrier_issues dynamic;
+        static_barrier_issues = barrier_issues static;
+      })
+    (subjects ())
+
+(* ---- scheduler policy ---- *)
+
+type policy_row = {
+  app : string;
+  most_threads_cycles : int;
+  lowest_pc_cycles : int;
+  round_robin_cycles : int;
+}
+
+let policies ?(config = Simt.Config.default) () =
+  List.map
+    (fun (spec : Workloads.Spec.t) ->
+      let cycles_with policy =
+        Runner.cycles
+          (Runner.run_spec ~config:{ config with Simt.Config.policy } Compile.speculative spec)
+      in
+      {
+        app = spec.name;
+        most_threads_cycles = cycles_with Simt.Config.Most_threads;
+        lowest_pc_cycles = cycles_with Simt.Config.Lowest_pc;
+        round_robin_cycles = cycles_with Simt.Config.Round_robin;
+      })
+    (subjects ())
+
+(* ---- resident warps ---- *)
+
+type warps_row = { warps : int; baseline_cycles : int; specrecon_cycles : int; speedup : float }
+
+let warp_scaling ?(warps = [ 1; 2; 4; 8 ]) () =
+  let spec = Workloads.Registry.find "rsbench" in
+  List.map
+    (fun n ->
+      let spec =
+        {
+          spec with
+          Workloads.Spec.tweak_config =
+            (fun c -> { (spec.Workloads.Spec.tweak_config c) with Simt.Config.n_warps = n });
+        }
+      in
+      let baseline = Runner.run_spec Compile.baseline spec in
+      let optimized = Runner.run_spec Compile.speculative spec in
+      {
+        warps = n;
+        baseline_cycles = Runner.cycles baseline;
+        specrecon_cycles = Runner.cycles optimized;
+        speedup = Runner.speedup ~baseline ~optimized;
+      })
+    warps
+
+(* ---- printers ---- *)
+
+let pp_deconfliction ppf rows =
+  Format.fprintf ppf "Ablation: deconfliction strategy (dynamic vs static, §4.3)@.";
+  Format.fprintf ppf "  %-12s %10s %9s %9s %12s %12s@." "app" "base-cyc" "dyn-spd" "stat-spd"
+    "dyn-barrier" "stat-barrier";
+  List.iter
+    (fun (r : deconflict_row) ->
+      Format.fprintf ppf "  %-12s %10d %8.2fx %8.2fx %12d %12d@." r.app r.baseline_cycles
+        r.dynamic_speedup r.static_speedup r.dynamic_barrier_issues r.static_barrier_issues)
+    rows
+
+let pp_policies ppf rows =
+  Format.fprintf ppf "Ablation: scheduler policy (cycles under speculative reconvergence)@.";
+  Format.fprintf ppf "  %-12s %13s %11s %12s@." "app" "most-threads" "lowest-pc" "round-robin";
+  List.iter
+    (fun (r : policy_row) ->
+      Format.fprintf ppf "  %-12s %13d %11d %12d@." r.app r.most_threads_cycles
+        r.lowest_pc_cycles r.round_robin_cycles)
+    rows
+
+let pp_warp_scaling ppf rows =
+  Format.fprintf ppf "Ablation: resident warps (rsbench; latency hiding vs reconvergence)@.";
+  Format.fprintf ppf "  %6s %12s %12s %9s@." "warps" "base-cyc" "spec-cyc" "speedup";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %6d %12d %12d %8.2fx@." r.warps r.baseline_cycles r.specrecon_cycles
+        r.speedup)
+    rows

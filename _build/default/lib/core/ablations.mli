@@ -1,0 +1,46 @@
+(** Ablation studies over the reproduction's design choices.
+
+    These are not paper exhibits; they quantify the knobs DESIGN.md calls
+    out so that a reader can see how much each one matters:
+
+    - {b deconfliction strategy} (§4.3): static deletes the conflicting
+      PDOM barrier (fewer barrier instructions), dynamic cancels it at
+      run time (retains PDOM sync when the predicted point is not
+      reached). The paper chose dynamic for its evaluation.
+    - {b scheduler policy}: how the per-warp scheduler picks among
+      runnable convergence groups. Reconvergence correctness comes from
+      barriers, so policy only moves performance — but it moves it.
+    - {b resident warps}: more warps hide more latency, shrinking the
+      speedup attributable to reconvergence alone (the paper's V100 runs
+      many warps per SM; our default is small and this table shows the
+      sensitivity). *)
+
+type deconflict_row = {
+  app : string;
+  baseline_cycles : int;
+  dynamic_speedup : float;
+  static_speedup : float;
+  dynamic_barrier_issues : int; (* barrier instructions issued at run time *)
+  static_barrier_issues : int;
+}
+
+val deconfliction : ?config:Simt.Config.t -> unit -> deconflict_row list
+
+type policy_row = {
+  app : string;
+  most_threads_cycles : int;
+  lowest_pc_cycles : int;
+  round_robin_cycles : int;
+}
+
+(** Cycle counts per scheduling policy under speculative reconvergence. *)
+val policies : ?config:Simt.Config.t -> unit -> policy_row list
+
+type warps_row = { warps : int; baseline_cycles : int; specrecon_cycles : int; speedup : float }
+
+(** RSBench speedup as the number of resident warps grows. *)
+val warp_scaling : ?warps:int list -> unit -> warps_row list
+
+val pp_deconfliction : Format.formatter -> deconflict_row list -> unit
+val pp_policies : Format.formatter -> policy_row list -> unit
+val pp_warp_scaling : Format.formatter -> warps_row list -> unit

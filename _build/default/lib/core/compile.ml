@@ -1,0 +1,139 @@
+module T = Ir.Types
+
+type mode =
+  | No_sync
+  | Baseline
+  | Speculative of Passes.Deconflict.strategy
+  | Automatic of {
+      params : Passes.Auto_detect.params;
+      strategy : Passes.Deconflict.strategy;
+      profile : Analysis.Profile.t option;
+    }
+
+type threshold_override = Keep | Set of int | Unset
+
+type options = {
+  mode : mode;
+  coarsen : int option;
+  threshold : threshold_override;
+  cleanup : bool;
+}
+
+let baseline = { mode = Baseline; coarsen = None; threshold = Keep; cleanup = true }
+
+let speculative =
+  { mode = Speculative Passes.Deconflict.Dynamic; coarsen = None; threshold = Keep; cleanup = true }
+
+let automatic =
+  {
+    mode =
+      Automatic
+        {
+          params = Passes.Auto_detect.default_params;
+          strategy = Passes.Deconflict.Dynamic;
+          profile = None;
+        };
+    coarsen = None;
+    threshold = Keep;
+    cleanup = true;
+  }
+
+type compiled = {
+  options : options;
+  program : T.program;
+  linear : Ir.Linear.t;
+  pdom_barriers : (string * int * T.barrier) list;
+  applied : Passes.Specrecon.applied list;
+  interproc_applied : Passes.Interproc.applied list;
+  deconflict_report : Passes.Deconflict.report option;
+  candidates : Passes.Auto_detect.candidate list;
+}
+
+let override_thresholds threshold (p : T.program) =
+  match threshold with
+  | Keep -> ()
+  | Set _ | Unset ->
+    Hashtbl.iter
+      (fun _ (f : T.func) ->
+        f.hints <-
+          List.map
+            (fun (h : T.predict_hint) ->
+              match threshold with
+              | Set k -> { h with threshold = Some k }
+              | Unset -> { h with threshold = None }
+              | Keep -> h)
+            f.hints)
+      p.funcs
+
+let strip_hints (p : T.program) =
+  Hashtbl.iter (fun _ (f : T.func) -> f.hints <- []) p.funcs
+
+(* Barrier priority for deconfliction: user hints beat region barriers
+   beat compiler PDOM barriers (§4.1). *)
+let make_priority ~applied ~interproc ~pdom =
+  let rank = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Passes.Specrecon.applied) ->
+      Hashtbl.replace rank (a.in_func, a.user_barrier) 3;
+      match a.region_barrier with
+      | Some b -> Hashtbl.replace rank (a.in_func, b) 2
+      | None -> ())
+    applied;
+  List.iter
+    (fun (a : Passes.Interproc.applied) -> Hashtbl.replace rank (a.in_func, a.barrier) 3)
+    interproc;
+  List.iter (fun (fname, _, b) -> Hashtbl.replace rank (fname, b) 1) pdom;
+  fun fname b -> Option.value (Hashtbl.find_opt rank (fname, b)) ~default:1
+
+let compile_ast options ast =
+  let ast =
+    match options.coarsen with
+    | Some factor -> Front.Coarsen.apply ast ~factor
+    | None -> ast
+  in
+  let program = Front.Lower.lower ast in
+  override_thresholds options.threshold program;
+  let pdom_barriers, applied, interproc_applied, deconflict_report, candidates =
+    match options.mode with
+    | No_sync ->
+      strip_hints program;
+      ([], [], [], None, [])
+    | Baseline ->
+      strip_hints program;
+      let divergence = Analysis.Divergence.run program in
+      (Passes.Pdom_sync.run program divergence, [], [], None, [])
+    | Speculative strategy ->
+      let applied = Passes.Specrecon.run program in
+      let interproc = Passes.Interproc.run program in
+      let divergence = Analysis.Divergence.run program in
+      let pdom = Passes.Pdom_sync.run program divergence in
+      let priority = make_priority ~applied ~interproc ~pdom in
+      let report = Passes.Deconflict.run program ~strategy ~priority in
+      (pdom, applied, interproc, Some report, [])
+    | Automatic { params; strategy; profile } ->
+      strip_hints program;
+      let candidates = Passes.Auto_detect.detect ?profile params program in
+      Passes.Auto_detect.install program candidates;
+      let applied = Passes.Specrecon.run program in
+      let interproc = Passes.Interproc.run program in
+      let divergence = Analysis.Divergence.run program in
+      let pdom = Passes.Pdom_sync.run program divergence in
+      let priority = make_priority ~applied ~interproc ~pdom in
+      let report = Passes.Deconflict.run program ~strategy ~priority in
+      (pdom, applied, interproc, Some report, candidates)
+  in
+  if options.cleanup then ignore (Passes.Cleanup.run program);
+  Ir.Verifier.check_program_exn program;
+  let linear = Ir.Linear.linearize program in
+  {
+    options;
+    program;
+    linear;
+    pdom_barriers;
+    applied;
+    interproc_applied;
+    deconflict_report;
+    candidates;
+  }
+
+let compile options ~source = compile_ast options (Front.Parser.parse_string source)

@@ -1,0 +1,64 @@
+(** The compilation pipeline: MiniSIMT source to executable linear code,
+    under one of the paper's compilation modes.
+
+    - {!Baseline} — what production compilers do today: PDOM
+      reconvergence at every divergent branch; Predict hints ignored.
+    - {!Speculative} — the paper's contribution (§4): user hints compiled
+      by {!Passes.Specrecon} / {!Passes.Interproc}, PDOM sync inserted as
+      usual, conflicts resolved by the chosen deconfliction strategy
+      (the paper's evaluation uses dynamic deconfliction, §5).
+    - {!Automatic} — §4.5: hints discovered by {!Passes.Auto_detect}
+      instead of the programmer, then compiled identically.
+    - {!No_sync} — no reconvergence at all; a lower-bound reference used
+      by tests.
+
+    The soft-barrier threshold (§4.6) can be overridden per compile, which
+    is how the Figure-9 sweep drives one source through thresholds 0..32. *)
+
+type mode =
+  | No_sync
+  | Baseline
+  | Speculative of Passes.Deconflict.strategy
+  | Automatic of {
+      params : Passes.Auto_detect.params;
+      strategy : Passes.Deconflict.strategy;
+      profile : Analysis.Profile.t option; (* optional profile guidance *)
+    }
+
+type threshold_override =
+  | Keep  (** use the thresholds written in the source *)
+  | Set of int  (** force every label hint to a soft barrier with this threshold *)
+  | Unset  (** force hard (full) barriers everywhere *)
+
+type options = {
+  mode : mode;
+  coarsen : int option;
+  threshold : threshold_override;
+  cleanup : bool;
+      (** run {!Passes.Cleanup} (DCE + dead-barrier removal) after the
+          synchronization passes; on by default *)
+}
+
+val baseline : options
+val speculative : options (* dynamic deconfliction, source thresholds *)
+val automatic : options
+
+type compiled = {
+  options : options;
+  program : Ir.Types.program;
+  linear : Ir.Linear.t;
+  pdom_barriers : (string * int * Ir.Types.barrier) list;
+  applied : Passes.Specrecon.applied list;
+  interproc_applied : Passes.Interproc.applied list;
+  deconflict_report : Passes.Deconflict.report option;
+  candidates : Passes.Auto_detect.candidate list; (* automatic mode only *)
+}
+
+(** [compile options ~source] runs parse → (coarsen) → lower → threshold
+    override → synchronization passes → deconfliction → verify →
+    linearize.
+    @raise Front.Parser.Parse_error / Front.Lower.Lower_error / Failure. *)
+val compile : options -> source:string -> compiled
+
+(** Same from an already-parsed AST. *)
+val compile_ast : options -> Front.Ast.program -> compiled

@@ -1,0 +1,231 @@
+type app_measurement = {
+  name : string;
+  mode : string;
+  baseline : Runner.outcome;
+  optimized : Runner.outcome;
+}
+
+let check_or_fail name (o : Runner.outcome) =
+  match o.check with
+  | Ok () -> o
+  | Error msg -> failwith (Printf.sprintf "Experiments: %s output check failed: %s" name msg)
+
+let measure_one ?config (spec : Workloads.Spec.t) =
+  let baseline = check_or_fail spec.name (Runner.run_spec ?config Compile.baseline spec) in
+  let annotated = Runner.run_spec ?config Compile.speculative spec in
+  let has_hints =
+    annotated.compiled.applied <> [] || annotated.compiled.interproc_applied <> []
+  in
+  if has_hints then
+    { name = spec.name; mode = "annotated"; baseline; optimized = check_or_fail spec.name annotated }
+  else
+    let auto = check_or_fail spec.name (Runner.run_spec ?config Compile.automatic spec) in
+    { name = spec.name; mode = "automatic"; baseline; optimized = auto }
+
+let measure_table2 ?config () = List.map (measure_one ?config) Workloads.Registry.all
+
+let table2 () =
+  List.map (fun (s : Workloads.Spec.t) -> (s.name, s.description)) Workloads.Registry.all
+
+(* ---- Figure 7 ---- *)
+
+type fig7_row = { app : string; baseline_eff : float; optimized_eff : float; mode : string }
+
+let figure7 measurements =
+  List.map
+    (fun m ->
+      {
+        app = m.name;
+        baseline_eff = Runner.efficiency m.baseline;
+        optimized_eff = Runner.efficiency m.optimized;
+        mode = m.mode;
+      })
+    measurements
+
+(* ---- Figure 8 ---- *)
+
+type fig8_row = { app : string; eff_improvement : float; speedup : float }
+
+let figure8 measurements =
+  List.map
+    (fun m ->
+      let b = Runner.efficiency m.baseline in
+      let o = Runner.efficiency m.optimized in
+      {
+        app = m.name;
+        eff_improvement = (if b > 0.0 then o /. b else 0.0);
+        speedup = Runner.speedup ~baseline:m.baseline ~optimized:m.optimized;
+      })
+    measurements
+
+(* ---- Figure 9 ---- *)
+
+type fig9_point = { threshold : int; efficiency : float; speedup : float }
+type fig9_series = { subject : string; points : fig9_point list }
+
+let default_thresholds = [ 0; 2; 4; 6; 8; 12; 16; 20; 24; 28; 32 ]
+
+let figure9 ?config ?(thresholds = default_thresholds) () =
+  List.map
+    (fun (spec : Workloads.Spec.t) ->
+      let baseline = check_or_fail spec.name (Runner.run_spec ?config Compile.baseline spec) in
+      let points =
+        List.map
+          (fun threshold ->
+            let options = { Compile.speculative with Compile.threshold = Compile.Set threshold } in
+            let o = check_or_fail spec.name (Runner.run_spec ?config options spec) in
+            {
+              threshold;
+              efficiency = Runner.efficiency o;
+              speedup = Runner.speedup ~baseline ~optimized:o;
+            })
+          thresholds
+      in
+      { subject = spec.name; points })
+    Workloads.Registry.soft_barrier_subjects
+
+(* ---- Figure 10 ---- *)
+
+type fig10_row = {
+  app : string;
+  baseline_eff : float;
+  auto_eff : float;
+  auto_speedup : float;
+  candidates : int;
+  matches_annotated : bool option;
+}
+
+let figure10 ?config () =
+  List.map
+    (fun (spec : Workloads.Spec.t) ->
+      let baseline = check_or_fail spec.name (Runner.run_spec ?config Compile.baseline spec) in
+      let auto = check_or_fail spec.name (Runner.run_spec ?config Compile.automatic spec) in
+      let annotated = Runner.run_spec ?config Compile.speculative spec in
+      let matches_annotated =
+        if annotated.compiled.applied = [] && annotated.compiled.interproc_applied = [] then None
+        else
+          (* "Automatic Speculative Reconvergence performs the same as
+             programmer-annotated variants" (§5.4): same cycles within
+             5%. *)
+          let a = float_of_int (Runner.cycles annotated) in
+          let b = float_of_int (Runner.cycles auto) in
+          Some (a > 0.0 && Float.abs (a -. b) /. a < 0.05)
+      in
+      {
+        app = spec.name;
+        baseline_eff = Runner.efficiency baseline;
+        auto_eff = Runner.efficiency auto;
+        auto_speedup = Runner.speedup ~baseline ~optimized:auto;
+        candidates = List.length auto.compiled.candidates;
+        matches_annotated;
+      })
+    (Workloads.Registry.auto_subjects
+    @ List.filter
+        (fun (s : Workloads.Spec.t) ->
+          List.for_all
+            (fun (a : Workloads.Spec.t) -> not (String.equal a.name s.name))
+            Workloads.Registry.auto_subjects)
+        [ Workloads.Registry.find "pathtracer"; Workloads.Registry.find "mc-gpu" ])
+
+(* ---- §5.4 funnel ---- *)
+
+type funnel = {
+  total : int;
+  low_efficiency : int;
+  detected : int;
+  significant : int;
+  per_app : (int * string * float * float option) list;
+}
+
+let corpus_funnel ?(seed = 520) ?(count = 520) () =
+  let apps = Workloads.Corpus.generate ~seed ~count in
+  let config = Workloads.Corpus.config in
+  let per_app =
+    List.map
+      (fun (app : Workloads.Corpus.app) ->
+        let baseline =
+          Runner.run_source ~config ~init:Workloads.Corpus.init Compile.baseline
+            ~source:app.source ~args:app.args
+        in
+        let eff = Runner.efficiency baseline in
+        let speedup =
+          if eff >= 0.8 then None
+          else begin
+            let auto =
+              Runner.run_source ~config ~init:Workloads.Corpus.init Compile.automatic
+                ~source:app.source ~args:app.args
+            in
+            if auto.compiled.candidates = [] then None
+            else Some (Runner.speedup ~baseline ~optimized:auto)
+          end
+        in
+        (app.id, Workloads.Corpus.shape_name app.shape, eff, speedup))
+      apps
+  in
+  {
+    total = count;
+    low_efficiency = List.length (List.filter (fun (_, _, eff, _) -> eff < 0.8) per_app);
+    detected = List.length (List.filter (fun (_, _, _, s) -> s <> None) per_app);
+    significant =
+      List.length
+        (List.filter (fun (_, _, _, s) -> match s with Some x -> x >= 1.1 | None -> false) per_app);
+    per_app;
+  }
+
+(* ---- printers ---- *)
+
+let pp_table2 ppf rows =
+  Format.fprintf ppf "Table 2: benchmarks@.";
+  List.iter (fun (name, desc) -> Format.fprintf ppf "  %-12s %s@." name desc) rows
+
+let pp_figure7 ppf rows =
+  Format.fprintf ppf "Figure 7: SIMT efficiency (baseline -> speculative reconvergence)@.";
+  Format.fprintf ppf "  %-12s %10s %10s  %s@." "app" "baseline" "specrecon" "mode";
+  List.iter
+    (fun (r : fig7_row) ->
+      Format.fprintf ppf "  %-12s %9.1f%% %9.1f%%  %s@." r.app (100.0 *. r.baseline_eff)
+        (100.0 *. r.optimized_eff) r.mode)
+    rows
+
+let pp_figure8 ppf rows =
+  Format.fprintf ppf "Figure 8: SIMT efficiency improvement vs speedup@.";
+  Format.fprintf ppf "  %-12s %12s %9s@." "app" "eff-improve" "speedup";
+  List.iter
+    (fun (r : fig8_row) ->
+      Format.fprintf ppf "  %-12s %11.2fx %8.2fx@." r.app r.eff_improvement r.speedup)
+    rows
+
+let pp_figure9 ppf series =
+  Format.fprintf ppf "Figure 9: soft-barrier threshold sweep@.";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %s:@." s.subject;
+      Format.fprintf ppf "    %9s %11s %9s@." "threshold" "efficiency" "speedup";
+      List.iter
+        (fun p ->
+          Format.fprintf ppf "    %9d %10.1f%% %8.2fx@." p.threshold (100.0 *. p.efficiency)
+            p.speedup)
+        s.points)
+    series
+
+let pp_figure10 ppf rows =
+  Format.fprintf ppf "Figure 10: automatic speculative reconvergence@.";
+  Format.fprintf ppf "  %-12s %9s %9s %9s %11s %s@." "app" "base-eff" "auto-eff" "speedup"
+    "candidates" "auto==annotated";
+  List.iter
+    (fun (r : fig10_row) ->
+      Format.fprintf ppf "  %-12s %8.1f%% %8.1f%% %8.2fx %11d %s@." r.app
+        (100.0 *. r.baseline_eff) (100.0 *. r.auto_eff) r.auto_speedup r.candidates
+        (match r.matches_annotated with
+        | None -> "(no annotation)"
+        | Some true -> "yes"
+        | Some false -> "NO"))
+    rows
+
+let pp_funnel ppf f =
+  Format.fprintf ppf
+    "Corpus funnel (cf. §5.4: 520 studied, 75 low-efficiency, 16 detected, 5 significant)@.";
+  Format.fprintf ppf "  studied:        %4d@." f.total;
+  Format.fprintf ppf "  eff < 80%%:      %4d@." f.low_efficiency;
+  Format.fprintf ppf "  detected:       %4d@." f.detected;
+  Format.fprintf ppf "  significant:    %4d@." f.significant

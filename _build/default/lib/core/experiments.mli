@@ -1,0 +1,74 @@
+(** Reproduction of every table and figure in the paper's evaluation
+    (§5). Each function regenerates the data behind one exhibit; the
+    [pp_*] printers render rows/series shaped like the paper's. *)
+
+(** One Table-2 workload measured under its paper configuration:
+    [baseline] is PDOM-only compilation; [optimized] is
+    programmer-annotated Speculative Reconvergence when the source carries
+    hints, or automatic detection for the unannotated subjects
+    (MeiyaMD5, OptiX — the paper validated those through §5.4). *)
+type app_measurement = {
+  name : string;
+  mode : string; (* "annotated" | "automatic" *)
+  baseline : Runner.outcome;
+  optimized : Runner.outcome;
+}
+
+(** Runs every Table-2 workload. The result feeds {!figure7} and
+    {!figure8}, so the (expensive) simulations run once. *)
+val measure_table2 : ?config:Simt.Config.t -> unit -> app_measurement list
+
+(** Table 2: benchmark inventory (name, description). *)
+val table2 : unit -> (string * string) list
+
+(** Figure 7: SIMT efficiency before/after per application. *)
+type fig7_row = { app : string; baseline_eff : float; optimized_eff : float; mode : string }
+
+val figure7 : app_measurement list -> fig7_row list
+
+(** Figure 8: relative SIMT-efficiency improvement vs. speedup. *)
+type fig8_row = { app : string; eff_improvement : float; speedup : float }
+
+val figure8 : app_measurement list -> fig8_row list
+
+(** Figure 9: soft-barrier threshold sweep (SIMT efficiency, speedup) for
+    PathTracer and XSBench. *)
+type fig9_point = { threshold : int; efficiency : float; speedup : float }
+
+type fig9_series = { subject : string; points : fig9_point list }
+
+val figure9 : ?config:Simt.Config.t -> ?thresholds:int list -> unit -> fig9_series list
+
+(** Figure 10: upside of automatic Speculative Reconvergence on the
+    applications the detector flags, plus the auto-vs-annotated parity
+    check on annotated workloads. *)
+type fig10_row = {
+  app : string;
+  baseline_eff : float;
+  auto_eff : float;
+  auto_speedup : float;
+  candidates : int;
+  matches_annotated : bool option; (* None when there is no annotated variant *)
+}
+
+val figure10 : ?config:Simt.Config.t -> unit -> fig10_row list
+
+(** §5.4 funnel over the synthetic corpus: applications studied → low
+    SIMT efficiency → detector hits → significant wins. *)
+type funnel = {
+  total : int;
+  low_efficiency : int;
+  detected : int;
+  significant : int;
+  per_app : (int * string * float * float option) list;
+      (** id, shape, baseline efficiency, speedup when detected *)
+}
+
+val corpus_funnel : ?seed:int -> ?count:int -> unit -> funnel
+
+val pp_table2 : Format.formatter -> (string * string) list -> unit
+val pp_figure7 : Format.formatter -> fig7_row list -> unit
+val pp_figure8 : Format.formatter -> fig8_row list -> unit
+val pp_figure9 : Format.formatter -> fig9_series list -> unit
+val pp_figure10 : Format.formatter -> fig10_row list -> unit
+val pp_funnel : Format.formatter -> funnel -> unit

@@ -1,0 +1,33 @@
+(** Per-region SIMT-efficiency breakdown.
+
+    The paper argues Speculative Reconvergence trades convergence in the
+    prolog/epilog for convergence in the expensive common code ("we
+    improve overall SIMT efficiency, especially in the compute-intensive
+    portions of code", §5.2). This module makes that trade measurable: it
+    classifies every issued instruction (via the simulator's tracer) as
+    inside or outside the predicted regions and reports the efficiency of
+    each side separately. *)
+
+type t = {
+  region_issues : int;
+  region_active : int;
+  other_issues : int;
+  other_active : int;
+  warp_size : int;
+}
+
+(** Efficiency inside the predicted regions (0 when nothing issued). *)
+val region_efficiency : t -> float
+
+(** Efficiency outside them. *)
+val other_efficiency : t -> float
+
+(** [measure ?config options spec] — compile [spec] under [options], run
+    it with a tracing interpreter, and split the issues by whether the
+    issuing block belongs to a hint's common-code region (the blocks
+    dominated by a predicted label, or a predicted callee's body). When
+    the compilation has no hints, every issue counts as "other". *)
+val measure :
+  ?config:Simt.Config.t -> Compile.options -> Workloads.Spec.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+type outcome = {
+  compiled : Compile.compiled;
+  metrics : Simt.Metrics.t;
+  profile : Analysis.Profile.t;
+  memory : Simt.Memsys.t;
+  check : (unit, string) result;
+}
+
+let efficiency o = Simt.Metrics.simt_efficiency o.metrics
+let cycles o = o.metrics.Simt.Metrics.cycles
+
+let run_spec ?(config = Simt.Config.default) options (spec : Workloads.Spec.t) =
+  let config = spec.tweak_config config in
+  let options =
+    match options.Compile.coarsen with
+    | Some _ -> options
+    | None -> { options with Compile.coarsen = spec.coarsen }
+  in
+  let compiled = Compile.compile options ~source:spec.source in
+  let result =
+    Simt.Interp.run config compiled.linear ~args:spec.args
+      ~init_memory:(fun mem -> spec.init compiled.program mem)
+  in
+  {
+    compiled;
+    metrics = result.Simt.Interp.metrics;
+    profile = result.Simt.Interp.profile;
+    memory = result.Simt.Interp.memory;
+    check = spec.check compiled.program result.Simt.Interp.memory;
+  }
+
+let run_source ?(config = Simt.Config.default) ?(init = fun _ _ -> ()) options ~source ~args =
+  let compiled = Compile.compile options ~source in
+  let result =
+    Simt.Interp.run config compiled.linear ~args
+      ~init_memory:(fun mem -> init compiled.program mem)
+  in
+  {
+    compiled;
+    metrics = result.Simt.Interp.metrics;
+    profile = result.Simt.Interp.profile;
+    memory = result.Simt.Interp.memory;
+    check = Ok ();
+  }
+
+let speedup ~baseline ~optimized =
+  let b = float_of_int baseline.metrics.Simt.Metrics.cycles in
+  let o = float_of_int optimized.metrics.Simt.Metrics.cycles in
+  if o = 0.0 then 0.0 else b /. o

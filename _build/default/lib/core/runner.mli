@@ -1,0 +1,35 @@
+(** Compile-and-execute convenience layer. *)
+
+type outcome = {
+  compiled : Compile.compiled;
+  metrics : Simt.Metrics.t;
+  profile : Analysis.Profile.t;
+  memory : Simt.Memsys.t;
+  check : (unit, string) result; (* the workload's output sanity check *)
+}
+
+(** SIMT efficiency of the run, in [0, 1]. *)
+val efficiency : outcome -> float
+
+(** Simulated cycles of the run. *)
+val cycles : outcome -> int
+
+(** [run_spec ?config options spec] compiles [spec.source] under
+    [options] (with [spec.coarsen] applied unless [options] already
+    requests coarsening) and executes it on [config] adjusted by
+    [spec.tweak_config]. *)
+val run_spec : ?config:Simt.Config.t -> Compile.options -> Workloads.Spec.t -> outcome
+
+(** [run_source ?config ?init options ~source ~args] for ad-hoc programs
+    (no output check). [init] fills global memory before launch; by
+    default memory is zero-initialised with integer zeros. *)
+val run_source :
+  ?config:Simt.Config.t ->
+  ?init:(Ir.Types.program -> Simt.Memsys.t -> unit) ->
+  Compile.options ->
+  source:string ->
+  args:Ir.Types.value list ->
+  outcome
+
+(** [speedup ~baseline ~optimized] — baseline cycles / optimized cycles. *)
+val speedup : baseline:outcome -> optimized:outcome -> float

@@ -1,0 +1,1 @@
+lib/front/ast.ml: Format

@@ -1,0 +1,1 @@
+lib/front/coarsen.ml: Ast List Printf

@@ -1,0 +1,1 @@
+lib/front/coarsen.mli: Ast

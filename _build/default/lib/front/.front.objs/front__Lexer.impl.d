@@ -1,0 +1,1 @@
+lib/front/lexer.ml: Ast Lexing List Printf Tokens

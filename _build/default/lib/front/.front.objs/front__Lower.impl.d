@@ -1,0 +1,1 @@
+lib/front/lower.ml: Ast Hashtbl Ir List Option Parser Printf

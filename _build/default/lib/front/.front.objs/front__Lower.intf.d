@@ -1,0 +1,1 @@
+lib/front/lower.mli: Ast Ir

@@ -1,0 +1,1 @@
+lib/front/parser.ml: Array Ast Lexer Lexing List Printf Tokens

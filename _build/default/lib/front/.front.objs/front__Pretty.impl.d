@@ -1,0 +1,1 @@
+lib/front/pretty.ml: Ast Float Format List Printf String

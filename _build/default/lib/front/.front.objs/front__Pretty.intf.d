@@ -1,0 +1,1 @@
+lib/front/pretty.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/front/tokens.ml: Printf

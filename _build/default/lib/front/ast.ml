@@ -1,0 +1,74 @@
+(* Abstract syntax of the MiniSIMT kernel language.
+
+   The language is deliberately small: scalars of type int/float, global
+   arrays, structured control flow, device functions, per-thread intrinsics
+   — just enough to express the paper's divergent workloads — plus the
+   user-guided reconvergence surface of §4.1: statement labels and
+   [predict] directives. *)
+
+type pos = { line : int; col : int }
+
+let pp_pos ppf p = Format.fprintf ppf "%d:%d" p.line p.col
+
+type ty = Tint | Tfloat
+
+let ty_name = function Tint -> "int" | Tfloat -> "float"
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Brem
+  | Beq
+  | Bne
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Band (* short-circuit *)
+  | Bor (* short-circuit *)
+
+type unop = Uneg | Unot
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string (* local variable or scalar global *)
+  | Index of string * expr (* global array element *)
+  | Binary of binop * expr * expr
+  | Unary of unop * expr
+  | Call_expr of string * expr list (* device function or intrinsic *)
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Decl of { name : string; ty : ty option; init : expr; mutable_ : bool }
+  | Assign of string * expr
+  | Index_assign of string * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of { var : string; from_ : expr; to_ : expr; body : stmt list }
+  | Break
+  | Continue
+  | Return of expr option
+  | Expr_stmt of expr
+  | Label of string (* reconvergence label, §4.1 *)
+  | Predict of { target : target; threshold : int option } (* Predict directive *)
+
+and target = Tlabel of string | Tfunc of string
+
+type global_decl = { gname : string; gty : ty; gsize : int option (* None = scalar *) }
+
+type func_decl = {
+  name : string;
+  params : (string * ty) list;
+  ret : ty option;
+  body : stmt list;
+  is_kernel : bool;
+  fpos : pos;
+}
+
+type program = { globals : global_decl list; funcs : func_decl list }

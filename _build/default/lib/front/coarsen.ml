@@ -1,0 +1,114 @@
+open Ast
+
+let coarse_var = "__coarse"
+
+let rec rewrite_expr factor (e : expr) =
+  let mk desc = { e with desc } in
+  match e.desc with
+  | Call_expr ("tid", []) ->
+    (* tid() + __coarse * nthreads(); the inserted calls are raw nodes,
+       deliberately not re-rewritten. *)
+    let raw name = { desc = Call_expr (name, []); pos = e.pos } in
+    mk
+      (Binary
+         ( Badd,
+           raw "tid",
+           { desc = Binary (Bmul, { desc = Var coarse_var; pos = e.pos }, raw "nthreads");
+             pos = e.pos } ))
+  | Call_expr ("nthreads", []) ->
+    let raw = { desc = Call_expr ("nthreads", []); pos = e.pos } in
+    mk (Binary (Bmul, raw, { desc = Int_lit factor; pos = e.pos }))
+  | Call_expr (name, args) -> mk (Call_expr (name, List.map (rewrite_expr factor) args))
+  | Binary (op, a, b) -> mk (Binary (op, rewrite_expr factor a, rewrite_expr factor b))
+  | Unary (op, a) -> mk (Unary (op, rewrite_expr factor a))
+  | Index (name, idx) -> mk (Index (name, rewrite_expr factor idx))
+  | Int_lit _ | Float_lit _ | Var _ -> e
+
+let rec rewrite_stmt factor (s : stmt) =
+  let mk sdesc = { s with sdesc } in
+  let re = rewrite_expr factor in
+  let rs = List.map (rewrite_stmt factor) in
+  match s.sdesc with
+  | Decl d -> mk (Decl { d with init = re d.init })
+  | Assign (name, e) -> mk (Assign (name, re e))
+  | Index_assign (name, idx, e) -> mk (Index_assign (name, re idx, re e))
+  | If (c, t, e) -> mk (If (re c, rs t, rs e))
+  | While (c, body) -> mk (While (re c, rs body))
+  | For f -> mk (For { f with from_ = re f.from_; to_ = re f.to_; body = rs f.body })
+  | Return (Some e) -> mk (Return (Some (re e)))
+  | Expr_stmt e -> mk (Expr_stmt (re e))
+  | Return None | Break | Continue | Label _ | Predict _ -> s
+
+let rec uses_thread_intrinsics_expr (e : expr) =
+  match e.desc with
+  | Call_expr (("tid" | "nthreads" | "lane"), []) -> true
+  | Call_expr (_, args) -> List.exists uses_thread_intrinsics_expr args
+  | Binary (_, a, b) -> uses_thread_intrinsics_expr a || uses_thread_intrinsics_expr b
+  | Unary (_, a) -> uses_thread_intrinsics_expr a
+  | Index (_, idx) -> uses_thread_intrinsics_expr idx
+  | Int_lit _ | Float_lit _ | Var _ -> false
+
+let rec uses_thread_intrinsics_stmt (s : stmt) =
+  match s.sdesc with
+  | Decl { init; _ } -> uses_thread_intrinsics_expr init
+  | Assign (_, e) | Expr_stmt e | Return (Some e) -> uses_thread_intrinsics_expr e
+  | Index_assign (_, idx, e) ->
+    uses_thread_intrinsics_expr idx || uses_thread_intrinsics_expr e
+  | If (c, t, e) ->
+    uses_thread_intrinsics_expr c
+    || List.exists uses_thread_intrinsics_stmt t
+    || List.exists uses_thread_intrinsics_stmt e
+  | While (c, body) ->
+    uses_thread_intrinsics_expr c || List.exists uses_thread_intrinsics_stmt body
+  | For { from_; to_; body; _ } ->
+    uses_thread_intrinsics_expr from_
+    || uses_thread_intrinsics_expr to_
+    || List.exists uses_thread_intrinsics_stmt body
+  | Return None | Break | Continue | Label _ | Predict _ -> false
+
+let apply (ast : program) ~factor =
+  if factor <= 0 then failwith "Coarsen: factor must be positive";
+  let kernels = List.filter (fun f -> f.is_kernel) ast.funcs in
+  (match kernels with
+  | [ _ ] -> ()
+  | [] -> failwith "Coarsen: no kernel to coarsen"
+  | _ -> failwith "Coarsen: multiple kernels");
+  List.iter
+    (fun f ->
+      if (not f.is_kernel) && List.exists uses_thread_intrinsics_stmt f.body then
+        failwith
+          (Printf.sprintf
+             "Coarsen: device function %s uses thread intrinsics; inline it into the kernel first"
+             f.name))
+    ast.funcs;
+  let funcs =
+    List.map
+      (fun f ->
+        if not f.is_kernel then f
+        else
+          let pos = f.fpos in
+          (* Predict directives written at the top level of the kernel
+             apply to the whole region (Listing 1 places Predict *outside*
+             the loop): hoist them above the injected task loop, so the
+             region spans all of a thread's tasks and refilling threads
+             remain reconvergence candidates between tasks. *)
+          let is_predict s = match s.sdesc with Predict _ -> true | _ -> false in
+          let predicts, rest = List.partition is_predict f.body in
+          let body = List.map (rewrite_stmt factor) rest in
+          let wrapper =
+            {
+              sdesc =
+                For
+                  {
+                    var = coarse_var;
+                    from_ = { desc = Int_lit 0; pos };
+                    to_ = { desc = Int_lit factor; pos };
+                    body;
+                  };
+              spos = pos;
+            }
+          in
+          { f with body = predicts @ [ wrapper ] })
+      ast.funcs
+  in
+  { ast with funcs }

@@ -1,0 +1,21 @@
+(** Thread coarsening (§3).
+
+    Converts a one-task-per-thread kernel into a kernel where each thread
+    processes [factor] tasks in a grid-stride loop, producing the
+    outer-loop-around-divergent-work shape that Loop Merge needs. This is
+    the transformation the paper applies to RSBench ("instead of a single
+    variable length task per thread, we assign a large number of tasks
+    per thread").
+
+    Rewrites inside the kernel body (task [c] of a launch with [N]
+    threads):
+    - [tid()] becomes [tid() + c * nthreads()] — the simulated task id;
+    - [nthreads()] becomes [nthreads() * factor] — the simulated launch
+      width;
+    and the whole body is wrapped in [for c in 0 .. factor]. *)
+
+(** [apply ast ~factor].
+    @raise Failure if [factor <= 0], if there is no kernel, or if a device
+    function uses [tid()]/[nthreads()]/[lane()] (the rewrite would be
+    unsound there; inline such helpers first). *)
+val apply : Ast.program -> factor:int -> Ast.program

@@ -1,0 +1,70 @@
+{
+open Tokens
+
+exception Lex_error of Ast.pos * string
+
+let pos_of lexbuf =
+  let p = Lexing.lexeme_start_p lexbuf in
+  { Ast.line = p.Lexing.pos_lnum; col = p.Lexing.pos_cnum - p.Lexing.pos_bol + 1 }
+
+let keywords =
+  [ ("kernel", KERNEL); ("func", FUNC); ("global", GLOBAL); ("var", VAR); ("let", LET);
+    ("if", IF); ("else", ELSE); ("while", WHILE); ("for", FOR); ("in", IN);
+    ("break", BREAK); ("continue", CONTINUE); ("return", RETURN); ("predict", PREDICT);
+    ("threshold", THRESHOLD); ("int", TINT); ("float", TFLOAT) ]
+}
+
+let digit = ['0'-'9']
+let ident_start = ['a'-'z' 'A'-'Z' '_']
+let ident_char = ['a'-'z' 'A'-'Z' '0'-'9' '_']
+
+rule token = parse
+  | [' ' '\t' '\r']+        { token lexbuf }
+  | '\n'                    { Lexing.new_line lexbuf; token lexbuf }
+  | "//" [^ '\n']*          { token lexbuf }
+  | "/*"                    { comment (pos_of lexbuf) lexbuf; token lexbuf }
+  | digit+ '.' digit* (['e' 'E'] ['+' '-']? digit+)?
+                            { FLOAT (float_of_string (Lexing.lexeme lexbuf)) }
+  | digit+ ['e' 'E'] ['+' '-']? digit+
+                            { FLOAT (float_of_string (Lexing.lexeme lexbuf)) }
+  | digit+                  { INT (int_of_string (Lexing.lexeme lexbuf)) }
+  | ident_start ident_char* { let s = Lexing.lexeme lexbuf in
+                              match List.assoc_opt s keywords with
+                              | Some kw -> kw
+                              | None -> IDENT s }
+  | "->"                    { ARROW }
+  | ".."                    { DOTDOT }
+  | "=="                    { EQ }
+  | "!="                    { NE }
+  | "<="                    { LE }
+  | ">="                    { GE }
+  | "&&"                    { ANDAND }
+  | "||"                    { OROR }
+  | '('                     { LPAREN }
+  | ')'                     { RPAREN }
+  | '{'                     { LBRACE }
+  | '}'                     { RBRACE }
+  | '['                     { LBRACKET }
+  | ']'                     { RBRACKET }
+  | ','                     { COMMA }
+  | ';'                     { SEMI }
+  | ':'                     { COLON }
+  | '='                     { ASSIGN }
+  | '+'                     { PLUS }
+  | '-'                     { MINUS }
+  | '*'                     { STAR }
+  | '/'                     { SLASH }
+  | '%'                     { PERCENT }
+  | '<'                     { LT }
+  | '>'                     { GT }
+  | '!'                     { BANG }
+  | eof                     { EOF }
+  | _                       { raise (Lex_error (pos_of lexbuf,
+                                Printf.sprintf "unexpected character '%s'"
+                                  (Lexing.lexeme lexbuf))) }
+
+and comment start = parse
+  | "*/"                    { () }
+  | '\n'                    { Lexing.new_line lexbuf; comment start lexbuf }
+  | eof                     { raise (Lex_error (start, "unterminated comment")) }
+  | _                       { comment start lexbuf }

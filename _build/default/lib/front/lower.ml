@@ -1,0 +1,489 @@
+open Ast
+module T = Ir.Types
+module B = Ir.Builder
+
+exception Lower_error of pos * string
+
+let err pos fmt = Printf.ksprintf (fun m -> raise (Lower_error (pos, m))) fmt
+
+(* Variable environment: innermost binding first. [frame] marks the names
+   declared in the current statement list, to reject same-scope
+   redeclaration while allowing shadowing. *)
+type binding = { reg : T.reg; vty : ty; is_mutable : bool }
+
+type loop_ctx = { brk : T.block_id; cont : T.block_id; mutable cont_used : bool }
+
+type ctx = {
+  program : T.program;
+  func : T.func;
+  sigs : (string, ty list * ty option) Hashtbl.t;
+  globals : (string, int * int option * ty) Hashtbl.t; (* base, array size, type *)
+  is_kernel : bool;
+  ret_ty : ty option;
+  mutable cur : T.block_id;
+  mutable loops : loop_ctx list;
+}
+
+let emit ctx i = B.append ctx.func ctx.cur i
+let terminate ctx t = B.set_term ctx.func ctx.cur t
+
+let new_block ctx = B.add_block ctx.func
+
+let fresh ctx = B.fresh_reg ctx.func
+
+let lookup env name = List.assoc_opt name env
+
+let intrinsics : (string * (ty list * ty option)) list =
+  [
+    ("tid", ([], Some Tint));
+    ("lane", ([], Some Tint));
+    ("nthreads", ([], Some Tint));
+    ("rand", ([], Some Tfloat));
+    ("randint", ([ Tint ], Some Tint));
+    ("sqrt", ([ Tfloat ], Some Tfloat));
+    ("exp", ([ Tfloat ], Some Tfloat));
+    ("log", ([ Tfloat ], Some Tfloat));
+    ("sin", ([ Tfloat ], Some Tfloat));
+    ("cos", ([ Tfloat ], Some Tfloat));
+    ("fabs", ([ Tfloat ], Some Tfloat));
+    ("float", ([ Tint ], Some Tfloat));
+    ("int", ([ Tfloat ], Some Tint));
+    ("min", ([ Tint; Tint ], Some Tint));
+    ("max", ([ Tint; Tint ], Some Tint));
+    ("fmin", ([ Tfloat; Tfloat ], Some Tfloat));
+    ("fmax", ([ Tfloat; Tfloat ], Some Tfloat));
+  ]
+
+let arith_inst op ty pos =
+  match (op, ty) with
+  | Badd, Tint -> T.Add
+  | Bsub, Tint -> T.Sub
+  | Bmul, Tint -> T.Mul
+  | Bdiv, Tint -> T.Div
+  | Brem, Tint -> T.Rem
+  | Badd, Tfloat -> T.Fadd
+  | Bsub, Tfloat -> T.Fsub
+  | Bmul, Tfloat -> T.Fmul
+  | Bdiv, Tfloat -> T.Fdiv
+  | Brem, Tfloat -> err pos "'%%' requires integer operands"
+  | Beq, Tint -> T.Eq
+  | Bne, Tint -> T.Ne
+  | Blt, Tint -> T.Lt
+  | Ble, Tint -> T.Le
+  | Bgt, Tint -> T.Gt
+  | Bge, Tint -> T.Ge
+  | Beq, Tfloat -> T.Feq
+  | Bne, Tfloat -> T.Fne
+  | Blt, Tfloat -> T.Flt
+  | Ble, Tfloat -> T.Fle
+  | Bgt, Tfloat -> T.Fgt
+  | Bge, Tfloat -> T.Fge
+  | (Band | Bor), (Tint | Tfloat) -> assert false (* handled by short-circuit lowering *)
+
+let is_comparison = function
+  | Beq | Bne | Blt | Ble | Bgt | Bge -> true
+  | Badd | Bsub | Bmul | Bdiv | Brem | Band | Bor -> false
+
+let rec lower_expr ctx env (e : expr) : T.operand * ty =
+  match e.desc with
+  | Int_lit n -> (T.Imm (T.I n), Tint)
+  | Float_lit x -> (T.Imm (T.F x), Tfloat)
+  | Var name -> (
+    match lookup env name with
+    | Some b -> (T.Reg b.reg, b.vty)
+    | None -> (
+      match Hashtbl.find_opt ctx.globals name with
+      | Some (base, None, ty) ->
+        let d = fresh ctx in
+        emit ctx (T.Load (d, T.Imm (T.I base)));
+        (T.Reg d, ty)
+      | Some (_, Some _, _) -> err e.pos "'%s' is an array; index it" name
+      | None -> err e.pos "unknown variable '%s'" name))
+  | Index (name, idx) -> (
+    match Hashtbl.find_opt ctx.globals name with
+    | Some (base, Some _, ty) ->
+      let addr = lower_address ctx env e.pos base idx in
+      let d = fresh ctx in
+      emit ctx (T.Load (d, addr));
+      (T.Reg d, ty)
+    | Some (_, None, _) -> err e.pos "'%s' is a scalar global, not an array" name
+    | None -> err e.pos "unknown array '%s'" name)
+  | Unary (Uneg, inner) ->
+    let op, ty = lower_expr ctx env inner in
+    let d = fresh ctx in
+    emit ctx (T.Un ((match ty with Tint -> T.Neg | Tfloat -> T.Fneg), d, op));
+    (T.Reg d, ty)
+  | Unary (Unot, inner) ->
+    let op, ty = lower_expr ctx env inner in
+    if ty <> Tint then err e.pos "'!' requires an integer operand";
+    let d = fresh ctx in
+    emit ctx (T.Un (T.Not, d, op));
+    (T.Reg d, Tint)
+  | Binary ((Band | Bor) as op, a, b) -> lower_short_circuit ctx env e.pos op a b
+  | Binary (op, a, b) ->
+    let opa, ta = lower_expr ctx env a in
+    let opb, tb = lower_expr ctx env b in
+    if ta <> tb then
+      err e.pos "operand type mismatch: %s vs %s (use float()/int() to convert)" (ty_name ta)
+        (ty_name tb);
+    let d = fresh ctx in
+    emit ctx (T.Bin (arith_inst op ta e.pos, d, opa, opb));
+    (T.Reg d, if is_comparison op then Tint else ta)
+  | Call_expr (name, args) -> (
+    match lower_call ctx env e.pos name args with
+    | Some result -> result
+    | None -> err e.pos "call to '%s' returns no value; cannot be used in an expression" name)
+
+(* [a && b] / [a || b] with C semantics: short-circuit, 0/1 result. The
+   branch this creates is a real (potentially divergent) branch. *)
+and lower_short_circuit ctx env pos op a b =
+  let opa, ta = lower_expr ctx env a in
+  if ta <> Tint then err pos "logical operators require integer operands";
+  let d = fresh ctx in
+  let rhs_block = new_block ctx in
+  let const_block = new_block ctx in
+  let done_block = new_block ctx in
+  (match op with
+  | Band -> terminate ctx (T.Br { cond = opa; if_true = rhs_block; if_false = const_block })
+  | Bor -> terminate ctx (T.Br { cond = opa; if_true = const_block; if_false = rhs_block })
+  | Badd | Bsub | Bmul | Bdiv | Brem | Beq | Bne | Blt | Ble | Bgt | Bge -> assert false);
+  ctx.cur <- const_block;
+  emit ctx (T.Mov (d, T.Imm (T.I (match op with Bor -> 1 | _ -> 0))));
+  terminate ctx (T.Jump done_block);
+  ctx.cur <- rhs_block;
+  let opb, tb = lower_expr ctx env b in
+  if tb <> Tint then err pos "logical operators require integer operands";
+  emit ctx (T.Bin (T.Ne, d, opb, T.Imm (T.I 0)));
+  terminate ctx (T.Jump done_block);
+  ctx.cur <- done_block;
+  (T.Reg d, Tint)
+
+and lower_address ctx env pos base idx =
+  let opi, ti = lower_expr ctx env idx in
+  if ti <> Tint then err pos "array index must be an integer";
+  match opi with
+  | T.Imm (T.I k) -> T.Imm (T.I (base + k))
+  | T.Imm (T.F _) | T.Reg _ ->
+    let d = fresh ctx in
+    emit ctx (T.Bin (T.Add, d, T.Imm (T.I base), opi));
+    T.Reg d
+
+(* Returns [Some (operand, ty)] for value-returning calls, [None] for void
+   calls. *)
+and lower_call ctx env pos name args : (T.operand * ty) option =
+  let lowered = List.map (fun a -> (lower_expr ctx env a, a.pos)) args in
+  let check_args expected =
+    let actual = List.map (fun ((_, t), _) -> t) lowered in
+    if List.length actual <> List.length expected then
+      err pos "'%s' expects %d argument(s), got %d" name (List.length expected)
+        (List.length actual);
+    List.iter2
+      (fun ((_, t), apos) exp ->
+        if t <> exp then
+          err apos "argument of '%s' has type %s, expected %s" name (ty_name t) (ty_name exp))
+      lowered expected
+  in
+  let ops = List.map (fun ((o, _), _) -> o) lowered in
+  match List.assoc_opt name intrinsics with
+  | Some (expected, ret) -> (
+    check_args expected;
+    let d = fresh ctx in
+    let unary_intrinsic u = emit ctx (T.Un (u, d, List.nth ops 0)) in
+    let binary_intrinsic b = emit ctx (T.Bin (b, d, List.nth ops 0, List.nth ops 1)) in
+    (match name with
+    | "tid" -> emit ctx (T.Tid d)
+    | "lane" -> emit ctx (T.Lane d)
+    | "nthreads" -> emit ctx (T.Nthreads d)
+    | "rand" -> emit ctx (T.Rand d)
+    | "randint" -> emit ctx (T.Randint (d, List.nth ops 0))
+    | "sqrt" -> unary_intrinsic T.Sqrt
+    | "exp" -> unary_intrinsic T.Exp
+    | "log" -> unary_intrinsic T.Log
+    | "sin" -> unary_intrinsic T.Sin
+    | "cos" -> unary_intrinsic T.Cos
+    | "fabs" -> unary_intrinsic T.Fabs
+    | "float" -> unary_intrinsic T.Itof
+    | "int" -> unary_intrinsic T.Ftoi
+    | "min" -> binary_intrinsic T.Min
+    | "max" -> binary_intrinsic T.Max
+    | "fmin" -> binary_intrinsic T.Fmin
+    | "fmax" -> binary_intrinsic T.Fmax
+    | _ -> assert false);
+    match ret with Some t -> Some (T.Reg d, t) | None -> None)
+  | None -> (
+    match Hashtbl.find_opt ctx.sigs name with
+    | None -> err pos "unknown function '%s'" name
+    | Some (expected, ret) -> (
+      check_args expected;
+      match ret with
+      | Some t ->
+        let d = fresh ctx in
+        emit ctx (T.Call { callee = name; args = ops; ret = Some d });
+        Some (T.Reg d, t)
+      | None ->
+        emit ctx (T.Call { callee = name; args = ops; ret = None });
+        None))
+
+(* ---- statements ---- *)
+
+(* Lowers a statement list; returns true when control can reach its end.
+   Statements after a terminating statement are dead and dropped. *)
+let rec lower_stmts ctx env stmts =
+  let declared_here = Hashtbl.create 8 in
+  let rec loop env = function
+    | [] -> true
+    | s :: rest ->
+      let env', fellthrough = lower_stmt ctx env declared_here s in
+      if fellthrough then loop env' rest else false
+  in
+  loop env stmts
+
+and lower_stmt ctx env declared_here s : (string * binding) list * bool =
+  match s.sdesc with
+  | Decl { name; ty = annot; init; mutable_ } ->
+    if Hashtbl.mem declared_here name then err s.spos "redeclaration of '%s' in the same scope" name;
+    Hashtbl.replace declared_here name ();
+    let op, ty = lower_expr ctx env init in
+    (match annot with
+    | Some a when a <> ty ->
+      err s.spos "'%s' declared %s but initialised with %s" name (ty_name a) (ty_name ty)
+    | Some _ | None -> ());
+    let reg = fresh ctx in
+    emit ctx (T.Mov (reg, op));
+    ((name, { reg; vty = ty; is_mutable = mutable_ }) :: env, true)
+  | Assign (name, value) -> (
+    match lookup env name with
+    | Some b ->
+      if not b.is_mutable then err s.spos "cannot assign to immutable binding '%s'" name;
+      let op, ty = lower_expr ctx env value in
+      if ty <> b.vty then
+        err s.spos "assigning %s to '%s' of type %s" (ty_name ty) name (ty_name b.vty);
+      emit ctx (T.Mov (b.reg, op));
+      (env, true)
+    | None -> (
+      match Hashtbl.find_opt ctx.globals name with
+      | Some (base, None, gty) ->
+        let op, ty = lower_expr ctx env value in
+        if ty <> gty then
+          err s.spos "assigning %s to global '%s' of type %s" (ty_name ty) name (ty_name gty);
+        emit ctx (T.Store (T.Imm (T.I base), op));
+        (env, true)
+      | Some (_, Some _, _) -> err s.spos "'%s' is an array; assign to an element" name
+      | None -> err s.spos "unknown variable '%s'" name))
+  | Index_assign (name, idx, value) -> (
+    match Hashtbl.find_opt ctx.globals name with
+    | Some (base, Some _, gty) ->
+      let addr = lower_address ctx env s.spos base idx in
+      let op, ty = lower_expr ctx env value in
+      if ty <> gty then
+        err s.spos "storing %s into '%s' of element type %s" (ty_name ty) name (ty_name gty);
+      emit ctx (T.Store (addr, op));
+      (env, true)
+    | Some (_, None, _) -> err s.spos "'%s' is a scalar global, not an array" name
+    | None -> err s.spos "unknown array '%s'" name)
+  | If (cond, then_stmts, else_stmts) ->
+    let opc, tc = lower_expr ctx env cond in
+    if tc <> Tint then err s.spos "condition must be an integer";
+    let then_b = new_block ctx in
+    if else_stmts = [] then begin
+      (* The false edge reaches the join directly, so the join always
+         exists and is reachable. *)
+      let join = new_block ctx in
+      terminate ctx (T.Br { cond = opc; if_true = then_b; if_false = join });
+      ctx.cur <- then_b;
+      let ft = lower_stmts ctx env then_stmts in
+      if ft then terminate ctx (T.Jump join);
+      ctx.cur <- join;
+      (env, true)
+    end
+    else begin
+      let else_b = new_block ctx in
+      terminate ctx (T.Br { cond = opc; if_true = then_b; if_false = else_b });
+      ctx.cur <- then_b;
+      let ft_then = lower_stmts ctx env then_stmts in
+      let then_end = ctx.cur in
+      ctx.cur <- else_b;
+      let ft_else = lower_stmts ctx env else_stmts in
+      let else_end = ctx.cur in
+      if ft_then || ft_else then begin
+        let join = new_block ctx in
+        if ft_then then B.set_term ctx.func then_end (T.Jump join);
+        if ft_else then B.set_term ctx.func else_end (T.Jump join);
+        ctx.cur <- join;
+        (env, true)
+      end
+      else (env, false)
+    end
+  | While (cond, body) ->
+    let header = new_block ctx in
+    terminate ctx (T.Jump header);
+    ctx.cur <- header;
+    let opc, tc = lower_expr ctx env cond in
+    if tc <> Tint then err s.spos "loop condition must be an integer";
+    let body_b = new_block ctx in
+    let exit_b = new_block ctx in
+    terminate ctx (T.Br { cond = opc; if_true = body_b; if_false = exit_b });
+    let lctx = { brk = exit_b; cont = header; cont_used = false } in
+    ctx.loops <- lctx :: ctx.loops;
+    ctx.cur <- body_b;
+    let ft = lower_stmts ctx env body in
+    if ft then terminate ctx (T.Jump header);
+    ctx.loops <- List.tl ctx.loops;
+    ctx.cur <- exit_b;
+    (env, true)
+  | For { var; from_; to_; body } ->
+    let op_from, t_from = lower_expr ctx env from_ in
+    if t_from <> Tint then err s.spos "for-loop bounds must be integers";
+    let i_reg = fresh ctx in
+    emit ctx (T.Mov (i_reg, op_from));
+    let op_to, t_to = lower_expr ctx env to_ in
+    if t_to <> Tint then err s.spos "for-loop bounds must be integers";
+    (* Freeze the upper bound: it is evaluated once. *)
+    let bound = fresh ctx in
+    emit ctx (T.Mov (bound, op_to));
+    let header = new_block ctx in
+    terminate ctx (T.Jump header);
+    ctx.cur <- header;
+    let cond = fresh ctx in
+    emit ctx (T.Bin (T.Lt, cond, T.Reg i_reg, T.Reg bound));
+    let body_b = new_block ctx in
+    let exit_b = new_block ctx in
+    let inc_b = new_block ctx in
+    terminate ctx (T.Br { cond = T.Reg cond; if_true = body_b; if_false = exit_b });
+    let lctx = { brk = exit_b; cont = inc_b; cont_used = false } in
+    ctx.loops <- lctx :: ctx.loops;
+    ctx.cur <- body_b;
+    let env' = (var, { reg = i_reg; vty = Tint; is_mutable = false }) :: env in
+    let ft = lower_stmts ctx env' body in
+    if ft then terminate ctx (T.Jump inc_b);
+    ctx.loops <- List.tl ctx.loops;
+    if ft || lctx.cont_used then begin
+      ctx.cur <- inc_b;
+      emit ctx (T.Bin (T.Add, i_reg, T.Reg i_reg, T.Imm (T.I 1)));
+      terminate ctx (T.Jump header)
+    end
+    else Hashtbl.remove ctx.func.blocks inc_b;
+    ctx.cur <- exit_b;
+    (env, true)
+  | Break -> (
+    match ctx.loops with
+    | [] -> err s.spos "'break' outside a loop"
+    | l :: _ ->
+      terminate ctx (T.Jump l.brk);
+      (env, false))
+  | Continue -> (
+    match ctx.loops with
+    | [] -> err s.spos "'continue' outside a loop"
+    | l :: _ ->
+      l.cont_used <- true;
+      terminate ctx (T.Jump l.cont);
+      (env, false))
+  | Return None ->
+    if ctx.is_kernel then terminate ctx T.Exit
+    else begin
+      (match ctx.ret_ty with
+      | Some t -> err s.spos "function must return a value of type %s" (ty_name t)
+      | None -> ());
+      terminate ctx (T.Ret None)
+    end;
+    (env, false)
+  | Return (Some value) ->
+    if ctx.is_kernel then err s.spos "kernels cannot return values";
+    let op, ty = lower_expr ctx env value in
+    (match ctx.ret_ty with
+    | None -> err s.spos "function has no declared return type"
+    | Some t when t <> ty -> err s.spos "returning %s from a function of type %s" (ty_name ty) (ty_name t)
+    | Some _ -> ());
+    terminate ctx (T.Ret (Some op));
+    (env, false)
+  | Expr_stmt e ->
+    (match e.desc with
+    | Call_expr (name, args) -> ignore (lower_call ctx env e.pos name args)
+    | Int_lit _ | Float_lit _ | Var _ | Index _ | Binary _ | Unary _ ->
+      ignore (lower_expr ctx env e));
+    (env, true)
+  | Label name ->
+    if List.mem_assoc name ctx.func.labels then err s.spos "duplicate label '%s'" name;
+    let b = new_block ctx in
+    terminate ctx (T.Jump b);
+    ctx.cur <- b;
+    B.add_label ctx.func name b;
+    (env, true)
+  | Predict { target; threshold } ->
+    let b = new_block ctx in
+    terminate ctx (T.Jump b);
+    ctx.cur <- b;
+    let hint_target =
+      match target with
+      | Tlabel l -> T.Label_target l
+      | Tfunc f -> T.Callee_target f
+    in
+    B.add_hint ctx.func { T.target = hint_target; region_start = b; threshold };
+    (env, true)
+
+(* ---- top level ---- *)
+
+let lower (ast : program) =
+  let p = B.create_program () in
+  let globals = Hashtbl.create 8 in
+  List.iter
+    (fun g ->
+      if Hashtbl.mem globals g.gname then
+        err { line = 0; col = 0 } "duplicate global '%s'" g.gname;
+      (match g.gsize with
+      | Some n when n <= 0 -> err { line = 0; col = 0 } "global '%s' has non-positive size" g.gname
+      | Some _ | None -> ());
+      let size = Option.value g.gsize ~default:1 in
+      let base = B.alloc_global ~float:(g.gty = Tfloat) p g.gname size in
+      Hashtbl.replace globals g.gname (base, g.gsize, g.gty))
+    ast.globals;
+  let sigs = Hashtbl.create 8 in
+  List.iter
+    (fun (f : func_decl) ->
+      if Hashtbl.mem sigs f.name then err f.fpos "duplicate function '%s'" f.name;
+      if List.mem_assoc f.name intrinsics then
+        err f.fpos "'%s' shadows a builtin intrinsic" f.name;
+      Hashtbl.replace sigs f.name (List.map snd f.params, f.ret))
+    ast.funcs;
+  (match List.filter (fun (f : func_decl) -> f.is_kernel) ast.funcs with
+  | [ _ ] -> ()
+  | [] -> err { line = 0; col = 0 } "no kernel declared"
+  | _ :: extra :: _ -> err extra.fpos "multiple kernels declared (exactly one expected)");
+  List.iter
+    (fun (fd : func_decl) ->
+      let f = B.create_func p fd.name ~params:(List.length fd.params) in
+      if fd.is_kernel then B.set_kernel p fd.name;
+      let env =
+        List.mapi
+          (fun i (name, ty) -> (name, { reg = i; vty = ty; is_mutable = true }))
+          fd.params
+        |> List.rev
+      in
+      let ctx =
+        {
+          program = p;
+          func = f;
+          sigs;
+          globals;
+          is_kernel = fd.is_kernel;
+          ret_ty = fd.ret;
+          cur = f.entry;
+          loops = [];
+        }
+      in
+      let ft = lower_stmts ctx env fd.body in
+      if ft then
+        if fd.is_kernel then terminate ctx T.Exit
+        else
+          (* Implicit return: a zero of the declared type. *)
+          terminate ctx
+            (T.Ret
+               (match fd.ret with
+               | None -> None
+               | Some Tint -> Some (T.Imm (T.I 0))
+               | Some Tfloat -> Some (T.Imm (T.F 0.0)))))
+    ast.funcs;
+  Ir.Verifier.check_program_exn p;
+  p
+
+let compile_source src = lower (Parser.parse_string src)

@@ -1,0 +1,24 @@
+(** Lowering from the MiniSIMT AST to the IR.
+
+    Performs name resolution, a simple int/float type check, structured
+    control-flow expansion (including short-circuit [&&]/[||], which
+    become real divergent branches), global allocation, and capture of
+    labels and [predict] directives as {!Ir.Types.predict_hint}s.
+
+    Semantics notes enforced here:
+    - [for x in a..b] evaluates [b] once, before the first iteration;
+    - [let] bindings are immutable, [var] and parameters are mutable;
+    - a kernel's [return] (valueless) means thread exit; device functions
+      falling off the end return a zero of their declared type;
+    - statements after a [break]/[continue]/[return] in the same block
+      are dead and silently dropped. *)
+
+exception Lower_error of Ast.pos * string
+
+(** [lower ast] produces a verified IR program. Exactly one kernel must
+    be declared. @raise Lower_error with a source position otherwise. *)
+val lower : Ast.program -> Ir.Types.program
+
+(** [compile_source src] — parse + lower in one step.
+    @raise Parser.Parse_error / Lexer.Lex_error / Lower_error. *)
+val compile_source : string -> Ir.Types.program

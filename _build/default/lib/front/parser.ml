@@ -1,0 +1,402 @@
+open Tokens
+
+exception Parse_error of Ast.pos * string
+
+type state = { toks : (token * Ast.pos) array; mutable cur : int }
+
+let peek st = fst st.toks.(st.cur)
+let peek_pos st = snd st.toks.(st.cur)
+let peek2 st = if st.cur + 1 < Array.length st.toks then fst st.toks.(st.cur + 1) else EOF
+
+let advance st =
+  let t = st.toks.(st.cur) in
+  if st.cur + 1 < Array.length st.toks then st.cur <- st.cur + 1;
+  t
+
+let error st msg = raise (Parse_error (peek_pos st, msg))
+
+let expect st tok what =
+  let got, pos = advance st in
+  if got <> tok then
+    raise (Parse_error (pos, Printf.sprintf "expected %s, found %s" what (describe got)))
+
+let expect_ident st what =
+  match advance st with
+  | IDENT s, _ -> s
+  | got, pos ->
+    raise (Parse_error (pos, Printf.sprintf "expected %s, found %s" what (describe got)))
+
+let expect_int st what =
+  match advance st with
+  | INT n, _ -> n
+  | got, pos ->
+    raise (Parse_error (pos, Printf.sprintf "expected %s, found %s" what (describe got)))
+
+let parse_ty st =
+  match advance st with
+  | TINT, _ -> Ast.Tint
+  | TFLOAT, _ -> Ast.Tfloat
+  | got, pos -> raise (Parse_error (pos, Printf.sprintf "expected a type, found %s" (describe got)))
+
+(* ---- expressions: precedence climbing ---- *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let rec loop left =
+    if peek st = OROR then begin
+      let pos = peek_pos st in
+      ignore (advance st);
+      let right = parse_and st in
+      loop { Ast.desc = Ast.Binary (Ast.Bor, left, right); pos }
+    end
+    else left
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop left =
+    if peek st = ANDAND then begin
+      let pos = peek_pos st in
+      ignore (advance st);
+      let right = parse_cmp st in
+      loop { Ast.desc = Ast.Binary (Ast.Band, left, right); pos }
+    end
+    else left
+  in
+  loop (parse_cmp st)
+
+and parse_cmp st =
+  let left = parse_add st in
+  let op =
+    match peek st with
+    | EQ -> Some Ast.Beq
+    | NE -> Some Ast.Bne
+    | LT -> Some Ast.Blt
+    | LE -> Some Ast.Ble
+    | GT -> Some Ast.Bgt
+    | GE -> Some Ast.Bge
+    | _ -> None
+  in
+  match op with
+  | None -> left
+  | Some op ->
+    let pos = peek_pos st in
+    ignore (advance st);
+    let right = parse_add st in
+    { Ast.desc = Ast.Binary (op, left, right); pos }
+
+and parse_add st =
+  let rec loop left =
+    match peek st with
+    | PLUS | MINUS ->
+      let pos = peek_pos st in
+      let tok, _ = advance st in
+      let right = parse_mul st in
+      let op = if tok = PLUS then Ast.Badd else Ast.Bsub in
+      loop { Ast.desc = Ast.Binary (op, left, right); pos }
+    | _ -> left
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop left =
+    match peek st with
+    | STAR | SLASH | PERCENT ->
+      let pos = peek_pos st in
+      let tok, _ = advance st in
+      let right = parse_unary st in
+      let op =
+        match tok with STAR -> Ast.Bmul | SLASH -> Ast.Bdiv | _ -> Ast.Brem
+      in
+      loop { Ast.desc = Ast.Binary (op, left, right); pos }
+    | _ -> left
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | MINUS ->
+    let pos = peek_pos st in
+    ignore (advance st);
+    { Ast.desc = Ast.Unary (Ast.Uneg, parse_unary st); pos }
+  | BANG ->
+    let pos = peek_pos st in
+    ignore (advance st);
+    { Ast.desc = Ast.Unary (Ast.Unot, parse_unary st); pos }
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let pos = peek_pos st in
+  match advance st with
+  | INT n, _ -> { Ast.desc = Ast.Int_lit n; pos }
+  | FLOAT x, _ -> { Ast.desc = Ast.Float_lit x; pos }
+  | LPAREN, _ ->
+    let e = parse_expr st in
+    expect st RPAREN "')'";
+    e
+  | TINT, _ ->
+    (* int(e): float-to-int conversion intrinsic *)
+    expect st LPAREN "'(' after 'int'";
+    let args = parse_args st in
+    { Ast.desc = Ast.Call_expr ("int", args); pos }
+  | TFLOAT, _ ->
+    expect st LPAREN "'(' after 'float'";
+    let args = parse_args st in
+    { Ast.desc = Ast.Call_expr ("float", args); pos }
+  | IDENT name, _ -> (
+    match peek st with
+    | LPAREN ->
+      ignore (advance st);
+      let args = parse_args st in
+      { Ast.desc = Ast.Call_expr (name, args); pos }
+    | LBRACKET ->
+      ignore (advance st);
+      let idx = parse_expr st in
+      expect st RBRACKET "']'";
+      { Ast.desc = Ast.Index (name, idx); pos }
+    | _ -> { Ast.desc = Ast.Var name; pos })
+  | got, pos ->
+    raise (Parse_error (pos, Printf.sprintf "expected an expression, found %s" (describe got)))
+
+and parse_args st =
+  if peek st = RPAREN then begin
+    ignore (advance st);
+    []
+  end
+  else begin
+    let rec loop acc =
+      let e = parse_expr st in
+      match peek st with
+      | COMMA ->
+        ignore (advance st);
+        loop (e :: acc)
+      | RPAREN ->
+        ignore (advance st);
+        List.rev (e :: acc)
+      | _ -> error st "expected ',' or ')' in argument list"
+    in
+    loop []
+  end
+
+(* ---- statements ---- *)
+
+let rec parse_block st =
+  expect st LBRACE "'{'";
+  let rec loop acc =
+    if peek st = RBRACE then begin
+      ignore (advance st);
+      List.rev acc
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_stmt st =
+  let spos = peek_pos st in
+  let mk sdesc = { Ast.sdesc; spos } in
+  match peek st with
+  | VAR | LET ->
+    let mutable_ = peek st = VAR in
+    ignore (advance st);
+    let name = expect_ident st "a variable name" in
+    let ty =
+      if peek st = COLON then begin
+        ignore (advance st);
+        Some (parse_ty st)
+      end
+      else None
+    in
+    expect st ASSIGN "'='";
+    let init = parse_expr st in
+    expect st SEMI "';'";
+    mk (Ast.Decl { name; ty; init; mutable_ })
+  | IF ->
+    ignore (advance st);
+    expect st LPAREN "'('";
+    let cond = parse_expr st in
+    expect st RPAREN "')'";
+    let then_ = parse_block st in
+    let else_ =
+      if peek st = ELSE then begin
+        ignore (advance st);
+        if peek st = IF then [ parse_stmt st ] else parse_block st
+      end
+      else []
+    in
+    mk (Ast.If (cond, then_, else_))
+  | WHILE ->
+    ignore (advance st);
+    expect st LPAREN "'('";
+    let cond = parse_expr st in
+    expect st RPAREN "')'";
+    let body = parse_block st in
+    mk (Ast.While (cond, body))
+  | FOR ->
+    ignore (advance st);
+    let var = expect_ident st "a loop variable" in
+    expect st IN "'in'";
+    let from_ = parse_expr st in
+    expect st DOTDOT "'..'";
+    let to_ = parse_expr st in
+    let body = parse_block st in
+    mk (Ast.For { var; from_; to_; body })
+  | BREAK ->
+    ignore (advance st);
+    expect st SEMI "';'";
+    mk Ast.Break
+  | CONTINUE ->
+    ignore (advance st);
+    expect st SEMI "';'";
+    mk Ast.Continue
+  | RETURN ->
+    ignore (advance st);
+    if peek st = SEMI then begin
+      ignore (advance st);
+      mk (Ast.Return None)
+    end
+    else begin
+      let e = parse_expr st in
+      expect st SEMI "';'";
+      mk (Ast.Return (Some e))
+    end
+  | PREDICT ->
+    ignore (advance st);
+    let target =
+      if peek st = FUNC then begin
+        ignore (advance st);
+        Ast.Tfunc (expect_ident st "a function name")
+      end
+      else Ast.Tlabel (expect_ident st "a label name")
+    in
+    let threshold =
+      if peek st = THRESHOLD then begin
+        ignore (advance st);
+        Some (expect_int st "a threshold value")
+      end
+      else None
+    in
+    expect st SEMI "';'";
+    mk (Ast.Predict { target; threshold })
+  | IDENT name when peek2 st = COLON ->
+    ignore (advance st);
+    ignore (advance st);
+    mk (Ast.Label name)
+  | IDENT name when peek2 st = ASSIGN ->
+    ignore (advance st);
+    ignore (advance st);
+    let e = parse_expr st in
+    expect st SEMI "';'";
+    mk (Ast.Assign (name, e))
+  | IDENT name when peek2 st = LBRACKET ->
+    (* Either an indexed store or an expression statement; decide by
+       looking past the bracketed index for '='. *)
+    let saved = st.cur in
+    ignore (advance st);
+    ignore (advance st);
+    let idx = parse_expr st in
+    expect st RBRACKET "']'";
+    if peek st = ASSIGN then begin
+      ignore (advance st);
+      let value = parse_expr st in
+      expect st SEMI "';'";
+      mk (Ast.Index_assign (name, idx, value))
+    end
+    else begin
+      st.cur <- saved;
+      let e = parse_expr st in
+      expect st SEMI "';'";
+      mk (Ast.Expr_stmt e)
+    end
+  | _ ->
+    let e = parse_expr st in
+    expect st SEMI "';'";
+    mk (Ast.Expr_stmt e)
+
+(* ---- top level ---- *)
+
+let parse_params st =
+  expect st LPAREN "'('";
+  if peek st = RPAREN then begin
+    ignore (advance st);
+    []
+  end
+  else begin
+    let rec loop acc =
+      let name = expect_ident st "a parameter name" in
+      expect st COLON "':'";
+      let ty = parse_ty st in
+      match peek st with
+      | COMMA ->
+        ignore (advance st);
+        loop ((name, ty) :: acc)
+      | RPAREN ->
+        ignore (advance st);
+        List.rev ((name, ty) :: acc)
+      | _ -> error st "expected ',' or ')' in parameter list"
+    in
+    loop []
+  end
+
+let parse_decl st =
+  let fpos = peek_pos st in
+  match advance st with
+  | GLOBAL, _ ->
+    let gname = expect_ident st "a global name" in
+    expect st COLON "':'";
+    let gty = parse_ty st in
+    let gsize =
+      if peek st = LBRACKET then begin
+        ignore (advance st);
+        let n = expect_int st "an array size" in
+        expect st RBRACKET "']'";
+        Some n
+      end
+      else None
+    in
+    expect st SEMI "';'";
+    `Global { Ast.gname; gty; gsize }
+  | KERNEL, _ ->
+    let name = expect_ident st "a kernel name" in
+    let params = parse_params st in
+    let body = parse_block st in
+    `Func { Ast.name; params; ret = None; body; is_kernel = true; fpos }
+  | FUNC, _ ->
+    let name = expect_ident st "a function name" in
+    let params = parse_params st in
+    let ret =
+      if peek st = ARROW then begin
+        ignore (advance st);
+        Some (parse_ty st)
+      end
+      else None
+    in
+    let body = parse_block st in
+    `Func { Ast.name; params; ret; body; is_kernel = false; fpos }
+  | got, pos ->
+    raise
+      (Parse_error
+         (pos, Printf.sprintf "expected 'global', 'kernel' or 'func', found %s" (describe got)))
+
+let tokenize src =
+  let lexbuf = Lexing.from_string src in
+  let rec loop acc =
+    let t = Lexer.token lexbuf in
+    let p = Lexing.lexeme_start_p lexbuf in
+    let pos = { Ast.line = p.Lexing.pos_lnum; col = p.Lexing.pos_cnum - p.Lexing.pos_bol + 1 } in
+    match t with
+    | EOF -> List.rev ((EOF, pos) :: acc)
+    | t -> loop ((t, pos) :: acc)
+  in
+  Array.of_list (loop [])
+
+let parse_string src =
+  let st = { toks = tokenize src; cur = 0 } in
+  let rec loop globals funcs =
+    if peek st = EOF then { Ast.globals = List.rev globals; funcs = List.rev funcs }
+    else
+      match parse_decl st with
+      | `Global g -> loop (g :: globals) funcs
+      | `Func f -> loop globals (f :: funcs)
+  in
+  loop [] []

@@ -1,0 +1,8 @@
+(** Recursive-descent parser for MiniSIMT source text. *)
+
+exception Parse_error of Ast.pos * string
+
+(** [parse_string src] parses a full program.
+    @raise Parse_error (or {!Lexer.Lex_error}) with a source position on
+    malformed input. *)
+val parse_string : string -> Ast.program

@@ -1,0 +1,160 @@
+open Ast
+
+(* Every literal this prints must re-lex to the same token. Floats always
+   carry a decimal point or exponent so they cannot collapse into
+   integers. *)
+let float_literal x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else
+    let s = Printf.sprintf "%.17g" x in
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'E' then s
+    else s ^ ".0"
+
+let binop_symbol = function
+  | Badd -> "+"
+  | Bsub -> "-"
+  | Bmul -> "*"
+  | Bdiv -> "/"
+  | Brem -> "%"
+  | Beq -> "=="
+  | Bne -> "!="
+  | Blt -> "<"
+  | Ble -> "<="
+  | Bgt -> ">"
+  | Bge -> ">="
+  | Band -> "&&"
+  | Bor -> "||"
+
+(* Nested expressions are fully parenthesised: unambiguous under any
+   precedence, which is what makes the parse/print round trip exact. *)
+let rec pp_expr ppf (e : expr) =
+  match e.desc with
+  | Int_lit n -> Format.pp_print_int ppf n
+  | Float_lit x -> Format.pp_print_string ppf (float_literal x)
+  | Var name -> Format.pp_print_string ppf name
+  | Index (name, idx) -> Format.fprintf ppf "%s[%a]" name pp_expr idx
+  | Binary (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+  | Unary (Uneg, a) -> Format.fprintf ppf "(-%a)" pp_expr a
+  | Unary (Unot, a) -> Format.fprintf ppf "(!%a)" pp_expr a
+  | Call_expr (name, args) ->
+    Format.fprintf ppf "%s(%a)" name
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_expr)
+      args
+
+let rec pp_stmt_indented indent ppf (s : stmt) =
+  let pad = String.make indent ' ' in
+  let block body = pp_block_indented (indent + 2) ppf body in
+  match s.sdesc with
+  | Decl { name; ty; init; mutable_ } ->
+    let kw = if mutable_ then "var" else "let" in
+    (match ty with
+    | Some t -> Format.fprintf ppf "%s%s %s: %s = %a;" pad kw name (ty_name t) pp_expr init
+    | None -> Format.fprintf ppf "%s%s %s = %a;" pad kw name pp_expr init)
+  | Assign (name, e) -> Format.fprintf ppf "%s%s = %a;" pad name pp_expr e
+  | Index_assign (name, idx, e) ->
+    Format.fprintf ppf "%s%s[%a] = %a;" pad name pp_expr idx pp_expr e
+  | If (cond, then_, else_) ->
+    Format.fprintf ppf "%sif (%a) {@." pad pp_expr cond;
+    block then_;
+    if else_ = [] then Format.fprintf ppf "%s}" pad
+    else begin
+      Format.fprintf ppf "%s} else {@." pad;
+      block else_;
+      Format.fprintf ppf "%s}" pad
+    end
+  | While (cond, body) ->
+    Format.fprintf ppf "%swhile (%a) {@." pad pp_expr cond;
+    block body;
+    Format.fprintf ppf "%s}" pad
+  | For { var; from_; to_; body } ->
+    Format.fprintf ppf "%sfor %s in %a .. %a {@." pad var pp_expr from_ pp_expr to_;
+    block body;
+    Format.fprintf ppf "%s}" pad
+  | Break -> Format.fprintf ppf "%sbreak;" pad
+  | Continue -> Format.fprintf ppf "%scontinue;" pad
+  | Return None -> Format.fprintf ppf "%sreturn;" pad
+  | Return (Some e) -> Format.fprintf ppf "%sreturn %a;" pad pp_expr e
+  | Expr_stmt e -> Format.fprintf ppf "%s%a;" pad pp_expr e
+  | Label name -> Format.fprintf ppf "%s%s:" pad name
+  | Predict { target; threshold } ->
+    let t = match target with Tlabel l -> l | Tfunc f -> "func " ^ f in
+    (match threshold with
+    | None -> Format.fprintf ppf "%spredict %s;" pad t
+    | Some k -> Format.fprintf ppf "%spredict %s threshold %d;" pad t k)
+
+and pp_block_indented indent ppf body =
+  List.iter (fun s -> Format.fprintf ppf "%a@." (pp_stmt_indented indent) s) body
+
+let pp_stmt ppf s = pp_stmt_indented 0 ppf s
+
+let pp_func ppf (f : func_decl) =
+  let kw = if f.is_kernel then "kernel" else "func" in
+  let params =
+    String.concat ", " (List.map (fun (n, t) -> Printf.sprintf "%s: %s" n (ty_name t)) f.params)
+  in
+  let ret = match f.ret with None -> "" | Some t -> " -> " ^ ty_name t in
+  Format.fprintf ppf "%s %s(%s)%s {@." kw f.name params ret;
+  pp_block_indented 2 ppf f.body;
+  Format.fprintf ppf "}@."
+
+let pp_program ppf (p : program) =
+  List.iter
+    (fun g ->
+      match g.gsize with
+      | Some n -> Format.fprintf ppf "global %s: %s[%d];@." g.gname (ty_name g.gty) n
+      | None -> Format.fprintf ppf "global %s: %s;@." g.gname (ty_name g.gty))
+    p.globals;
+  List.iter (fun f -> Format.fprintf ppf "@.%a" pp_func f) p.funcs
+
+let to_string p = Format.asprintf "%a" pp_program p
+
+(* ---- structural equality, positions ignored ---- *)
+
+let rec equal_expr (a : expr) (b : expr) =
+  match (a.desc, b.desc) with
+  | Int_lit x, Int_lit y -> x = y
+  | Float_lit x, Float_lit y -> x = y
+  | Var x, Var y -> String.equal x y
+  | Index (n1, i1), Index (n2, i2) -> String.equal n1 n2 && equal_expr i1 i2
+  | Binary (o1, a1, b1), Binary (o2, a2, b2) -> o1 = o2 && equal_expr a1 a2 && equal_expr b1 b2
+  | Unary (o1, a1), Unary (o2, a2) -> o1 = o2 && equal_expr a1 a2
+  | Call_expr (n1, args1), Call_expr (n2, args2) ->
+    String.equal n1 n2
+    && List.length args1 = List.length args2
+    && List.for_all2 equal_expr args1 args2
+  | ( (Int_lit _ | Float_lit _ | Var _ | Index _ | Binary _ | Unary _ | Call_expr _), _ ) ->
+    false
+
+let rec equal_stmt (a : stmt) (b : stmt) =
+  match (a.sdesc, b.sdesc) with
+  | Decl d1, Decl d2 ->
+    String.equal d1.name d2.name && d1.ty = d2.ty && d1.mutable_ = d2.mutable_
+    && equal_expr d1.init d2.init
+  | Assign (n1, e1), Assign (n2, e2) -> String.equal n1 n2 && equal_expr e1 e2
+  | Index_assign (n1, i1, e1), Index_assign (n2, i2, e2) ->
+    String.equal n1 n2 && equal_expr i1 i2 && equal_expr e1 e2
+  | If (c1, t1, e1), If (c2, t2, e2) ->
+    equal_expr c1 c2 && equal_block t1 t2 && equal_block e1 e2
+  | While (c1, b1), While (c2, b2) -> equal_expr c1 c2 && equal_block b1 b2
+  | For f1, For f2 ->
+    String.equal f1.var f2.var && equal_expr f1.from_ f2.from_ && equal_expr f1.to_ f2.to_
+    && equal_block f1.body f2.body
+  | Break, Break | Continue, Continue | Return None, Return None -> true
+  | Return (Some e1), Return (Some e2) -> equal_expr e1 e2
+  | Expr_stmt e1, Expr_stmt e2 -> equal_expr e1 e2
+  | Label l1, Label l2 -> String.equal l1 l2
+  | Predict p1, Predict p2 -> p1.target = p2.target && p1.threshold = p2.threshold
+  | ( ( Decl _ | Assign _ | Index_assign _ | If _ | While _ | For _ | Break | Continue
+      | Return _ | Expr_stmt _ | Label _ | Predict _ ),
+      _ ) -> false
+
+and equal_block a b = List.length a = List.length b && List.for_all2 equal_stmt a b
+
+let equal_func (a : func_decl) (b : func_decl) =
+  String.equal a.name b.name && a.params = b.params && a.ret = b.ret
+  && a.is_kernel = b.is_kernel && equal_block a.body b.body
+
+let equal_program (a : program) (b : program) =
+  a.globals = b.globals
+  && List.length a.funcs = List.length b.funcs
+  && List.for_all2 equal_func a.funcs b.funcs

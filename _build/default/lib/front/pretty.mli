@@ -1,0 +1,14 @@
+(** Pretty-printing of MiniSIMT ASTs back to concrete syntax.
+
+    [Parser.parse_string (to_string ast)] yields an AST structurally
+    equal to [ast] (positions aside) — the round-trip property the test
+    suite checks. Useful for inspecting what {!Coarsen} did to a kernel
+    and for generating source-to-source output. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val to_string : Ast.program -> string
+
+(** Structural equality, ignoring source positions. *)
+val equal_program : Ast.program -> Ast.program -> bool

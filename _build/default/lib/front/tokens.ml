@@ -1,0 +1,101 @@
+(* Lexical tokens of MiniSIMT. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  (* keywords *)
+  | KERNEL
+  | FUNC
+  | GLOBAL
+  | VAR
+  | LET
+  | IF
+  | ELSE
+  | WHILE
+  | FOR
+  | IN
+  | BREAK
+  | CONTINUE
+  | RETURN
+  | PREDICT
+  | THRESHOLD
+  | TINT
+  | TFLOAT
+  (* punctuation and operators *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | ARROW
+  | DOTDOT
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+let describe = function
+  | INT n -> Printf.sprintf "integer %d" n
+  | FLOAT x -> Printf.sprintf "float %g" x
+  | IDENT s -> Printf.sprintf "identifier '%s'" s
+  | KERNEL -> "'kernel'"
+  | FUNC -> "'func'"
+  | GLOBAL -> "'global'"
+  | VAR -> "'var'"
+  | LET -> "'let'"
+  | IF -> "'if'"
+  | ELSE -> "'else'"
+  | WHILE -> "'while'"
+  | FOR -> "'for'"
+  | IN -> "'in'"
+  | BREAK -> "'break'"
+  | CONTINUE -> "'continue'"
+  | RETURN -> "'return'"
+  | PREDICT -> "'predict'"
+  | THRESHOLD -> "'threshold'"
+  | TINT -> "'int'"
+  | TFLOAT -> "'float'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | COLON -> "':'"
+  | ARROW -> "'->'"
+  | DOTDOT -> "'..'"
+  | ASSIGN -> "'='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | EQ -> "'=='"
+  | NE -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | BANG -> "'!'"
+  | EOF -> "end of input"

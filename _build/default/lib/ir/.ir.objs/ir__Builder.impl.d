@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Fun Hashtbl List Printf Types

@@ -1,0 +1,1 @@
+lib/ir/linear.ml: Array Format Hashtbl List Printer String Types Verifier

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Format Hashtbl List Printf String Types

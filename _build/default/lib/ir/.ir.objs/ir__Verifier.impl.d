@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Format Hashtbl List Option Printf String Types

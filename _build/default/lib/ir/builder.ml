@@ -1,0 +1,89 @@
+open Types
+
+let create_program () =
+  {
+    funcs = Hashtbl.create 8;
+    kernel = "";
+    next_barrier = 0;
+    globals = Hashtbl.create 8;
+    mem_size = 0;
+    float_regions = [];
+  }
+
+let create_func program name ~params =
+  if Hashtbl.mem program.funcs name then
+    invalid_arg (Printf.sprintf "Builder.create_func: duplicate function %s" name);
+  if params < 0 then invalid_arg "Builder.create_func: negative parameter count";
+  let entry_block = { id = 0; insts = []; term = Exit } in
+  let blocks = Hashtbl.create 16 in
+  Hashtbl.replace blocks 0 entry_block;
+  let f =
+    {
+      fname = name;
+      params = List.init params Fun.id;
+      blocks;
+      entry = 0;
+      next_reg = params;
+      next_block = 1;
+      hints = [];
+      labels = [];
+    }
+  in
+  Hashtbl.replace program.funcs name f;
+  f
+
+let set_kernel program name =
+  if not (Hashtbl.mem program.funcs name) then
+    invalid_arg (Printf.sprintf "Builder.set_kernel: unknown function %s" name);
+  program.kernel <- name
+
+let alloc_global ?(float = false) program name size =
+  if size <= 0 then invalid_arg "Builder.alloc_global: size must be positive";
+  if Hashtbl.mem program.globals name then
+    invalid_arg (Printf.sprintf "Builder.alloc_global: duplicate global %s" name);
+  let base = program.mem_size in
+  Hashtbl.replace program.globals name (base, size);
+  program.mem_size <- base + size;
+  if float then program.float_regions <- (base, size) :: program.float_regions;
+  base
+
+let global_base program name =
+  match Hashtbl.find_opt program.globals name with
+  | Some (base, _) -> base
+  | None -> invalid_arg (Printf.sprintf "Builder.global_base: unknown global %s" name)
+
+let fresh_reg f =
+  let r = f.next_reg in
+  f.next_reg <- r + 1;
+  r
+
+let fresh_barrier program =
+  let b = program.next_barrier in
+  program.next_barrier <- b + 1;
+  b
+
+let add_block f =
+  let id = f.next_block in
+  f.next_block <- id + 1;
+  Hashtbl.replace f.blocks id { id; insts = []; term = Exit };
+  id
+
+let append f bid inst =
+  let b = block f bid in
+  b.insts <- b.insts @ [ inst ]
+
+let prepend f bid inst =
+  let b = block f bid in
+  b.insts <- inst :: b.insts
+
+let set_term f bid term =
+  let b = block f bid in
+  b.term <- term
+
+let add_label f name bid =
+  if List.mem_assoc name f.labels then
+    invalid_arg (Printf.sprintf "Builder.add_label: duplicate label %s in %s" name f.fname);
+  f.labels <- (name, bid) :: f.labels
+
+let add_hint f hint = f.hints <- f.hints @ [ hint ]
+let label_block f name = List.assoc_opt name f.labels

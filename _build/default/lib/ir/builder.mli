@@ -1,0 +1,60 @@
+(** Imperative construction API for IR programs.
+
+    Workload kernels and tests build IR either through the MiniSIMT front
+    end or directly through this module. All mutation goes through here so
+    invariants (dense ids, existing targets) hold by construction; the
+    {!Verifier} re-checks them after passes run. *)
+
+open Types
+
+(** [create_program ()] makes an empty program with no kernel set. *)
+val create_program : unit -> program
+
+(** [create_func program name ~params:n] registers a new function with [n]
+    parameters (bound to registers [0 .. n-1]) and a fresh empty entry
+    block.
+    @raise Invalid_argument if a function with this name already exists. *)
+val create_func : program -> string -> params:int -> func
+
+(** [set_kernel program name] designates the kernel entry function.
+    @raise Invalid_argument if [name] is not a registered function. *)
+val set_kernel : program -> string -> unit
+
+(** [alloc_global ?float program name size] reserves [size] consecutive
+    memory cells and returns the base address. [~float:true] marks the
+    region float-typed: its cells are initialised to [F 0.0] at launch
+    instead of [I 0].
+    @raise Invalid_argument on duplicate names or non-positive sizes. *)
+val alloc_global : ?float:bool -> program -> string -> int -> int
+
+(** [global_base program name] looks up a global's base address. *)
+val global_base : program -> string -> int
+
+(** [fresh_reg func] allocates a new virtual register. *)
+val fresh_reg : func -> reg
+
+(** [fresh_barrier program] allocates a new barrier id. *)
+val fresh_barrier : program -> barrier
+
+(** [add_block func] creates a new empty block (terminator [Exit]) and
+    returns its id. *)
+val add_block : func -> block_id
+
+(** [append func bid inst] appends an instruction to a block. *)
+val append : func -> block_id -> inst -> unit
+
+(** [prepend func bid inst] inserts an instruction at the block start. *)
+val prepend : func -> block_id -> inst -> unit
+
+(** [set_term func bid term] sets a block's terminator. *)
+val set_term : func -> block_id -> terminator -> unit
+
+(** [add_label func name bid] records a reconvergence label at [bid].
+    @raise Invalid_argument on duplicate label names. *)
+val add_label : func -> string -> block_id -> unit
+
+(** [add_hint func hint] records a Predict hint. *)
+val add_hint : func -> predict_hint -> unit
+
+(** [label_block func name] resolves a label to its block. *)
+val label_block : func -> string -> block_id option

@@ -1,0 +1,47 @@
+(** Flattening of CFG functions into a linear instruction stream.
+
+    The simulator executes this "SASS-like" form: one flat code array for
+    the whole program, per-function entry points, branch targets resolved
+    to absolute program counters. Blocks are laid out in reverse post
+    order, so a lower PC within a function corresponds to an earlier
+    position in the natural code layout — which the scheduler's
+    lowest-PC-first policy relies on. *)
+
+open Types
+
+type linst =
+  | Op of inst
+      (** any straight-line instruction; [Call] never appears here *)
+  | Lcall of { entry : int; n_regs : int; args : operand list; ret : reg option; callee : string }
+  | Lbr of { cond : operand; target : int }  (** jump to [target] if [cond] <> 0 *)
+  | Ljump of int
+  | Lret of operand option
+  | Lexit
+
+type finfo = { fname : string; entry_pc : int; arity : int; n_regs : int }
+
+type location = { in_func : string; in_block : block_id }
+
+type t = {
+  code : linst array;
+  locs : location array;  (** source block of each pc, for profiles *)
+  funcs : finfo list;
+  kernel : finfo;
+  n_barriers : int;
+  mem_size : int;
+  float_regions : (int * int) list;  (** float-typed globals: launch as [F 0.0] *)
+}
+
+(** [linearize program] flattens a verified program.
+    @raise Failure if the program fails {!Verifier.check_program}. *)
+val linearize : program -> t
+
+(** [block_entry_pc t ~func ~block] is the pc of the first instruction laid
+    out for the given block, used by tests and profile mapping.
+    @raise Not_found if the block emitted no code or does not exist. *)
+val block_entry_pc : t -> func:string -> block:block_id -> int
+
+val pp_linst : Format.formatter -> linst -> unit
+
+(** Disassembly listing with pcs, function boundaries and block notes. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+(** Textual rendering of the IR, for dumps, diagnostics, and golden tests. *)
+
+open Types
+
+val pp_value : Format.formatter -> value -> unit
+val pp_operand : Format.formatter -> operand -> unit
+val binop_name : binop -> string
+val unop_name : unop -> string
+val pp_inst : Format.formatter -> inst -> unit
+val pp_term : Format.formatter -> terminator -> unit
+
+(** Renders a function with blocks in id order, annotating labels and
+    Predict hints. *)
+val pp_func : Format.formatter -> func -> unit
+
+(** Renders the whole program: globals, then functions (kernel first). *)
+val pp_program : Format.formatter -> program -> unit
+
+val func_to_string : func -> string
+val program_to_string : program -> string

@@ -1,0 +1,30 @@
+(** Structural well-formedness checks for IR programs.
+
+    Run after lowering and after each pass in debug pipelines. Checks are
+    purely structural; semantic properties (e.g. barrier deconfliction) are
+    the synchronization passes' responsibility and are validated by the
+    simulator's deadlock detector and the test suite. *)
+
+open Types
+
+type error = {
+  where : string; (* function name, or "program" *)
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [check_program p] returns all structural errors found:
+    - missing or unknown kernel entry;
+    - branch targets that do not exist;
+    - registers outside the function's allocated range;
+    - calls to unknown functions or with wrong arity;
+    - barrier ids outside the program's allocated range;
+    - [Ret] in the kernel or [Exit] in a device function;
+    - hints whose labels or region blocks do not exist;
+    - unreachable blocks (reported, as passes should not create them). *)
+val check_program : program -> error list
+
+(** [check_program_exn p] raises [Failure] with a rendered report if any
+    error is found. *)
+val check_program_exn : program -> unit

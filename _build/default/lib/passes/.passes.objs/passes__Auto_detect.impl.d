@@ -1,0 +1,1 @@
+lib/passes/auto_detect.ml: Analysis Format Hashtbl Ir List Option Printf

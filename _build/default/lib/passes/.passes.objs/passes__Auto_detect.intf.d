@@ -1,0 +1,1 @@
+lib/passes/auto_detect.mli: Analysis Format Ir

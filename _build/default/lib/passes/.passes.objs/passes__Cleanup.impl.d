@@ -1,0 +1,1 @@
+lib/passes/cleanup.ml: Analysis Hashtbl Ir List

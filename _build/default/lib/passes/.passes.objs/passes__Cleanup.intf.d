@@ -1,0 +1,1 @@
+lib/passes/cleanup.mli: Ir

@@ -1,0 +1,1 @@
+lib/passes/deconflict.ml: Analysis Edit Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/passes/deconflict.mli: Ir

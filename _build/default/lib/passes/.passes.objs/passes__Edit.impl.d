@@ -1,0 +1,1 @@
+lib/passes/edit.ml: Ir List Printf

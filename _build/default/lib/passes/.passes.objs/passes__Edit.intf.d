@@ -1,0 +1,1 @@
+lib/passes/edit.mli: Ir

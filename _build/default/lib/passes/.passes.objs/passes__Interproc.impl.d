@@ -1,0 +1,1 @@
+lib/passes/interproc.ml: Analysis Bool Edit Format Hashtbl Ir List Printf String

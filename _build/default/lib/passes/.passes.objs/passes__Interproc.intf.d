@@ -1,0 +1,1 @@
+lib/passes/interproc.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/passes/pdom_sync.ml: Analysis Edit Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/passes/pdom_sync.mli: Analysis Ir

@@ -1,0 +1,1 @@
+lib/passes/specrecon.ml: Analysis Edit Format Hashtbl Ir List Printf String

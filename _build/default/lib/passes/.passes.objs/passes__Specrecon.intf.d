@@ -1,0 +1,1 @@
+lib/passes/specrecon.mli: Format Ir

@@ -1,0 +1,56 @@
+(** Automatic detection of Speculative Reconvergence opportunities (§4.5).
+
+    Pattern matchers over the CFG find the two shapes of §3 —
+
+    - {e Iteration Delay}: a divergent branch inside a loop whose taken
+      region is expensive relative to the rest of the loop body;
+    - {e Loop Merge}: an inner loop with a divergent trip count nested in
+      an outer loop, with an expensive body relative to the outer loop's
+      prolog/epilog;
+
+    — and score them with the §4.5 cost heuristics: weighted instruction
+    cost of the common region versus the newly-serialized prolog/epilog
+    (static trip-count guesses, overridable by a dynamic {!Analysis.Profile}),
+    plus a penalty for memory accesses that the transformation would make
+    divergent. Candidates above the acceptance ratio can then be installed
+    as ordinary Predict hints and compiled by {!Specrecon} — automatic and
+    programmer-annotated variants share the entire backend, which is why
+    the paper finds them performing identically (§5.4). *)
+
+type kind = Iteration_delay | Loop_merge
+
+type params = {
+  min_gain_ratio : float; (* accept when common/serial exceeds this *)
+  weights : Analysis.Costmodel.weights;
+  memory_penalty : float; (* extra serial cost per uniform access made divergent *)
+}
+
+val default_params : params
+
+type candidate = {
+  in_func : string;
+  kind : kind;
+  target_block : int; (* predicted reconvergence point *)
+  region_start : int; (* where the Predict would go *)
+  scope : Analysis.Sets.Int_set.t; (* blocks the prediction region spans *)
+  score : float;
+  common_cost : float;
+  serial_cost : float;
+}
+
+val pp_candidate : Format.formatter -> candidate -> unit
+
+(** [detect ?profile params program] — all candidates with
+    [score >= min_gain_ratio], best first. Functions that already carry
+    user hints are skipped (user hints have priority, §4.1). *)
+val detect :
+  ?profile:Analysis.Profile.t -> params -> Ir.Types.program -> candidate list
+
+(** [install program candidates] — registers each candidate as a label +
+    Predict hint (labels are named ["auto_<n>"]); {!Specrecon.run} then
+    compiles them like user hints. Candidates are taken best-first;
+    any whose scope overlaps an already-installed one is dropped —
+    overlapping predictions are the "conflicting locations" case §4.5
+    flags as needing deconfliction or soft barriers, and installing both
+    would make the two user barriers deadlock against each other. *)
+val install : Ir.Types.program -> candidate list -> unit

@@ -1,0 +1,23 @@
+(** Cleanup optimizations: dead code elimination and dead-barrier
+    removal.
+
+    Neither is part of the paper's contribution, but a real backend runs
+    them, and the synchronization passes can leave dead residue behind —
+    most visibly static deconfliction, which deletes a barrier's waits
+    and leaves its joins semantically inert.
+
+    {b DCE} removes instructions whose results are never used and whose
+    execution has no observable effect. [Rand]/[Randint] are NOT dead
+    even when unused: they advance the per-thread PRNG stream and so
+    change every later draw. Loads are removable (no side effects in
+    this memory model); stores, calls and barrier operations are not.
+
+    {b Dead-barrier removal} deletes all operations of a barrier that has
+    no [Wait] anywhere in the function (joins/rejoins/cancels of such a
+    barrier cannot affect execution), and any [Wait] of a barrier that is
+    never joined (threads pass it without blocking). *)
+
+type report = { dce_removed : int; dead_barrier_ops_removed : int }
+
+(** [run program] — cleans every function; iterates DCE to a fixpoint. *)
+val run : Ir.Types.program -> report

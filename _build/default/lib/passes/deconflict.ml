@@ -1,0 +1,58 @@
+module T = Ir.Types
+module BA = Analysis.Barrier_analysis
+
+type strategy = Static | Dynamic
+
+type resolution = { in_func : string; kept : T.barrier; demoted : T.barrier; strategy : strategy }
+
+type report = {
+  resolutions : resolution list;
+  unresolved : (string * T.barrier * T.barrier) list;
+}
+
+(* Insert [Cancel demoted] immediately before every wait on [kept]. *)
+let dynamic_cancel (f : T.func) ~kept ~demoted =
+  T.iter_blocks f (fun b ->
+      let rec rebuild acc = function
+        | [] -> List.rev acc
+        | ((T.Wait x | T.Wait_threshold (x, _)) as w) :: rest when x = kept ->
+          rebuild (w :: T.Cancel demoted :: acc) rest
+        | i :: rest -> rebuild (i :: acc) rest
+      in
+      b.insts <- rebuild [] b.insts)
+
+let run (p : T.program) ~strategy ~priority =
+  let resolutions = ref [] in
+  let unresolved = ref [] in
+  let names = List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) p.funcs []) in
+  List.iter
+    (fun name ->
+      let f = Hashtbl.find p.funcs name in
+      (* Resolve one conflict, re-analyse, repeat: each resolution changes
+         live ranges, which can dissolve (or expose) other conflicts. *)
+      (* Dynamic resolutions do not change live ranges (Cancel is not a
+         liveness event), so already-handled pairs must be skipped when
+         re-analysing. *)
+      let handled = Hashtbl.create 8 in
+      let continue_ = ref true in
+      while !continue_ do
+        let ba = BA.run f in
+        let conflicts =
+          List.filter (fun pair -> not (Hashtbl.mem handled pair)) (BA.conflicts ba)
+        in
+        match conflicts with
+        | [] -> continue_ := false
+        | ((x, y) as pair) :: _ ->
+          Hashtbl.replace handled pair ();
+          let px = priority name x and py = priority name y in
+          if px = py then unresolved := (name, x, y) :: !unresolved
+          else begin
+            let kept, demoted = if px > py then (x, y) else (y, x) in
+            (match strategy with
+            | Static -> ignore (Edit.remove_barrier_ops f demoted)
+            | Dynamic -> dynamic_cancel f ~kept ~demoted);
+            resolutions := { in_func = name; kept; demoted; strategy } :: !resolutions
+          end
+      done)
+    names;
+  { resolutions = List.rev !resolutions; unresolved = List.rev !unresolved }

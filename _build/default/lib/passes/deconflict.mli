@@ -1,0 +1,40 @@
+(** Barrier deconfliction (§4.3).
+
+    Two barriers conflict when their live ranges overlap non-inclusively;
+    threads could then wait for each other at two different places — in
+    this simulator that is a hard deadlock, on hardware "unpredictable
+    behavior". Conflicts arise between the barriers Speculative
+    Reconvergence inserts and the compiler's PDOM barriers.
+
+    Resolution keeps the higher-priority barrier (user hints beat region
+    barriers beat compiler PDOM barriers, per §4.1's "user-specified
+    convergence hints should receive priority"):
+
+    - {e Static}: delete every operation of the losing barrier. Cheapest,
+      but if the predicted convergence point is rarely entered the
+      original PDOM synchronization is lost for nothing.
+    - {e Dynamic}: keep everything; threads reaching a wait of the winning
+      barrier first execute [CancelBarrier] on the losing one
+      (Figure 5(c)), removing the conflict only when the predicted point
+      is actually reached at run time. *)
+
+type strategy = Static | Dynamic
+
+type resolution = {
+  in_func : string;
+  kept : Ir.Types.barrier;
+  demoted : Ir.Types.barrier;
+  strategy : strategy;
+}
+
+type report = {
+  resolutions : resolution list;
+  unresolved : (string * Ir.Types.barrier * Ir.Types.barrier) list;
+      (** same-priority conflicts the pass refuses to arbitrate *)
+}
+
+(** [run program ~strategy ~priority] detects and resolves conflicts.
+    [priority func barrier] ranks barriers (higher wins). Same-rank
+    conflicts are reported unresolved and left untouched. *)
+val run :
+  Ir.Types.program -> strategy:strategy -> priority:(string -> Ir.Types.barrier -> int) -> report

@@ -1,0 +1,50 @@
+(* Small block-editing helpers shared by the synchronization passes. *)
+
+module T = Ir.Types
+
+(* [insert_at f bid idx inst] inserts [inst] before position [idx] of the
+   block's instruction list ([idx] may equal the length to append). *)
+let insert_at (f : T.func) bid idx inst =
+  let b = T.block f bid in
+  let n = List.length b.insts in
+  if idx < 0 || idx > n then
+    invalid_arg (Printf.sprintf "Edit.insert_at: index %d out of [0, %d]" idx n);
+  let before = List.filteri (fun i _ -> i < idx) b.insts in
+  let after = List.filteri (fun i _ -> i >= idx) b.insts in
+  b.insts <- before @ (inst :: after)
+
+(* [insert_after_leading f bid ~skip inst] inserts [inst] after the longest
+   prefix of instructions satisfying [skip]. *)
+let insert_after_leading (f : T.func) bid ~skip inst =
+  let b = T.block f bid in
+  let rec prefix_len i = function
+    | x :: rest when skip x -> prefix_len (i + 1) rest
+    | _ -> i
+  in
+  insert_at f bid (prefix_len 0 b.insts) inst
+
+(* [remove_barrier_ops f barrier] deletes every instruction referencing
+   [barrier] in [f]; returns how many were removed. *)
+let remove_barrier_ops (f : T.func) barrier =
+  let removed = ref 0 in
+  T.iter_blocks f (fun b ->
+      let keep inst =
+        match T.barrier_of inst with
+        | Some x when x = barrier ->
+          incr removed;
+          false
+        | Some _ | None -> true
+      in
+      b.insts <- List.filter keep b.insts);
+  !removed
+
+(* [index_of_wait f bid barrier] finds the position of the first
+   [Wait]/[Wait_threshold] on [barrier] in the block. *)
+let index_of_wait (f : T.func) bid barrier =
+  let b = T.block f bid in
+  let rec find i = function
+    | [] -> None
+    | (T.Wait x | T.Wait_threshold (x, _)) :: _ when x = barrier -> Some i
+    | _ :: rest -> find (i + 1) rest
+  in
+  find 0 b.insts

@@ -1,0 +1,19 @@
+(** Block-editing helpers shared by the synchronization passes. *)
+
+(** [insert_at f bid idx inst] inserts [inst] before position [idx] of
+    the block's instruction list ([idx] may equal the length, appending).
+    @raise Invalid_argument when [idx] is out of range. *)
+val insert_at : Ir.Types.func -> int -> int -> Ir.Types.inst -> unit
+
+(** [insert_after_leading f bid ~skip inst] inserts [inst] after the
+    longest prefix of instructions satisfying [skip]. *)
+val insert_after_leading :
+  Ir.Types.func -> int -> skip:(Ir.Types.inst -> bool) -> Ir.Types.inst -> unit
+
+(** [remove_barrier_ops f barrier] deletes every instruction referencing
+    [barrier]; returns how many were removed. *)
+val remove_barrier_ops : Ir.Types.func -> Ir.Types.barrier -> int
+
+(** [index_of_wait f bid barrier] — position of the first wait
+    (hard or threshold) on [barrier] in the block, if any. *)
+val index_of_wait : Ir.Types.func -> int -> Ir.Types.barrier -> int option

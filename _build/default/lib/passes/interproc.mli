@@ -1,0 +1,37 @@
+(** Interprocedural Speculative Reconvergence (§4.4).
+
+    Handles Predict hints that name a function: all threads of the region
+    should reconverge at the callee's entry before executing its body,
+    even though the calls are issued from different blocks (e.g. both
+    sides of a divergent branch, Figure 2(c)).
+
+    Mechanism: a barrier is joined at the hint's region start in the
+    caller and waited at the callee's entry block. Caller-side dataflow
+    treats each call to the target as the wait event — barrier
+    information propagated from the callee up to the call sites —
+    so the usual Rejoin (call sites revisited around a loop) and Cancel
+    (paths that escape without calling) placements carry over. No region
+    barrier is needed: reconvergence inside the callee does not disturb
+    convergence outside it (§4.4).
+
+    Restrictions: the target must not be recursive and must be a direct
+    callee of the hinting function. External/indirect calls require the
+    wrapper-function idiom described in the paper (write a local wrapper
+    and predict that). *)
+
+type applied = {
+  in_func : string; (* the caller holding the hint *)
+  callee : string;
+  barrier : Ir.Types.barrier;
+  region_start : int;
+  call_blocks : int list;
+  rejoin_sites : int list; (* blocks where a rejoin was placed after a call *)
+  cancel_blocks : int list;
+}
+
+val pp_applied : Format.formatter -> applied -> unit
+
+(** [run program] applies every function-targeted hint.
+    @raise Failure on recursive targets or hints naming a function the
+    hinting function never calls. *)
+val run : Ir.Types.program -> applied list

@@ -1,0 +1,16 @@
+(** Baseline post-dominator reconvergence insertion.
+
+    This pass reproduces what production GPU compilers do today (§2, §3):
+    for every divergent conditional branch, threads join a convergence
+    barrier at the branch and wait at the branch's immediate
+    post-dominator, so the warp reconverges at the earliest point where
+    all threads are guaranteed to arrive. Speculative reconvergence is
+    measured against exactly this behaviour.
+
+    Branches whose immediate post-dominator is the function exit get no
+    barrier: threads terminate (or return) and withdraw implicitly. *)
+
+(** [run program divergence] inserts the barriers and returns the list of
+    [(function, branch block, barrier)] insertions, which deconfliction
+    later uses to tell compiler barriers apart from user barriers. *)
+val run : Ir.Types.program -> Analysis.Divergence.t -> (string * int * Ir.Types.barrier) list

@@ -1,0 +1,41 @@
+(** The Speculative Reconvergence synchronization pass (§4.2).
+
+    For every label-targeted Predict hint of a function, the pass:
+
+    + allocates a barrier [b0], inserts [JoinBarrier b0] at the region
+      start (the Predict directive's location) and [WaitBarrier b0] (or
+      [WaitBarrier.th b0 k] for a soft hint, §4.6) at the predicted
+      reconvergence label;
+    + runs Joined-Barrier analysis (Eq. 1) and Barrier Live-Range analysis
+      (Eq. 2) at instruction granularity;
+    + inserts [RejoinBarrier b0] right after the wait when the barrier is
+      live again past it (threads that cleared the barrier but may wait on
+      it again, e.g. across loop iterations);
+    + inserts [CancelBarrier b0] at the liveness frontier — entry of every
+      block a joined thread can reach from which no wait lies ahead — so
+      exiting threads withdraw instead of stalling the rest;
+    + encloses the region with an orthogonal barrier [b1] joined at the
+      region start and waited at the region's common post-dominator, so
+      all threads reconverge at the region exit (Figure 4(d)).
+
+    Function-targeted hints are handled by {!Interproc}; conflicts with
+    compiler-inserted PDOM barriers are resolved afterwards by
+    {!Deconflict}. *)
+
+type applied = {
+  in_func : string;
+  hint : Ir.Types.predict_hint;
+  user_barrier : Ir.Types.barrier; (* b0 *)
+  region_barrier : Ir.Types.barrier option; (* b1, if a region exit exists *)
+  target_block : int;
+  region_start : int;
+  rejoined : bool;
+  cancel_blocks : int list;
+}
+
+val pp_applied : Format.formatter -> applied -> unit
+
+(** [run program] applies every label-targeted hint of every function.
+    @raise Failure for hints whose label is missing (callee hints are
+    skipped here) or whose region start cannot reach the target. *)
+val run : Ir.Types.program -> applied list

@@ -1,0 +1,1 @@
+lib/simt/barrier_unit.ml: Array Format List Option Printf Support

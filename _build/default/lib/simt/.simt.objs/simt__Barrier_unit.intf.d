@@ -1,0 +1,1 @@
+lib/simt/barrier_unit.mli: Format Support

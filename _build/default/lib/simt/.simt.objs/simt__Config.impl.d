@@ -1,0 +1,1 @@
+lib/simt/config.ml: Printf Support

@@ -1,0 +1,1 @@
+lib/simt/config.mli:

@@ -1,0 +1,1 @@
+lib/simt/interp.ml: Analysis Array Barrier_unit Buffer Config Format Hashtbl Ir List Memsys Metrics Option Printf Support Valops

@@ -1,0 +1,1 @@
+lib/simt/interp.mli: Analysis Config Ir Memsys Metrics

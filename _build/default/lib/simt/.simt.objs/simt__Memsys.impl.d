@@ -1,0 +1,1 @@
+lib/simt/memsys.ml: Array Config Ir List Option Printf

@@ -1,0 +1,1 @@
+lib/simt/memsys.mli: Config Ir

@@ -1,0 +1,1 @@
+lib/simt/metrics.mli: Format

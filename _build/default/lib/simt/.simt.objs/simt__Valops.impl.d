@@ -1,0 +1,1 @@
+lib/simt/valops.ml: Float Format Ir Printf

@@ -1,0 +1,1 @@
+lib/simt/valops.mli: Ir

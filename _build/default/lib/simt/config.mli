@@ -1,0 +1,56 @@
+(** Machine configuration for the SIMT simulator.
+
+    Defaults model a Volta-class streaming multiprocessor at warp
+    granularity: 32-lane warps with independent thread scheduling,
+    convergence barriers, one shared issue port, and a latency-based
+    memory model with 128-byte (16-word) coalescing. *)
+
+(** How the per-warp scheduler picks among runnable same-PC groups. *)
+type policy =
+  | Most_threads  (** largest group first; ties to the lowest pc — models a
+                      convergence-optimizer-style greedy scheduler *)
+  | Lowest_pc  (** lowest pc first — lets lagging threads catch up *)
+  | Round_robin  (** rotate over groups — fairness baseline *)
+
+type latencies = {
+  alu : int;
+  float_op : int;
+  special : int; (* sqrt/exp/log/sin/cos *)
+  branch : int;
+  barrier : int;
+  call : int;
+  rand : int;
+}
+
+type cache = {
+  sets : int;
+  ways : int;
+  hit_latency : int;
+}
+
+type memory = {
+  line_words : int; (* words per coalescing segment / cache line *)
+  base_latency : int; (* first transaction *)
+  per_transaction : int; (* each extra non-coalesced transaction *)
+  cache : cache option;
+}
+
+type t = {
+  warp_size : int;
+  n_warps : int;
+  policy : policy;
+  latencies : latencies;
+  memory : memory;
+  yield_on_stall : bool;
+      (** Volta-style forward progress: instead of reporting deadlock,
+          forcibly release one blocked thread. Off by default so that
+          missing deconfliction is a detectable compiler bug. *)
+  seed : int;
+  max_issues : int; (** safety net against runaway programs *)
+}
+
+val default : t
+
+(** [validate t] raises [Invalid_argument] on nonsensical parameters
+    (warp size out of range, non-positive counts/latencies). *)
+val validate : t -> unit

@@ -1,0 +1,456 @@
+module Mask = Support.Mask
+module L = Ir.Linear
+module T = Ir.Types
+
+exception Deadlock of string
+exception Runtime_error of string
+exception Runaway of string
+
+type result = { metrics : Metrics.t; memory : Memsys.t; profile : Analysis.Profile.t }
+
+type issue_event = {
+  at_cycle : int;
+  warp : int;
+  pc : int;
+  active : int list;
+  where : L.location;
+}
+
+type thread_status = Ready | Blocked | Done
+
+type frame = { regs : T.value array; ret_pc : int; ret_reg : T.reg option }
+
+type thread = {
+  lane : int;
+  tid : int;
+  rng : Support.Splitmix.t;
+  mutable frames : frame list; (* head = current frame *)
+  mutable pc : int;
+  mutable status : thread_status;
+  mutable ready_at : int;
+  (* Convergence-group identity. Threads co-issue only when they share a
+     group; groups split whenever members head to different places
+     (divergent branch outcomes, barrier blocking) and merge ONLY when a
+     convergence barrier fires. This models Volta behaviour faithfully:
+     diverged threads do not spontaneously reconverge just because their
+     PCs happen to coincide — reconvergence requires a barrier, which is
+     exactly why compilers insert them. *)
+  mutable group : int;
+}
+
+type warp = {
+  wid : int;
+  threads : thread array;
+  barriers : Barrier_unit.t;
+  mutable rr_pc : int; (* last pc issued, for the Round_robin policy *)
+}
+
+let frame_of th =
+  match th.frames with
+  | f :: _ -> f
+  | [] -> raise (Runtime_error (Printf.sprintf "thread %d has no frame" th.tid))
+
+let eval th = function T.Reg r -> (frame_of th).regs.(r) | T.Imm v -> v
+
+let set_reg th r v = (frame_of th).regs.(r) <- v
+
+let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
+  Config.validate config;
+  if List.length args <> lprog.kernel.arity then
+    invalid_arg
+      (Printf.sprintf "Interp.run: kernel %s expects %d args, got %d" lprog.kernel.fname
+         lprog.kernel.arity (List.length args));
+  let lat = config.latencies in
+  let memory = Memsys.create config.memory ~size:(max lprog.mem_size 1) in
+  List.iter
+    (fun (base, size) ->
+      for addr = base to base + size - 1 do
+        Memsys.write memory addr (T.F 0.0)
+      done)
+    lprog.float_regions;
+  init_memory memory;
+  let metrics = Metrics.create ~warp_size:config.warp_size in
+  let profile = Analysis.Profile.empty () in
+  (* Precompute which pcs start a basic block, for profile recording. *)
+  let n_code = Array.length lprog.code in
+  let is_block_entry =
+    Array.init n_code (fun pc ->
+        pc = 0
+        || lprog.locs.(pc).L.in_func <> lprog.locs.(pc - 1).L.in_func
+        || lprog.locs.(pc).L.in_block <> lprog.locs.(pc - 1).L.in_block)
+  in
+  let make_thread wid lane =
+    let regs = Array.make (max lprog.kernel.n_regs 1) (T.I 0) in
+    List.iteri (fun i v -> regs.(i) <- v) args;
+    {
+      lane;
+      tid = (wid * config.warp_size) + lane;
+      rng = Support.Splitmix.of_ints config.seed wid lane;
+      frames = [ { regs; ret_pc = -1; ret_reg = None } ];
+      pc = lprog.kernel.entry_pc;
+      status = Ready;
+      ready_at = 0;
+      group = 0;
+    }
+  in
+  let group_counter = ref 0 in
+  let fresh_group () =
+    incr group_counter;
+    !group_counter
+  in
+  (* Threads that moved together may have landed in different places;
+     re-partition them into fresh groups by destination pc. *)
+  let regroup threads =
+    let by_pc = Hashtbl.create 4 in
+    List.iter
+      (fun th ->
+        match th.status with
+        | Ready | Blocked -> (
+          match Hashtbl.find_opt by_pc th.pc with
+          | Some gid -> th.group <- gid
+          | None ->
+            let gid = fresh_group () in
+            Hashtbl.replace by_pc th.pc gid;
+            th.group <- gid)
+        | Done -> ())
+      threads
+  in
+  let warps =
+    Array.init config.n_warps (fun wid ->
+        {
+          wid;
+          threads = Array.init config.warp_size (make_thread wid);
+          barriers =
+            Barrier_unit.create ~n_barriers:lprog.n_barriers ~warp_size:config.warp_size;
+          rr_pc = -1;
+        })
+  in
+  let n_threads = config.n_warps * config.warp_size in
+  let cycle = ref 0 in
+  let last_warp = ref (config.n_warps - 1) in
+  let context w th =
+    Printf.sprintf "warp %d lane %d tid %d pc %d" w.wid th.lane th.tid th.pc
+  in
+  (* Release every lane the barrier fire condition allows. *)
+  let release_fired w b =
+    match Barrier_unit.fired w.barriers b with
+    | None -> ()
+    | Some released ->
+      metrics.barrier_fires <- metrics.barrier_fires + 1;
+      let threads = ref [] in
+      Mask.iter
+        (fun lane ->
+          let th = w.threads.(lane) in
+          th.status <- Ready;
+          th.pc <- th.pc + 1;
+          th.ready_at <- !cycle + lat.barrier;
+          threads := th :: !threads)
+        released;
+      (* The fire is the one place where diverged threads reconverge:
+         everyone released at the same point joins one fresh group. *)
+      regroup !threads
+  in
+  let finish_thread w th =
+    th.status <- Done;
+    metrics.threads_finished <- metrics.threads_finished + 1;
+    let affected = Barrier_unit.withdraw_lane w.barriers th.lane in
+    List.iter (release_fired w) affected
+  in
+  (* Execute one issued group: all [lanes] of [w] sit at [pc]. *)
+  let execute w pc lanes =
+    let threads = List.map (fun lane -> w.threads.(lane)) lanes in
+    let advance_all latency =
+      List.iter
+        (fun th ->
+          th.pc <- pc + 1;
+          th.ready_at <- !cycle + latency)
+        threads
+    in
+    match lprog.code.(pc) with
+    | L.Op op -> (
+      match op with
+      | T.Bin (bop, d, a, b) ->
+        List.iter (fun th -> set_reg th d (Valops.binop bop (eval th a) (eval th b))) threads;
+        advance_all (if T.is_float_op bop then lat.float_op else lat.alu)
+      | T.Un (uop, d, a) ->
+        List.iter (fun th -> set_reg th d (Valops.unop uop (eval th a))) threads;
+        advance_all (if T.is_special_unop uop then lat.special else lat.alu)
+      | T.Mov (d, a) ->
+        List.iter (fun th -> set_reg th d (eval th a)) threads;
+        advance_all lat.alu
+      | T.Load (d, a) ->
+        metrics.mem_accesses <- metrics.mem_accesses + 1;
+        let addrs = List.map (fun th -> Valops.to_int (eval th a)) threads in
+        let cost = Memsys.access_cost memory ~addrs in
+        List.iter2 (fun th addr -> set_reg th d (Memsys.read memory addr)) threads addrs;
+        advance_all cost
+      | T.Store (a, v) ->
+        metrics.mem_accesses <- metrics.mem_accesses + 1;
+        let addrs = List.map (fun th -> Valops.to_int (eval th a)) threads in
+        let cost = Memsys.access_cost memory ~addrs in
+        (* Lane order resolves write conflicts: the highest lane wins,
+           matching CUDA's unspecified-but-single-winner semantics
+           deterministically. *)
+        List.iter2 (fun th addr -> Memsys.write memory addr (eval th v)) threads addrs;
+        advance_all cost
+      | T.Tid d ->
+        List.iter (fun th -> set_reg th d (T.I th.tid)) threads;
+        advance_all lat.alu
+      | T.Lane d ->
+        List.iter (fun th -> set_reg th d (T.I th.lane)) threads;
+        advance_all lat.alu
+      | T.Nthreads d ->
+        List.iter (fun th -> set_reg th d (T.I n_threads)) threads;
+        advance_all lat.alu
+      | T.Rand d ->
+        List.iter (fun th -> set_reg th d (T.F (Support.Splitmix.float th.rng))) threads;
+        advance_all lat.rand
+      | T.Randint (d, n) ->
+        List.iter
+          (fun th ->
+            let bound = Valops.to_int (eval th n) in
+            if bound <= 0 then
+              raise
+                (Runtime_error
+                   (Printf.sprintf "randint bound %d not positive (%s)" bound (context w th)));
+            set_reg th d (T.I (Support.Splitmix.int th.rng bound)))
+          threads;
+        advance_all lat.rand
+      | T.Join b | T.Rejoin b ->
+        metrics.barrier_joins <- metrics.barrier_joins + 1;
+        List.iter (fun th -> Barrier_unit.join w.barriers b th.lane) threads;
+        advance_all lat.barrier
+      | T.Cancel b ->
+        metrics.barrier_cancels <- metrics.barrier_cancels + 1;
+        List.iter (fun th -> Barrier_unit.cancel w.barriers b th.lane) threads;
+        advance_all lat.barrier;
+        release_fired w b
+      | T.Wait b ->
+        metrics.barrier_waits <- metrics.barrier_waits + 1;
+        List.iter
+          (fun th ->
+            if Barrier_unit.is_participant w.barriers b th.lane then begin
+              th.status <- Blocked;
+              Barrier_unit.block w.barriers b th.lane ~threshold:None
+            end
+            else begin
+              th.pc <- pc + 1;
+              th.ready_at <- !cycle + lat.barrier
+            end)
+          threads;
+        (* blockers and pass-through threads part ways *)
+        regroup threads;
+        release_fired w b
+      | T.Wait_threshold (b, k) ->
+        metrics.barrier_waits <- metrics.barrier_waits + 1;
+        List.iter
+          (fun th ->
+            if Barrier_unit.is_participant w.barriers b th.lane then begin
+              th.status <- Blocked;
+              Barrier_unit.block w.barriers b th.lane ~threshold:(Some k)
+            end
+            else begin
+              th.pc <- pc + 1;
+              th.ready_at <- !cycle + lat.barrier
+            end)
+          threads;
+        regroup threads;
+        release_fired w b
+      | T.Arrived (d, b) ->
+        List.iter (fun th -> set_reg th d (T.I (Barrier_unit.arrived w.barriers b))) threads;
+        advance_all lat.barrier
+      | T.Call _ ->
+        (* The linearizer turns calls into [Lcall]. *)
+        raise (Runtime_error (Printf.sprintf "raw call at pc %d" pc)))
+    | L.Lcall { entry; n_regs; args = call_args; ret; callee = _ } ->
+      List.iter
+        (fun th ->
+          let values = List.map (eval th) call_args in
+          let regs = Array.make (max n_regs 1) (T.I 0) in
+          List.iteri (fun i v -> regs.(i) <- v) values;
+          th.frames <- { regs; ret_pc = pc + 1; ret_reg = ret } :: th.frames;
+          th.pc <- entry;
+          th.ready_at <- !cycle + lat.call)
+        threads
+    | L.Lret op ->
+      List.iter
+        (fun th ->
+          let value = Option.map (eval th) op in
+          match th.frames with
+          | { ret_pc; ret_reg; _ } :: (_ :: _ as rest) ->
+            th.frames <- rest;
+            (match (ret_reg, value) with
+            | Some d, Some v -> set_reg th d v
+            | Some d, None -> set_reg th d (T.I 0)
+            | None, (Some _ | None) -> ());
+            th.pc <- ret_pc;
+            th.ready_at <- !cycle + lat.call
+          | _ -> raise (Runtime_error (Printf.sprintf "ret outside call (%s)" (context w th))))
+        threads;
+      (* returns to different call sites split the group *)
+      regroup threads
+    | L.Lbr { cond; target } ->
+      List.iter
+        (fun th ->
+          th.pc <- (if Valops.truthy (eval th cond) then target else pc + 1);
+          th.ready_at <- !cycle + lat.branch)
+        threads;
+      (* a divergent outcome splits the convergence group *)
+      regroup threads
+    | L.Ljump target ->
+      List.iter
+        (fun th ->
+          th.pc <- target;
+          th.ready_at <- !cycle + lat.branch)
+        threads
+    | L.Lexit -> List.iter (fun th -> finish_thread w th) threads
+  in
+  (* Pick the next (warp, pc, lanes) to issue, rotating over warps.
+     Candidates are convergence groups (threads sharing a group id), not
+     mere PC coincidences. *)
+  let select_group w =
+    let groups = Hashtbl.create 8 in
+    let gids = ref [] in
+    Array.iter
+      (fun th ->
+        if th.status = Ready && th.ready_at <= !cycle then begin
+          if not (Hashtbl.mem groups th.group) then gids := th.group :: !gids;
+          Hashtbl.replace groups th.group
+            (th.lane :: Option.value (Hashtbl.find_opt groups th.group) ~default:[])
+        end)
+      w.threads;
+    match !gids with
+    | [] -> None
+    | _ ->
+      let candidates =
+        List.map
+          (fun gid ->
+            let lanes = List.rev (Hashtbl.find groups gid) in
+            let pc = w.threads.(List.hd lanes).pc in
+            (pc, lanes))
+          (List.sort compare !gids)
+      in
+      let candidates = List.sort compare candidates in
+      let chosen =
+        match config.policy with
+        | Config.Lowest_pc -> List.hd candidates
+        | Config.Most_threads ->
+          List.fold_left
+            (fun (bpc, blanes) (pc, lanes) ->
+              if List.length lanes > List.length blanes then (pc, lanes) else (bpc, blanes))
+            (List.hd candidates) (List.tl candidates)
+        | Config.Round_robin -> (
+          match List.find_opt (fun (pc, _) -> pc > w.rr_pc) candidates with
+          | Some c -> c
+          | None -> List.hd candidates)
+      in
+      w.rr_pc <- fst chosen;
+      Some chosen
+  in
+  let find_issue () =
+    let found = ref None in
+    let i = ref 1 in
+    while !found = None && !i <= config.n_warps do
+      let wid = (!last_warp + !i) mod config.n_warps in
+      (match select_group warps.(wid) with
+      | Some (pc, lanes) ->
+        last_warp := wid;
+        found := Some (warps.(wid), pc, lanes)
+      | None -> ());
+      incr i
+    done;
+    !found
+  in
+  let yield_or_deadlock () =
+    (* Every live thread is blocked. Either emulate Volta's forward
+       progress by forcing the lowest blocked thread out of its barrier,
+       or report the deadlock that conflicting barriers cause. *)
+    let victim = ref None in
+    Array.iter
+      (fun w ->
+        Array.iter
+          (fun th -> if !victim = None && th.status = Blocked then victim := Some (w, th))
+          w.threads)
+      warps;
+    match !victim with
+    | None -> raise (Deadlock "no blocked thread found in stalled state")
+    | Some (w, th) ->
+      if config.yield_on_stall then begin
+        match Barrier_unit.blocked_anywhere w.barriers th.lane with
+        | Some b ->
+          metrics.yields <- metrics.yields + 1;
+          Barrier_unit.cancel w.barriers b th.lane;
+          th.status <- Ready;
+          th.pc <- th.pc + 1;
+          th.ready_at <- !cycle + lat.barrier;
+          th.group <- fresh_group ();
+          release_fired w b
+        | None -> raise (Deadlock "blocked thread not waiting on any barrier")
+      end
+      else begin
+        let buf = Buffer.create 256 in
+        Array.iter
+          (fun w ->
+            Buffer.add_string buf (Printf.sprintf "warp %d:\n" w.wid);
+            Buffer.add_string buf (Format.asprintf "%a" Barrier_unit.pp w.barriers);
+            Array.iter
+              (fun th ->
+                if th.status = Blocked then
+                  Buffer.add_string buf (Printf.sprintf "  lane %d blocked at pc %d\n" th.lane th.pc))
+              w.threads)
+          warps;
+        raise
+          (Deadlock
+             (Printf.sprintf
+                "all live threads blocked on convergence barriers (conflicting barriers?)\n%s"
+                (Buffer.contents buf)))
+      end
+  in
+  let running = ref true in
+  while !running do
+    match find_issue () with
+    | Some (w, pc, lanes) ->
+      metrics.issues <- metrics.issues + 1;
+      if metrics.issues > config.max_issues then
+        raise (Runaway (Printf.sprintf "issue budget %d exhausted" config.max_issues));
+      metrics.active_sum <- metrics.active_sum + List.length lanes;
+      (match tracer with
+      | Some observe ->
+        observe { at_cycle = !cycle; warp = w.wid; pc; active = lanes; where = lprog.locs.(pc) }
+      | None -> ());
+      if is_block_entry.(pc) then begin
+        let loc = lprog.locs.(pc) in
+        Analysis.Profile.record profile ~func:loc.L.in_func ~block:loc.L.in_block
+          ~count:(List.length lanes)
+      end;
+      (try execute w pc lanes with
+      | Valops.Type_error msg ->
+        raise (Runtime_error (Printf.sprintf "type error at pc %d (warp %d): %s" pc w.wid msg))
+      | Division_by_zero ->
+        raise (Runtime_error (Printf.sprintf "division by zero at pc %d (warp %d)" pc w.wid))
+      | Invalid_argument msg ->
+        raise (Runtime_error (Printf.sprintf "fault at pc %d (warp %d): %s" pc w.wid msg)));
+      incr cycle
+    | None ->
+      (* Nothing issuable this cycle: advance time to the next ready
+         thread, finish, or handle an all-blocked stall. *)
+      let next_ready = ref max_int in
+      let any_live = ref false in
+      Array.iter
+        (fun w ->
+          Array.iter
+            (fun th ->
+              match th.status with
+              | Ready ->
+                any_live := true;
+                if th.ready_at < !next_ready then next_ready := th.ready_at
+              | Blocked -> any_live := true
+              | Done -> ())
+            w.threads)
+        warps;
+      if not !any_live then running := false
+      else if !next_ready < max_int then cycle := max !next_ready (!cycle + 1)
+      else yield_or_deadlock ()
+  done;
+  metrics.cycles <- !cycle;
+  { metrics; memory; profile }

@@ -1,0 +1,66 @@
+(** The SIMT execution engine.
+
+    Executes a linearized program over [n_warps] warps of [warp_size]
+    threads with Volta-style independent thread scheduling: every thread
+    has its own program counter, register frames and call stack; a
+    per-warp scheduler issues one same-PC group per cycle through a single
+    shared issue port; convergence barriers ({!Barrier_unit}) block and
+    release groups of threads.
+
+    Timing model: issuing costs one cycle on the shared port; an issued
+    instruction makes its lanes unavailable for its latency (memory
+    latency depends on coalescing, see {!Memsys}). Latency is hidden
+    naturally by other PC-groups of the same warp — Volta's independent
+    thread scheduling — and by other warps.
+
+    Determinism: per-thread PRNG streams are seeded from
+    [(config.seed, warp, lane)], so kernel results are identical across
+    scheduler policies and compilation modes — the key property the
+    correctness tests check. *)
+
+exception Deadlock of string
+(** Raised (unless [yield_on_stall]) when every live thread is blocked on
+    a convergence barrier that can never fire — the concrete failure mode
+    of conflicting barriers that §4.3's deconfliction exists to prevent. *)
+
+exception Runtime_error of string
+(** Type errors, out-of-bounds accesses, division by zero — annotated
+    with warp, lane and pc. *)
+
+exception Runaway of string
+(** The configured [max_issues] budget was exhausted. *)
+
+type result = {
+  metrics : Metrics.t;
+  memory : Memsys.t;
+  profile : Analysis.Profile.t; (* lane-executions per basic block *)
+}
+
+(** One issued warp instruction, as seen by a tracer: which warp issued,
+    at which cycle, which lanes were active, and where the instruction
+    came from. The stream of these events is the raw material of the
+    paper's Figure 1/3 execution diagrams. *)
+type issue_event = {
+  at_cycle : int;
+  warp : int;
+  pc : int;
+  active : int list; (* lanes, ascending *)
+  where : Ir.Linear.location;
+}
+
+(** [run config lprog ~args ~init_memory] launches
+    [config.n_warps * config.warp_size] threads of the kernel.
+
+    [args] are the kernel parameters (uniform across threads);
+    [init_memory] fills global tables before the launch;
+    [tracer], when given, observes every issued warp instruction.
+
+    @raise Invalid_argument if [args] does not match the kernel arity.
+    @raise Deadlock / Runtime_error / Runaway as documented above. *)
+val run :
+  ?tracer:(issue_event -> unit) ->
+  Config.t ->
+  Ir.Linear.t ->
+  args:Ir.Types.value list ->
+  init_memory:(Memsys.t -> unit) ->
+  result

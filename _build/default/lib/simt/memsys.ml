@@ -1,0 +1,105 @@
+type stats = { reads : int; writes : int; transactions : int; hits : int; misses : int }
+
+type cache_state = {
+  csets : int;
+  cways : int;
+  hit_latency : int;
+  (* tags.(set) is a list of line tags, most recently used first. *)
+  tags : int list array;
+}
+
+type t = {
+  config : Config.memory;
+  data : Ir.Types.value array;
+  cache : cache_state option;
+  mutable reads : int;
+  mutable writes : int;
+  mutable transactions : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create (config : Config.memory) ~size =
+  if size < 0 then invalid_arg "Memsys.create: negative size";
+  let cache =
+    Option.map
+      (fun (c : Config.cache) ->
+        { csets = c.sets; cways = c.ways; hit_latency = c.hit_latency; tags = Array.make c.sets [] })
+      config.cache
+  in
+  {
+    config;
+    data = Array.make size (Ir.Types.I 0);
+    cache;
+    reads = 0;
+    writes = 0;
+    transactions = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let check t addr what =
+  if addr < 0 || addr >= Array.length t.data then
+    invalid_arg (Printf.sprintf "Memsys.%s: address %d out of bounds [0, %d)" what addr
+                   (Array.length t.data))
+
+let read t addr =
+  check t addr "read";
+  t.reads <- t.reads + 1;
+  t.data.(addr)
+
+let write t addr v =
+  check t addr "write";
+  t.writes <- t.writes + 1;
+  t.data.(addr) <- v
+
+let size t = Array.length t.data
+
+(* Probe the cache for a line; true on hit. Updates LRU order and fills on
+   miss. *)
+let probe cache line =
+  let set = line mod cache.csets in
+  let resident = cache.tags.(set) in
+  if List.mem line resident then begin
+    cache.tags.(set) <- line :: List.filter (fun l -> l <> line) resident;
+    true
+  end
+  else begin
+    let kept =
+      if List.length resident >= cache.cways then
+        List.filteri (fun i _ -> i < cache.cways - 1) resident
+      else resident
+    in
+    cache.tags.(set) <- line :: kept;
+    false
+  end
+
+let access_cost t ~addrs =
+  match addrs with
+  | [] -> 0
+  | _ ->
+    let lines = List.sort_uniq compare (List.map (fun a -> a / t.config.line_words) addrs) in
+    t.transactions <- t.transactions + List.length lines;
+    (match t.cache with
+    | None ->
+      t.config.base_latency + ((List.length lines - 1) * t.config.per_transaction)
+    | Some cache ->
+      let hits, misses = List.partition (probe cache) lines in
+      t.hits <- t.hits + List.length hits;
+      t.misses <- t.misses + List.length misses;
+      let miss_cost =
+        match misses with
+        | [] -> 0
+        | _ -> t.config.base_latency + ((List.length misses - 1) * t.config.per_transaction)
+      in
+      let hit_cost = if hits = [] then 0 else cache.hit_latency in
+      max hit_cost miss_cost)
+
+let stats t =
+  { reads = t.reads; writes = t.writes; transactions = t.transactions; hits = t.hits;
+    misses = t.misses }
+
+let dump t ~base ~len =
+  if base < 0 || len < 0 || base + len > Array.length t.data then
+    invalid_arg "Memsys.dump: region out of bounds";
+  Array.sub t.data base len

@@ -1,0 +1,38 @@
+(** Global-memory model: backing store, coalescing, optional cache.
+
+    A warp memory access touching [n] distinct lines costs
+    [base_latency + (n - 1) * per_transaction] cycles (fully coalesced
+    accesses pay the base only). With a cache configured, lines that hit
+    pay [hit_latency] instead and the cost is
+    [max(hit part, miss part)] approximated additively per line class. *)
+
+type t
+
+type stats = {
+  reads : int;
+  writes : int;
+  transactions : int;
+  hits : int;
+  misses : int;
+}
+
+(** [create config ~size] allocates [size] words initialised to [I 0]. *)
+val create : Config.memory -> size:int -> t
+
+(** [read t addr]. @raise Invalid_argument out of bounds. *)
+val read : t -> int -> Ir.Types.value
+
+(** [write t addr v]. @raise Invalid_argument out of bounds. *)
+val write : t -> int -> Ir.Types.value -> unit
+
+val size : t -> int
+
+(** [access_cost t ~addrs] — latency in cycles of one warp-level access
+    touching the given per-lane addresses (duplicates allowed), updating
+    cache state and statistics. *)
+val access_cost : t -> addrs:int list -> int
+
+val stats : t -> stats
+
+(** [dump t ~base ~len] — snapshot of a memory region. *)
+val dump : t -> base:int -> len:int -> Ir.Types.value array

@@ -1,0 +1,46 @@
+type t = {
+  warp_size : int;
+  mutable issues : int;
+  mutable active_sum : int;
+  mutable cycles : int;
+  mutable mem_accesses : int;
+  mutable barrier_joins : int;
+  mutable barrier_waits : int;
+  mutable barrier_fires : int;
+  mutable barrier_cancels : int;
+  mutable yields : int;
+  mutable threads_finished : int;
+}
+
+let create ~warp_size =
+  {
+    warp_size;
+    issues = 0;
+    active_sum = 0;
+    cycles = 0;
+    mem_accesses = 0;
+    barrier_joins = 0;
+    barrier_waits = 0;
+    barrier_fires = 0;
+    barrier_cancels = 0;
+    yields = 0;
+    threads_finished = 0;
+  }
+
+let simt_efficiency t =
+  if t.issues = 0 then 0.0
+  else float_of_int t.active_sum /. float_of_int (t.issues * t.warp_size)
+
+let ipc t = if t.cycles = 0 then 0.0 else float_of_int t.issues /. float_of_int t.cycles
+
+let avg_active t =
+  if t.issues = 0 then 0.0 else float_of_int t.active_sum /. float_of_int t.issues
+
+let pp ppf t =
+  Format.fprintf ppf
+    "issues=%d cycles=%d simt_eff=%.1f%% avg_active=%.2f ipc=%.3f mem=%d joins=%d waits=%d \
+     fires=%d cancels=%d yields=%d finished=%d"
+    t.issues t.cycles
+    (100.0 *. simt_efficiency t)
+    (avg_active t) (ipc t) t.mem_accesses t.barrier_joins t.barrier_waits t.barrier_fires
+    t.barrier_cancels t.yields t.threads_finished

@@ -1,0 +1,32 @@
+(** Execution counters and derived metrics.
+
+    {!simt_efficiency} follows the nvprof definition the paper uses: the
+    average fraction of active threads per issued warp instruction. *)
+
+type t = {
+  warp_size : int;
+  mutable issues : int; (* warp instructions issued *)
+  mutable active_sum : int; (* total active lanes over all issues *)
+  mutable cycles : int; (* final simulated cycle *)
+  mutable mem_accesses : int; (* warp-level loads + stores issued *)
+  mutable barrier_joins : int;
+  mutable barrier_waits : int;
+  mutable barrier_fires : int;
+  mutable barrier_cancels : int;
+  mutable yields : int; (* forced releases under [yield_on_stall] *)
+  mutable threads_finished : int;
+}
+
+val create : warp_size:int -> t
+
+(** Average active lanes per issue divided by the warp size, in [0, 1].
+    0 when nothing was issued. *)
+val simt_efficiency : t -> float
+
+(** Issued warp instructions per cycle. *)
+val ipc : t -> float
+
+(** Average active lanes per issue. *)
+val avg_active : t -> float
+
+val pp : Format.formatter -> t -> unit

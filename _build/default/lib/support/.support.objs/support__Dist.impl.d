@@ -1,0 +1,1 @@
+lib/support/dist.ml: Format List Splitmix

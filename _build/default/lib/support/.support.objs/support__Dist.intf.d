@@ -1,0 +1,1 @@
+lib/support/dist.mli: Format Splitmix

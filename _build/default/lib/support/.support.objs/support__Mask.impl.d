@@ -1,0 +1,1 @@
+lib/support/mask.ml: Format List Printf Sys

@@ -1,0 +1,1 @@
+lib/support/splitmix.ml: Int64

@@ -1,0 +1,80 @@
+type t =
+  | Constant of int
+  | Uniform of int * int
+  | Geometric of { p : float; cap : int }
+  | Weighted of (int * float) list
+  | Bimodal of { lo : int * int; hi : int * int; p_hi : float }
+
+let validate = function
+  | Constant n -> if n < 0 then invalid_arg "Dist: Constant must be >= 0"
+  | Uniform (lo, hi) ->
+    if lo < 0 || hi < lo then invalid_arg "Dist: Uniform requires 0 <= lo <= hi"
+  | Geometric { p; cap } ->
+    if not (p > 0.0 && p <= 1.0) then invalid_arg "Dist: Geometric p must be in (0, 1]";
+    if cap < 0 then invalid_arg "Dist: Geometric cap must be >= 0"
+  | Weighted [] -> invalid_arg "Dist: Weighted requires a non-empty list"
+  | Weighted entries ->
+    List.iter
+      (fun (v, w) ->
+        if v < 0 then invalid_arg "Dist: Weighted values must be >= 0";
+        if w < 0.0 then invalid_arg "Dist: Weighted weights must be >= 0")
+      entries;
+    if List.for_all (fun (_, w) -> w = 0.0) entries then
+      invalid_arg "Dist: Weighted requires a positive total weight"
+  | Bimodal { lo = llo, lhi; hi = hlo, hhi; p_hi } ->
+    if llo < 0 || lhi < llo || hlo < 0 || hhi < hlo then
+      invalid_arg "Dist: Bimodal requires valid ranges";
+    if not (p_hi >= 0.0 && p_hi <= 1.0) then invalid_arg "Dist: Bimodal p_hi must be in [0, 1]"
+
+let uniform_sample rng lo hi = lo + Splitmix.int rng (hi - lo + 1)
+
+let sample dist rng =
+  validate dist;
+  match dist with
+  | Constant n -> n
+  | Uniform (lo, hi) -> uniform_sample rng lo hi
+  | Geometric { p; cap } ->
+    let rec loop n = if n >= cap then cap else if Splitmix.float rng < p then n else loop (n + 1) in
+    loop 0
+  | Weighted entries ->
+    let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 entries in
+    let x = Splitmix.float rng *. total in
+    let rec pick acc = function
+      | [] -> assert false
+      | [ (v, _) ] -> v
+      | (v, w) :: rest -> if x < acc +. w then v else pick (acc +. w) rest
+    in
+    pick 0.0 entries
+  | Bimodal { lo = llo, lhi; hi = hlo, hhi; p_hi } ->
+    if Splitmix.float rng < p_hi then uniform_sample rng hlo hhi else uniform_sample rng llo lhi
+
+let mean dist =
+  validate dist;
+  match dist with
+  | Constant n -> float_of_int n
+  | Uniform (lo, hi) -> float_of_int (lo + hi) /. 2.0
+  | Geometric { p; cap } ->
+    (* E[min(G, cap)] where G counts failures before first success:
+       sum_{k=1..cap} P(G >= k) = sum_{k=1..cap} (1-p)^k. *)
+    let q = 1.0 -. p in
+    let rec loop k qk acc = if k > cap then acc else loop (k + 1) (qk *. q) (acc +. qk) in
+    loop 1 q 0.0
+  | Weighted entries ->
+    let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 entries in
+    List.fold_left (fun acc (v, w) -> acc +. (float_of_int v *. w /. total)) 0.0 entries
+  | Bimodal { lo = llo, lhi; hi = hlo, hhi; p_hi } ->
+    let mean_range lo hi = float_of_int (lo + hi) /. 2.0 in
+    (p_hi *. mean_range hlo hhi) +. ((1.0 -. p_hi) *. mean_range llo lhi)
+
+let pp ppf = function
+  | Constant n -> Format.fprintf ppf "const(%d)" n
+  | Uniform (lo, hi) -> Format.fprintf ppf "uniform(%d, %d)" lo hi
+  | Geometric { p; cap } -> Format.fprintf ppf "geometric(p=%.3f, cap=%d)" p cap
+  | Weighted entries ->
+    Format.fprintf ppf "weighted(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf (v, w) -> Format.fprintf ppf "%d:%.2f" v w))
+      entries
+  | Bimodal { lo = llo, lhi; hi = hlo, hhi; p_hi } ->
+    Format.fprintf ppf "bimodal([%d,%d] | [%d,%d] @%.2f)" llo lhi hlo hhi p_hi

@@ -1,0 +1,33 @@
+(** Trip-count and workload-parameter distributions.
+
+    The paper's benchmarks are driven by highly variable, unpredictable
+    per-thread work amounts (e.g. RSBench walks between 4 and 321 nuclides
+    per material; PathTracer terminates bounces by Russian roulette). These
+    distributions generate the same variance structure deterministically. *)
+
+type t =
+  | Constant of int  (** always the same value *)
+  | Uniform of int * int  (** inclusive bounds [lo, hi] *)
+  | Geometric of { p : float; cap : int }
+      (** number of failures before first success with parameter [p],
+          truncated to [cap]; models Russian-roulette loop lengths *)
+  | Weighted of (int * float) list
+      (** discrete distribution over values with the given relative
+          weights *)
+  | Bimodal of { lo : int * int; hi : int * int; p_hi : float }
+      (** with probability [p_hi] sample uniformly from [hi], else from
+          [lo]; models the few-huge-materials shape of RSBench *)
+
+(** [sample dist rng] draws one value. The result is always >= 0.
+    @raise Invalid_argument on malformed parameters (empty [Weighted]
+    list, negative bounds, [p] outside (0, 1], inverted ranges). *)
+val sample : t -> Splitmix.t -> int
+
+(** Exact mean of the distribution (truncation of [Geometric] included). *)
+val mean : t -> float
+
+(** [validate dist] checks the parameters and raises [Invalid_argument]
+    with a description of the problem if they are malformed. *)
+val validate : t -> unit
+
+val pp : Format.formatter -> t -> unit

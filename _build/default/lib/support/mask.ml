@@ -1,0 +1,65 @@
+type t = int
+
+let max_width = Sys.int_size - 1
+
+let check_lane lane =
+  if lane < 0 || lane >= max_width then
+    invalid_arg (Printf.sprintf "Mask: lane %d out of range [0, %d)" lane max_width)
+
+let empty = 0
+
+let full n =
+  if n < 0 || n > max_width then
+    invalid_arg (Printf.sprintf "Mask.full: width %d out of range [0, %d]" n max_width);
+  if n = 0 then 0 else (1 lsl n) - 1
+
+let singleton lane =
+  check_lane lane;
+  1 lsl lane
+
+let mem lane m = lane >= 0 && lane < max_width && m land (1 lsl lane) <> 0
+
+let add lane m =
+  check_lane lane;
+  m lor (1 lsl lane)
+
+let remove lane m = if lane < 0 || lane >= max_width then m else m land lnot (1 lsl lane)
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+
+let count m =
+  let rec loop m acc = if m = 0 then acc else loop (m lsr 1) (acc + (m land 1)) in
+  loop m 0
+
+let is_empty m = m = 0
+let equal (a : int) b = a = b
+let subset a b = a land lnot b = 0
+let disjoint a b = a land b = 0
+
+let iter f m =
+  for lane = 0 to max_width - 1 do
+    if m land (1 lsl lane) <> 0 then f lane
+  done
+
+let fold f m acc =
+  let r = ref acc in
+  iter (fun lane -> r := f lane !r) m;
+  !r
+
+let to_list m = List.rev (fold (fun lane acc -> lane :: acc) m [])
+
+let of_list lanes = List.fold_left (fun m lane -> add lane m) empty lanes
+
+let lowest m =
+  if m = 0 then raise Not_found;
+  let rec loop lane = if m land (1 lsl lane) <> 0 then lane else loop (lane + 1) in
+  loop 0
+
+let pp ~width ppf m =
+  Format.pp_print_string ppf "0b";
+  for lane = width - 1 downto 0 do
+    Format.pp_print_char ppf (if mem lane m then '1' else '0')
+  done
+
+let to_hex m = Printf.sprintf "0x%x" m

@@ -1,0 +1,38 @@
+(** SplitMix64: a small, fast, splittable pseudo-random number generator.
+
+    Every simulated GPU thread owns an independent stream derived
+    deterministically from [(seed, warp, lane)], so kernel results are
+    bit-identical across scheduler policies and compilation modes — the
+    property the correctness tests rely on.
+
+    Reference: Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+    Generators", OOPSLA 2014. *)
+
+type t
+
+(** [create seed] makes a fresh generator from a 64-bit seed. *)
+val create : int64 -> t
+
+(** [of_ints a b c] mixes three integers (e.g. seed, warp id, lane id)
+    into an independent stream. *)
+val of_ints : int -> int -> int -> t
+
+(** [copy t] duplicates the generator state. *)
+val copy : t -> t
+
+(** [split t] advances [t] and returns a statistically independent
+    generator. *)
+val split : t -> t
+
+(** Next raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** [int t bound] draws uniformly from [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t] draws uniformly from [0, 1). *)
+val float : t -> float
+
+(** [bool t] draws a fair coin flip. *)
+val bool : t -> bool

@@ -1,0 +1,1 @@
+lib/workloads/common_call.ml: Ir Printf Simt Spec

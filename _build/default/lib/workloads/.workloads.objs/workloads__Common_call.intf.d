@@ -1,0 +1,1 @@
+lib/workloads/common_call.mli: Spec

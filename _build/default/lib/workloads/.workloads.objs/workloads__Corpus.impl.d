@@ -1,0 +1,1 @@
+lib/workloads/corpus.ml: Hashtbl Ir List Printf Simt String Support

@@ -1,0 +1,1 @@
+lib/workloads/corpus.mli: Ir Simt

@@ -1,0 +1,1 @@
+lib/workloads/gpumcml.ml: Ir Printf Simt Spec Support

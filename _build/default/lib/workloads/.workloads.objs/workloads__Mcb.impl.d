@@ -1,0 +1,1 @@
+lib/workloads/mcb.ml: Ir Printf Simt Spec Support

@@ -1,0 +1,1 @@
+lib/workloads/mcb.mli: Spec

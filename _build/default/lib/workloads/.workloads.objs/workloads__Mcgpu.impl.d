@@ -1,0 +1,1 @@
+lib/workloads/mcgpu.ml: Ir Printf Simt Spec Support

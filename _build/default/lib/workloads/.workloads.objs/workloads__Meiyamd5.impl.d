@@ -1,0 +1,1 @@
+lib/workloads/meiyamd5.ml: Ir Printf Simt Spec Support

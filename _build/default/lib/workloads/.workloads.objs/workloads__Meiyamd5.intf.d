@@ -1,0 +1,1 @@
+lib/workloads/meiyamd5.mli: Spec

@@ -1,0 +1,1 @@
+lib/workloads/mummer.ml: Ir Printf Simt Spec Support

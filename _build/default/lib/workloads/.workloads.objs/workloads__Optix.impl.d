@@ -1,0 +1,1 @@
+lib/workloads/optix.ml: Ir Printf Simt Spec Support

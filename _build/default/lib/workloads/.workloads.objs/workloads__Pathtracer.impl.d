@@ -1,0 +1,1 @@
+lib/workloads/pathtracer.ml: Ir Printf Simt Spec Support

@@ -1,0 +1,1 @@
+lib/workloads/pathtracer.mli: Spec

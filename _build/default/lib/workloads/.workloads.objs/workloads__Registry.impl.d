@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Common_call Gpumcml List Mcb Mcgpu Meiyamd5 Mummer Optix Pathtracer Rsbench Spec String Xsbench

@@ -1,0 +1,1 @@
+lib/workloads/rsbench.ml: Ir Printf Simt Spec Support

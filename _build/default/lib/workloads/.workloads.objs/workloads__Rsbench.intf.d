@@ -1,0 +1,1 @@
+lib/workloads/rsbench.mli: Spec

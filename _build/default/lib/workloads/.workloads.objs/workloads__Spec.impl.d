@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Array Float Hashtbl Ir Printf Simt Support

@@ -1,0 +1,1 @@
+lib/workloads/xsbench.ml: Ir Printf Simt Spec Support

@@ -1,0 +1,1 @@
+lib/workloads/xsbench.mli: Spec

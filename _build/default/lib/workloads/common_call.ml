@@ -1,0 +1,65 @@
+(* Common-function-call microbenchmark (Figure 2(c)).
+
+   Both sides of a divergent branch eventually call the same expensive
+   function, but from different program points, so PDOM reconvergence
+   never sees the bodies as common code and the warp runs the function
+   once per branch side. The paper found no full application with this
+   pattern and validated it with microbenchmarks (§5.1); this is that
+   microbenchmark. [predict func shade;] triggers the interprocedural
+   variant (§4.4): threads reconverge at the callee's entry. *)
+
+let max_threads = 8192
+
+let source =
+  Printf.sprintf "\nglobal results: float[%d];\n" max_threads
+  ^ {|
+func shade(x: float) -> float {
+  // expensive body common to both branch sides
+  var acc: float = x;
+  var i: int = 0;
+  while (i < 48) {
+    acc = acc + sin(acc * 0.7) * 0.4 + 0.01;
+    i = i + 1;
+  }
+  return acc;
+}
+
+kernel common_call(n_rounds: int) {
+  var out: float = 0.0;
+  predict func shade;
+  for round in 0 .. n_rounds {
+    let v = rand();
+    // alternating halves of the warp take opposite sides
+    if ((lane() + round) % 2 == 0) {
+      // taken path: a little private work, then the common call
+      let a = v * 1.5 + 0.25;
+      out = out + shade(a);
+    } else {
+      // not-taken path: different private work, same callee
+      let b = v - 2.0;
+      out = out + shade(b) * 0.5 + 0.125;
+    }
+  }
+  results[tid()] = out;
+}
+|}
+
+let init (_ : Ir.Types.program) (_ : Simt.Memsys.t) = ()
+
+let spec : Spec.t =
+  {
+    name = "common-call";
+    description =
+      "Microbenchmark for the common-function-call pattern of Fig. 2(c): both sides of a \
+       divergent branch call the same expensive function (interprocedural reconvergence)";
+    source;
+    args = [ Ir.Types.I 12 ];
+    coarsen = None;
+    init;
+    tweak_config = (fun c -> { c with Simt.Config.n_warps = 2 });
+    check =
+      (fun p mem ->
+        match Spec.check_finite ~name:"results" p mem with
+        | Error _ as e -> e
+        | Ok () -> Spec.check_nonzero ~name:"results" ~n:64 p mem);
+  }

@@ -1,0 +1,243 @@
+type shape =
+  | Convergent
+  | Mild_branch
+  | Imbalanced_branch
+  | Divergent_loop
+  | Memory_streaming
+  | Common_call
+  | Scatter_memory
+
+type app = { id : int; shape : shape; source : string; args : Ir.Types.value list }
+
+let shape_name = function
+  | Convergent -> "convergent"
+  | Mild_branch -> "mild-branch"
+  | Imbalanced_branch -> "imbalanced-branch"
+  | Divergent_loop -> "divergent-loop"
+  | Memory_streaming -> "memory-streaming"
+  | Common_call -> "common-call"
+  | Scatter_memory -> "scatter-memory"
+
+let config =
+  {
+    Simt.Config.default with
+    Simt.Config.n_warps = 1;
+    max_issues = 5_000_000;
+  }
+
+(* Every generated kernel writes one float per thread into [out] and runs
+   a modest number of iterations so a corpus scan stays fast. *)
+
+let convergent_source rng =
+  let iters = 8 + Support.Splitmix.int rng 24 in
+  let flops = 2 + Support.Splitmix.int rng 6 in
+  let body =
+    String.concat "\n      "
+      (List.init flops (fun i ->
+           Printf.sprintf "acc = acc * 0.99 + float(i + %d) * 0.01;" (i + 1)))
+  in
+  Printf.sprintf
+    {|
+global out: float[64];
+kernel app() {
+  var acc: float = float(tid()) * 0.1;
+  for i in 0 .. %d {
+      %s
+  }
+  out[tid()] = acc;
+}
+|}
+    iters body
+
+let memory_streaming_source rng =
+  let iters = 4 + Support.Splitmix.int rng 12 in
+  Printf.sprintf
+    {|
+global data: float[2048];
+global out: float[64];
+kernel app() {
+  var acc: float = 0.0;
+  for i in 0 .. %d {
+    acc = acc + data[(tid() + i * nthreads()) %% 2048];
+  }
+  out[tid()] = acc;
+}
+|}
+    iters
+
+let mild_branch_source rng =
+  let iters = 8 + Support.Splitmix.int rng 16 in
+  let denom = 2 + Support.Splitmix.int rng 3 in
+  let then_ops = 1 + Support.Splitmix.int rng 3 in
+  let then_body =
+    String.concat "\n        "
+      (List.init then_ops (fun i -> Printf.sprintf "acc = acc + 0.0%d;" (i + 1)))
+  in
+  Printf.sprintf
+    {|
+global out: float[64];
+kernel app() {
+  var acc: float = 0.0;
+  for i in 0 .. %d {
+    acc = acc + 0.5;
+    if (randint(%d) == 0) {
+        %s
+    }
+  }
+  out[tid()] = acc;
+}
+|}
+    iters denom then_body
+
+let imbalanced_branch_source rng =
+  let iters = 8 + Support.Splitmix.int rng 16 in
+  let denom = 3 + Support.Splitmix.int rng 9 in
+  (* most conditional bodies are cheap; only a minority are heavy enough
+     for the transformation to pay *)
+  let heavy = Support.Splitmix.float rng < 0.35 in
+  let inner =
+    if heavy then 20 + Support.Splitmix.int rng 28 else 1 + Support.Splitmix.int rng 5
+  in
+  let inner_body =
+    if heavy then "acc = acc + sin(acc * 0.3) * 0.2 + 0.01;" else "acc = acc + 0.01;"
+  in
+  let prolog_ops = Support.Splitmix.int rng 7 in
+  let prolog =
+    String.concat "\n    "
+      (List.init prolog_ops (fun i -> Printf.sprintf "acc = acc + 0.00%d;" (i + 1)))
+  in
+  Printf.sprintf
+    {|
+global out: float[64];
+kernel app() {
+  var acc: float = 0.0;
+  for i in 0 .. %d {
+    %s
+    if (randint(%d) == 0) {
+      var j: int = 0;
+      while (j < %d) {
+        %s
+        j = j + 1;
+      }
+    }
+  }
+  out[tid()] = acc;
+}
+|}
+    iters prolog denom inner inner_body
+
+let divergent_loop_source rng =
+  let tasks = 4 + Support.Splitmix.int rng 8 in
+  let heavy = Support.Splitmix.float rng < 0.4 in
+  let max_trip =
+    if heavy then 24 + Support.Splitmix.int rng 40 else 3 + Support.Splitmix.int rng 7
+  in
+  let body_ops = 1 + Support.Splitmix.int rng 3 in
+  let body =
+    String.concat "\n      "
+      (List.init body_ops (fun i ->
+           if heavy then Printf.sprintf "acc = acc + sin(acc * 0.%d1) * 0.1 + 0.01;" (i + 1)
+           else Printf.sprintf "acc = acc + 0.0%d;" (i + 1)))
+  in
+  Printf.sprintf
+    {|
+global out: float[64];
+kernel app() {
+  var acc: float = 0.0;
+  for t in 0 .. %d {
+    acc = acc + 0.1;
+    let trip = randint(%d);
+    var j: int = 0;
+    while (j < trip) {
+      %s
+      j = j + 1;
+    }
+  }
+  out[tid()] = acc;
+}
+|}
+    tasks max_trip body
+
+let common_call_source rng =
+  let iters = 4 + Support.Splitmix.int rng 8 in
+  let body = 6 + Support.Splitmix.int rng 16 in
+  Printf.sprintf
+    {|
+global out: float[64];
+func work(x: float) -> float {
+  var acc: float = x;
+  var i: int = 0;
+  while (i < %d) { acc = acc + sin(acc) * 0.3; i = i + 1; }
+  return acc;
+}
+kernel app() {
+  var acc: float = 0.0;
+  for i in 0 .. %d {
+    if (randint(2) == 0) {
+      acc = acc + work(acc);
+    } else {
+      acc = acc + work(acc + 1.0) * 0.5;
+    }
+  }
+  out[tid()] = acc;
+}
+|}
+    body iters
+
+let scatter_memory_source rng =
+  let iters = 6 + Support.Splitmix.int rng 16 in
+  Printf.sprintf
+    {|
+global data: float[2048];
+global out: float[64];
+kernel app() {
+  var acc: float = 0.0;
+  var idx: int = tid() * 37;
+  for i in 0 .. %d {
+    idx = (idx * 131 + randint(1024)) %% 2048;
+    acc = acc + data[idx];
+    if (randint(3) == 0) {
+      acc = acc + data[(idx + 7) %% 2048];
+    }
+  }
+  out[tid()] = acc;
+}
+|}
+    iters
+
+let pick_shape rng =
+  (* Divergent workloads are a small fraction of GPU applications (§5.4,
+     [24]); most of the corpus is convergent or streaming. *)
+  let x = Support.Splitmix.float rng in
+  if x < 0.49 then Convergent
+  else if x < 0.74 then Memory_streaming
+  else if x < 0.86 then Mild_branch
+  else if x < 0.905 then Scatter_memory
+  else if x < 0.945 then Common_call
+  else if x < 0.97 then Imbalanced_branch
+  else Divergent_loop
+
+let generate ~seed ~count =
+  List.init count (fun id ->
+      let rng = Support.Splitmix.of_ints seed id 0x0c0de in
+      let shape = pick_shape rng in
+      let source =
+        match shape with
+        | Convergent -> convergent_source rng
+        | Memory_streaming -> memory_streaming_source rng
+        | Mild_branch -> mild_branch_source rng
+        | Imbalanced_branch -> imbalanced_branch_source rng
+        | Divergent_loop -> divergent_loop_source rng
+        | Common_call -> common_call_source rng
+        | Scatter_memory -> scatter_memory_source rng
+      in
+      { id; shape; source; args = [] })
+
+let init (p : Ir.Types.program) mem =
+  match Hashtbl.find_opt p.globals "data" with
+  | None -> ()
+  | Some (base, size) ->
+    let rng = Support.Splitmix.of_ints 0xda7a 1 2 in
+    for i = 0 to size - 1 do
+      Simt.Memsys.write mem (base + i) (Ir.Types.F (Support.Splitmix.float rng))
+    done

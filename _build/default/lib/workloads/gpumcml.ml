@@ -1,0 +1,85 @@
+(* GPU-MCML: Monte Carlo modelling of light transport in multi-layered
+   turbid media (Alerstam et al. [2]). Photon packets hop between
+   scattering events: each hop samples a step length, deposits part of
+   the packet weight, and resamples the direction with the
+   Henyey-Greenstein phase function (the sin/cos/log-heavy common code);
+   packets die by absorption or Russian roulette after wildly different
+   numbers of hops. The paper lists gpu-mcml among the applications with
+   "highly variable inner loop trip counts" (§5.2). *)
+
+let max_packets = 16384
+
+let source =
+  Printf.sprintf
+    {|
+global layer_mu: float[64];
+global absorption: float[%d];
+
+kernel gpumcml(n_layers: int, max_hops: int) {
+  var weight: float = 1.0;
+  var z: float = 0.0;
+  var cos_theta: float = 1.0;
+  var layer: int = 0;
+  var deposited: float = 0.0;
+  var hops: int = 0;
+  var alive: int = 1;
+  predict L1;
+  while (alive == 1) {
+    L1:
+    // one scattering hop: step sampling + HG direction resampling
+    let mu_t = layer_mu[layer %% 64] + 0.3;
+    let step = 0.0 - log(rand() + 0.000001) / mu_t;
+    z = z + step * cos_theta;
+    let albedo = 0.9;
+    deposited = deposited + weight * (1.0 - albedo);
+    weight = weight * albedo;
+    // Henyey-Greenstein sampling (g = 0.9)
+    let g = 0.9;
+    let frac = (1.0 - g * g) / (1.0 - g + 2.0 * g * rand());
+    let ct = (1.0 + g * g - frac * frac) / (2.0 * g);
+    let phi = 6.2831853 * rand();
+    cos_theta = ct * cos_theta + sin(phi) * sqrt(fabs(1.0 - ct * ct)) * 0.3;
+    if (cos_theta > 1.0) { cos_theta = 1.0; }
+    if (cos_theta < 0.0 - 1.0) { cos_theta = 0.0 - 1.0; }
+    // layer crossing
+    if (z < 0.0) {
+      alive = 0;  // escaped at the surface
+    } else {
+      layer = int(z * 4.0) %% n_layers;
+    }
+    // Russian roulette below the weight threshold
+    if (weight < 0.1) {
+      if (rand() < 0.7) {
+        alive = 0;
+      } else {
+        weight = weight * 3.333;
+      }
+    }
+    hops = hops + 1;
+    if (hops >= max_hops) {
+      alive = 0;
+    }
+  }
+  absorption[tid()] = deposited;
+}
+|}
+    max_packets
+
+let init (p : Ir.Types.program) mem =
+  let rng = Support.Splitmix.of_ints 0x11 0x3cf 9 in
+  Spec.fill_global p mem ~name:"layer_mu" ~gen:(fun _ ->
+      Ir.Types.F (0.5 +. Support.Splitmix.float rng *. 2.5))
+
+let spec : Spec.t =
+  {
+    name = "gpu-mcml";
+    description =
+      "Photon transport in layered turbid media: scattering-hop loop with highly variable \
+       per-packet trip counts (Loop Merge)";
+    source;
+    args = [ Ir.Types.I 8; Ir.Types.I 64 ];
+    coarsen = Some 4;
+    init;
+    tweak_config = (fun c -> { c with Simt.Config.n_warps = 2 });
+    check = Spec.check_finite ~name:"absorption";
+  }

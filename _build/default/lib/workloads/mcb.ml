@@ -1,0 +1,80 @@
+(* MCB: LLNL's Monte Carlo Benchmark [16] — a simplified heuristic
+   transport equation. Each particle random-walks through segments until
+   it is absorbed, escapes, or reaches census; the event loop's trip
+   count and the per-event work are both thread-varying. Scatter events
+   carry the expensive direction-resampling computation, making the
+   scatter path the natural reconvergence point (Iteration Delay inside
+   the event loop, plus trip-count divergence across particles). *)
+
+let max_particles = 16384
+
+let source =
+  Printf.sprintf
+    {|
+global sigma_table: float[1024];
+global tallies: float[%d];
+
+kernel mcb(n_zones: int, max_segments: int) {
+  var weight: float = 1.0;
+  var zone: int = randint(n_zones);
+  var tally: float = 0.0;
+  var segment: int = 0;
+  var alive: int = 1;
+  predict L1;
+  while (alive == 1) {
+    L1:
+    // sample the distance to the next collision
+    let xi = rand();
+    let sigma = sigma_table[zone %% 1024];
+    let distance = 0.0 - log(xi + 0.000001) / (sigma + 0.1);
+    tally = tally + weight * distance;
+    let event = randint(10);
+    if (event < 6) {
+      // scatter: expensive direction and energy resampling
+      let mu = rand() * 2.0 - 1.0;
+      let phi = rand() * 6.2831853;
+      let s0 = sin(phi) * mu;
+      let c0 = cos(phi) * sqrt(1.0 - mu * mu + 0.0001);
+      weight = weight * (0.85 + 0.1 * s0 * s0 + 0.05 * c0 * c0);
+      zone = (zone + int(c0 * 3.0) + n_zones) %% n_zones;
+    } else {
+      if (event < 8) {
+        // absorb
+        alive = 0;
+      } else {
+        // census / escape bookkeeping (cheap)
+        zone = (zone + 1) %% n_zones;
+        weight = weight * 0.98;
+      }
+    }
+    segment = segment + 1;
+    if (segment >= max_segments) {
+      alive = 0;
+    }
+    if (weight < 0.05) {
+      alive = 0;
+    }
+  }
+  tallies[tid()] = tally;
+}
+|}
+    max_particles
+
+let init (p : Ir.Types.program) mem =
+  let rng = Support.Splitmix.of_ints 0x3c 0xb3b 4 in
+  Spec.fill_global p mem ~name:"sigma_table" ~gen:(fun _ ->
+      Ir.Types.F (0.5 +. Support.Splitmix.float rng))
+
+let spec : Spec.t =
+  {
+    name = "mcb";
+    description =
+      "LLNL Monte Carlo Benchmark: particle event loop with divergent trip count and an \
+       expensive scatter path (Iteration Delay)";
+    source;
+    args = [ Ir.Types.I 16; Ir.Types.I 40 ];
+    coarsen = Some 4;
+    init;
+    tweak_config = (fun c -> { c with Simt.Config.n_warps = 2 });
+    check = Spec.check_finite ~name:"tallies";
+  }

@@ -1,0 +1,83 @@
+(* MC-GPU: GPU-accelerated Monte Carlo x-ray transport for CT imaging
+   (Badal & Badano [3]). Photons Woodcock-track through a voxelized
+   anatomy: free flight to a tentative interaction site, a table lookup
+   of the local material, then Compton/Rayleigh scattering or
+   photoelectric absorption. Track lengths vary wildly between photons
+   (dense bone vs. air paths), giving the divergent-trip event loop. *)
+
+let max_photons = 16384
+
+let source =
+  Printf.sprintf
+    {|
+global mu_table: float[2048];
+global voxels: int[4096];
+global detector: float[%d];
+
+kernel mcgpu(n_voxels: int, max_steps: int) {
+  var x: float = rand() * 64.0;
+  var dirc: float = rand() * 2.0 - 1.0;
+  var energy: float = 0.06 + rand() * 0.06;
+  var deposited: float = 0.0;
+  var step: int = 0;
+  var alive: int = 1;
+  predict L1;
+  while (alive == 1) {
+    L1:
+    // Woodcock tracking step + interaction sampling (common code)
+    let voxel = voxels[(int(x * 17.0) + n_voxels) %% 4096];
+    let mu = mu_table[(voxel * 37 + int(energy * 1000.0)) %% 2048];
+    let flight = 0.0 - log(rand() + 0.000001) / (mu + 0.2);
+    x = x + flight * dirc;
+    let interaction = rand();
+    if (interaction < 0.55) {
+      // Compton scatter: resample direction and energy
+      let mu_s = rand() * 2.0 - 1.0;
+      let kn = 1.0 / (1.0 + energy * (1.0 - mu_s) * 1.9569);
+      energy = energy * kn;
+      dirc = dirc * mu_s + sqrt(1.0 - mu_s * mu_s + 0.0001) * (rand() - 0.5);
+      deposited = deposited + energy * (1.0 - kn);
+    } else {
+      if (interaction < 0.7) {
+        // photoelectric absorption: history ends
+        deposited = deposited + energy;
+        alive = 0;
+      }
+      // else: virtual interaction (Woodcock), keep flying
+    }
+    if (x < 0.0 || x > 64.0) {
+      alive = 0;
+    }
+    step = step + 1;
+    if (step >= max_steps) {
+      alive = 0;
+    }
+    if (energy < 0.01) {
+      alive = 0;
+    }
+  }
+  detector[tid()] = deposited;
+}
+|}
+    max_photons
+
+let init (p : Ir.Types.program) mem =
+  let rng = Support.Splitmix.of_ints 0xa1 0x6cf 5 in
+  Spec.fill_global p mem ~name:"mu_table" ~gen:(fun _ ->
+      Ir.Types.F (0.1 +. Support.Splitmix.float rng *. 2.0));
+  Spec.fill_global p mem ~name:"voxels" ~gen:(fun _ ->
+      Ir.Types.I (Support.Splitmix.int rng 5))
+
+let spec : Spec.t =
+  {
+    name = "mc-gpu";
+    description =
+      "Monte Carlo x-ray transport for CT imaging: Woodcock-tracked photon histories with \
+       divergent track lengths";
+    source;
+    args = [ Ir.Types.I 4096; Ir.Types.I 48 ];
+    coarsen = Some 4;
+    init;
+    tweak_config = (fun c -> { c with Simt.Config.n_warps = 2 });
+    check = Spec.check_finite ~name:"detector";
+  }

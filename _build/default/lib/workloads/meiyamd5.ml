@@ -1,0 +1,71 @@
+(* MeiyaMD5: GPU MD5 hash reversal (Wu et al. [29]). Each thread hashes a
+   stream of candidate passwords and compares digests against the target.
+   Candidate lengths differ, so the number of MD5 block rounds differs
+   per thread: "a load-imbalanced, compute-heavy inner loop making it the
+   ideal candidate for Loop Merge" (§5.4). The paper discovers this one
+   automatically, so the source carries NO predict hint: the automatic
+   detector must find the nested-loop shape by itself. *)
+
+let max_candidates = 16384
+
+let source =
+  Printf.sprintf "\nglobal targets: int[64];\nglobal found: int[%d];\n" max_candidates
+  ^ {|
+kernel meiyamd5(max_len: int) {
+  // one candidate password per (virtual) thread; most candidates are
+  // short but some are long, so the round count is heavily imbalanced
+  var length = 2 + randint(8);
+  if (randint(5) == 0) {
+    length = max_len / 2 + randint(max_len / 2);
+  }
+  var a: int = 1732584193;
+  var b: int = 271733879;
+  var c: int = 1732584194;
+  var d: int = 271733878;
+  var block: int = 0;
+  // one MD5-like round block per 4 characters of the candidate
+  while (block < length) {
+    // compute-heavy mixing rounds (integer ALU)
+    let m = block * 1103515245 + tid() * 12345;
+    let f1 = (b % 65536) * (c % 65536) + (d % 65536);
+    a = (a + f1 + m) % 2147483647;
+    a = (a * 131 + b) % 2147483647;
+    a = (a * 31 + (b % 4096) * (c % 4096)) % 2147483647;
+    let f2 = (a % 65536) * (d % 65536) + (c % 65536);
+    b = (b + f2 + m * 7) % 2147483647;
+    b = (b * 131 + c) % 2147483647;
+    b = (b * 37 + (c % 4096) * (d % 4096)) % 2147483647;
+    let f3 = (a % 65536) + (b % 65536) * (d % 65536);
+    c = (c + f3 + m * 13) % 2147483647;
+    c = (c * 41 + (a % 4096) * (d % 4096)) % 2147483647;
+    d = (d + (a % 65536) * (b % 65536) + m * 29) % 2147483647;
+    d = (d * 43 + (a % 4096) * (b % 4096)) % 2147483647;
+    block = block + 1;
+  }
+  let digest = (a + b + c + d) % 2147483647;
+  var hit: int = 0;
+  if (digest % 64 == targets[digest % 64] % 64) {
+    hit = 1;
+  }
+  found[tid()] = hit;
+}
+|}
+
+let init (p : Ir.Types.program) mem =
+  let rng = Support.Splitmix.of_ints 0x77 0xd5d5 7 in
+  Spec.fill_global p mem ~name:"targets" ~gen:(fun _ ->
+      Ir.Types.I (Support.Splitmix.int rng 1000000))
+
+let spec : Spec.t =
+  {
+    name = "meiyamd5";
+    description =
+      "MD5 hash reversal: load-imbalanced compute-heavy round loop per candidate password \
+       (automatic Loop Merge discovery, no annotation)";
+    source;
+    args = [ Ir.Types.I 48 ];
+    coarsen = Some 6;
+    init;
+    tweak_config = (fun c -> { c with Simt.Config.n_warps = 2 });
+    check = Spec.check_finite ~name:"found";
+  }

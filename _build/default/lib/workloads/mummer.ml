@@ -1,0 +1,77 @@
+(* MUMmer: parallel sequence alignment for genome sequencing (Schatz et
+   al. [25]). Each thread streams a query against a suffix-tree-like
+   index: starting from the root it repeatedly fetches the current node,
+   compares the next query base, and either descends or terminates at a
+   mismatch. Match depths are data-dependent, so warps serialize on the
+   long-match stragglers; the node-visit body (pointer-chasing loads) is
+   the common code. *)
+
+let n_queries = 16384
+let tree_size = 8192
+
+let source =
+  Printf.sprintf
+    {|
+global tree_child: int[%d];
+global tree_base: int[%d];
+global query_bases: int[%d];
+global match_lengths: int[%d];
+
+kernel mummer(query_len: int) {
+  let query_off = tid() * 4;
+  // queries enter the index at unrelated positions, decorrelating the
+  // per-thread walks
+  var node: int = 1 + randint(%d);
+  var depth: int = 0;
+  var matched: int = 1;
+  predict L1;
+  while (matched == 1 && depth < query_len) {
+    L1:
+    // visit one tree node: two dependent loads plus branching
+    let base_expected = tree_base[node %% %d];
+    let q = query_bases[(query_off + depth) %% %d];
+    if (q == base_expected) {
+      node = tree_child[(node * 4 + q) %% %d];
+      depth = depth + 1;
+      if (node == 0) {
+        matched = 0;
+      }
+    } else {
+      matched = 0;
+    }
+  }
+  match_lengths[tid()] = depth;
+}
+|}
+    tree_size tree_size n_queries n_queries (tree_size - 1) tree_size n_queries tree_size
+
+let init (p : Ir.Types.program) mem =
+  let rng = Support.Splitmix.of_ints 0x33 0x9a2 6 in
+  (* A tree whose nodes usually continue (deep matches possible) but
+     sometimes dead-end, plus skewed query bases: match depths end up
+     geometric-ish with a long tail. *)
+  Spec.fill_global p mem ~name:"tree_child" ~gen:(fun _ ->
+      if Support.Splitmix.float rng < 0.06 then Ir.Types.I 0
+      else Ir.Types.I (1 + Support.Splitmix.int rng (tree_size - 1)));
+  (* Heavily skewed base distributions: the per-step match probability is
+     ~0.9, giving geometric match depths with a long straggler tail. *)
+  Spec.fill_global p mem ~name:"tree_base" ~gen:(fun _ ->
+      let r = Support.Splitmix.float rng in
+      Ir.Types.I (if r < 0.95 then 0 else 1 + Support.Splitmix.int rng 3));
+  Spec.fill_global p mem ~name:"query_bases" ~gen:(fun _ ->
+      let r = Support.Splitmix.float rng in
+      Ir.Types.I (if r < 0.95 then 0 else 1 + Support.Splitmix.int rng 3))
+
+let spec : Spec.t =
+  {
+    name = "mummer";
+    description =
+      "Sequence-alignment kernel: suffix-tree walk with data-dependent match depth per query \
+       (divergent loop trip counts, memory bound)";
+    source;
+    args = [ Ir.Types.I 96 ];
+    coarsen = Some 6;
+    init;
+    tweak_config = (fun c -> { c with Simt.Config.n_warps = 2 });
+    check = Spec.check_finite ~name:"match_lengths";
+  }

@@ -1,0 +1,94 @@
+(* OptiX-style ray traversal (Parker et al. [23]). NVIDIA's ray tracing
+   engine traverses a bounding-volume hierarchy per ray: interior steps
+   are cheap pointer chasing, leaf hits run the expensive
+   ray-primitive intersection, and rays exit the walk at wildly different
+   depths. §5.4 reports several OptiX traces among the automatically
+   detected Loop Merge / Iteration Delay candidates, so like MeiyaMD5
+   this source is unannotated and left to the detector. *)
+
+let max_rays = 16384
+let bvh_size = 4096
+
+let source =
+  Printf.sprintf
+    {|
+global bvh_nodes: int[%d];
+global bvh_bounds: float[%d];
+global hits: float[%d];
+
+kernel optix_trace(max_depth: int) {
+  // one ray per (virtual) thread
+  var ox: float = rand() * 2.0 - 1.0;
+  var dx: float = rand() * 2.0 - 1.0;
+  var node: int = 1;
+  var depth: int = 0;
+  var nearest: float = 1000000.0;
+  var walking: int = 1;
+  while (walking == 1 && depth < max_depth) {
+    let kind = bvh_nodes[node %% %d];
+    if (kind == 0) {
+      // leaf: intersect the primitive batch (expensive common code)
+      var tri: int = 0;
+      var best: float = 1000000.0;
+      while (tri < 8) {
+        let b0 = bvh_bounds[(node * 2 + tri) %% %d];
+        let b1 = bvh_bounds[(node * 2 + tri + 1) %% %d];
+        let oc = ox - b0;
+        let bq = oc * dx;
+        let cq = oc * oc - b1 * b1 * 0.25;
+        let disc = bq * bq - cq;
+        if (disc > 0.0) {
+          best = fmin(best, fabs(0.0 - bq - sqrt(disc)));
+        }
+        tri = tri + 1;
+      }
+      if (best < 999999.0) {
+        nearest = fmin(nearest, best);
+        // continue traversal from a restart point
+        node = (node * 7 + 3) %% %d;
+        if (rand() < 0.4) {
+          walking = 0;
+        }
+      } else {
+        node = (node * 5 + 1) %% %d;
+      }
+    } else {
+      // interior: descend to the child picked by the ray direction
+      var child: int = node * 2;
+      if (dx > 0.0) {
+        child = child + 1;
+      }
+      node = child %% %d;
+      if (node < 1) {
+        node = 1;
+      }
+    }
+    depth = depth + 1;
+  }
+  hits[tid()] = nearest;
+}
+|}
+    bvh_size (bvh_size * 2) max_rays bvh_size (bvh_size * 2) (bvh_size * 2) bvh_size bvh_size
+    bvh_size
+
+let init (p : Ir.Types.program) mem =
+  let rng = Support.Splitmix.of_ints 0x0f 0x0b1 8 in
+  (* ~35% leaves. *)
+  Spec.fill_global p mem ~name:"bvh_nodes" ~gen:(fun _ ->
+      Ir.Types.I (if Support.Splitmix.float rng < 0.35 then 0 else 1));
+  Spec.fill_global p mem ~name:"bvh_bounds" ~gen:(fun _ ->
+      Ir.Types.F (Support.Splitmix.float rng *. 2.0 -. 1.0))
+
+let spec : Spec.t =
+  {
+    name = "optix-trace";
+    description =
+      "OptiX-style BVH ray traversal: irregular walk with divergent depth and expensive leaf \
+       intersections (automatically detected)";
+    source;
+    args = [ Ir.Types.I 64 ];
+    coarsen = Some 4;
+    init;
+    tweak_config = (fun c -> { c with Simt.Config.n_warps = 2 });
+    check = Spec.check_finite ~name:"hits";
+  }

@@ -1,0 +1,92 @@
+(* PathTracer: CUDA microbenchmark rendering spheres in a Cornell box
+   (Table 2). Monte Carlo light transport with Russian-roulette path
+   termination: each sample traces one or more bounces up to a maximum,
+   so the bounce loop's trip count is geometrically distributed and
+   divergent across lanes.
+
+   Refilling an idle lane (generating the next camera ray) is cheap, so —
+   unlike XSBench — PathTracer "executes fastest when all threads
+   reconverge before executing" (§5.3): the Figure-9 sweep peaks at a full
+   barrier (threshold = warp size). *)
+
+let max_pixels = 8192
+
+let source =
+  Printf.sprintf
+    {|
+global spheres: float[256];
+global image: float[%d];
+
+kernel pathtracer(n_samples: int, max_bounces: int) {
+  var radiance: float = 0.0;
+  predict L1;
+  for s in 0 .. n_samples {
+    // prolog: camera ray generation (cheap refill)
+    var dx: float = rand() * 2.0 - 1.0;
+    var dy: float = rand() * 2.0 - 1.0;
+    var throughput: float = 1.0;
+    var alive: int = 1;
+    var bounce: int = 0;
+    while (alive == 1) {
+      L1:
+      // intersect the sphere set: the expensive common code
+      var best_t: float = 1000000.0;
+      var k: int = 0;
+      while (k < 6) {
+        let cx = spheres[k * 4];
+        let cy = spheres[k * 4 + 1];
+        let r = spheres[k * 4 + 2];
+        let b = dx * cx + dy * cy;
+        let c = cx * cx + cy * cy - r * r;
+        let disc = b * b - c;
+        if (disc > 0.0) {
+          let t = 0.0 - b - sqrt(disc);
+          if (t > 0.001) {
+            best_t = fmin(best_t, t);
+          }
+        }
+        k = k + 1;
+      }
+      // shade and bounce
+      throughput = throughput * 0.75;
+      dx = dx * 0.9 + (rand() - 0.5) * 0.2;
+      dy = dy * 0.9 + (rand() - 0.5) * 0.2;
+      bounce = bounce + 1;
+      // Russian roulette path termination
+      if (rand() < 0.3) {
+        alive = 0;
+      }
+      if (bounce >= max_bounces) {
+        alive = 0;
+      }
+    }
+    radiance = radiance + throughput * (1.0 / float(bounce + 1));
+  }
+  image[tid()] = radiance / float(n_samples);
+}
+|}
+    max_pixels
+
+let init (p : Ir.Types.program) mem =
+  let rng = Support.Splitmix.of_ints 0x97 0x7ace 3 in
+  Spec.fill_global p mem ~name:"spheres" ~gen:(fun i ->
+      if i mod 4 = 2 then Ir.Types.F (0.2 +. Support.Splitmix.float rng)
+      else Ir.Types.F (Support.Splitmix.float rng *. 4.0 -. 2.0))
+
+let spec : Spec.t =
+  {
+    name = "pathtracer";
+    description =
+      "Cornell-box sphere path tracer; Russian-roulette bounce loop (loop trip count \
+       divergence), cheap per-sample refill";
+    source;
+    args = [ Ir.Types.I 12; Ir.Types.I 16 ];
+    coarsen = None;
+    init;
+    tweak_config = (fun c -> { c with Simt.Config.n_warps = 2 });
+    check =
+      (fun p mem ->
+        match Spec.check_finite ~name:"image" p mem with
+        | Error _ as e -> e
+        | Ok () -> Spec.check_nonzero ~name:"image" ~n:64 p mem);
+  }

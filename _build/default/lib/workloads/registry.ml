@@ -1,0 +1,18 @@
+let all =
+  [
+    Rsbench.spec;
+    Xsbench.spec;
+    Mcb.spec;
+    Pathtracer.spec;
+    Mcgpu.spec;
+    Mummer.spec;
+    Meiyamd5.spec;
+    Optix.spec;
+    Gpumcml.spec;
+    Common_call.spec;
+  ]
+
+let soft_barrier_subjects = [ Pathtracer.spec; Xsbench.spec ]
+let auto_subjects = [ Meiyamd5.spec; Optix.spec; Mummer.spec ]
+
+let find name = List.find (fun (s : Spec.t) -> String.equal s.name name) all

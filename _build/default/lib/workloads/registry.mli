@@ -1,0 +1,15 @@
+(** The Table-2 benchmark registry. *)
+
+(** All workloads, in the paper's Table-2 order (plus the common-call
+    microbenchmark at the end). *)
+val all : Spec.t list
+
+(** The two workloads of the Figure-9 soft-barrier sweep. *)
+val soft_barrier_subjects : Spec.t list
+
+(** Workloads evaluated through automatic detection in Figure 10 (their
+    sources carry no annotations). *)
+val auto_subjects : Spec.t list
+
+(** [find name]. @raise Not_found for unknown names. *)
+val find : string -> Spec.t

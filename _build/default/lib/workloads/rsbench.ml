@@ -1,0 +1,93 @@
+(* RSBench: multipole macroscopic cross-section lookup of Monte Carlo
+   neutron transport (Tramm et al. [26]; Figure 3 of the paper).
+
+   Each task draws a random material and walks all of its nuclides,
+   accumulating windowed-multipole cross-section contributions — a
+   compute-heavy inner loop whose trip count is the material's nuclide
+   count, "ranging from 4 to 321" (§3). Most materials are small; fuel
+   materials carry hundreds of nuclides, so the count distribution is
+   strongly bimodal, which is what serializes warps under PDOM sync.
+
+   Methodology as in the paper: the kernel is written one-lookup-per-thread
+   and thread coarsening (§3) assigns many tasks per thread, producing the
+   Loop Merge shape; the Predict hint collects threads at the inner loop
+   body. *)
+
+let n_materials = 12
+let max_tasks = 16384
+
+let source =
+  Printf.sprintf
+    {|
+global nuclide_counts: int[%d];
+global poles: float[8192];
+global results: float[%d];
+
+kernel rsbench(n_materials: int) {
+  // one cross-section lookup task per (virtual) thread
+  let material = randint(n_materials);
+  let n_nuclides = nuclide_counts[material];
+  let energy = rand();
+  var macro_xs: float = 0.0;
+  predict L1;
+  var j: int = 0;
+  while (j < n_nuclides) {
+    L1:
+    // windowed multipole evaluation for one nuclide: compute heavy, with
+    // a pole-window lookup whose index is iteration-major (coalesced when
+    // the inner loop runs convergently)
+    let pole = poles[(j * 13 + material) %% 8192];
+    let e = energy * float(j + 1);
+    let psi = sin(e) * 0.35 + cos(e * 0.5) * 0.15;
+    let eta = sin(e * 1.7 + psi) * 0.2 + cos(e * 0.9) * 0.1;
+    let sigma = pole * (e * e * 0.01 + psi * psi + eta * eta + 0.5 / (e + 1.0));
+    macro_xs = macro_xs + sigma;
+    j = j + 1;
+  }
+  // epilog: post-processing of the accumulated cross section
+  results[tid()] = macro_xs * 0.0001 + 1.0;
+}
+|}
+    n_materials max_tasks
+
+let init (p : Ir.Types.program) mem =
+  let rng = Support.Splitmix.of_ints 0x5b 0xe4c4 1 in
+  (* Bimodal nuclide counts over the paper's 4..321 range: most materials
+     are small, a few (fuel) are very large. *)
+  let dist =
+    Support.Dist.Bimodal { lo = (4, 40); hi = (220, 321); p_hi = 0.2 }
+  in
+  Spec.fill_global p mem ~name:"nuclide_counts" ~gen:(fun _ ->
+      Ir.Types.I (Support.Dist.sample dist rng));
+  Spec.fill_global p mem ~name:"poles" ~gen:(fun _ ->
+      Ir.Types.F (Support.Splitmix.float rng *. 2.0 -. 1.0))
+
+let spec : Spec.t =
+  {
+    name = "rsbench";
+    description =
+      "Nuclear reactor Monte Carlo neutron transport mini-app; divergent-trip inner loop over \
+       4-321 nuclides per material, thread-coarsened (Loop Merge)";
+    source;
+    args = [ Ir.Types.I n_materials ];
+    coarsen = Some 6;
+    init;
+    tweak_config =
+      (fun c ->
+        (* RSBench is compute bound: its pole windows live in cache, so
+           the arithmetic dominates (unlike XSBench). *)
+        {
+          c with
+          Simt.Config.n_warps = 2;
+          memory =
+            {
+              c.Simt.Config.memory with
+              Simt.Config.cache = Some { Simt.Config.sets = 128; ways = 8; hit_latency = 4 };
+            };
+        });
+    check =
+      (fun p mem ->
+        match Spec.check_finite ~name:"results" p mem with
+        | Error _ as e -> e
+        | Ok () -> Spec.check_nonzero ~name:"results" ~n:64 p mem);
+  }

@@ -1,0 +1,5 @@
+(** See the header comment in [rsbench.ml] for what this workload models and
+    which paper behaviours it reproduces. *)
+
+(** The Table-2 registry entry for this benchmark. *)
+val spec : Spec.t

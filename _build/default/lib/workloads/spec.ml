@@ -1,0 +1,58 @@
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  args : Ir.Types.value list;
+  coarsen : int option;
+  init : Ir.Types.program -> Simt.Memsys.t -> unit;
+  tweak_config : Simt.Config.t -> Simt.Config.t;
+  check : Ir.Types.program -> Simt.Memsys.t -> (unit, string) result;
+}
+
+let init_rng spec =
+  let h = Hashtbl.hash spec.name in
+  Support.Splitmix.of_ints h (h * 31) 7
+
+let fill_global (p : Ir.Types.program) mem ~name ~gen =
+  match Hashtbl.find_opt p.globals name with
+  | None -> invalid_arg (Printf.sprintf "Spec.fill_global: unknown global %s" name)
+  | Some (base, size) ->
+    for i = 0 to size - 1 do
+      Simt.Memsys.write mem (base + i) (gen i)
+    done
+
+let region (p : Ir.Types.program) mem ~name =
+  match Hashtbl.find_opt p.globals name with
+  | None -> Error (Printf.sprintf "unknown global %s" name)
+  | Some (base, size) -> Ok (Simt.Memsys.dump mem ~base ~len:size)
+
+let check_finite ~name p mem =
+  match region p mem ~name with
+  | Error e -> Error e
+  | Ok cells ->
+    let bad = ref None in
+    Array.iteri
+      (fun i v ->
+        match v with
+        | Ir.Types.F x when not (Float.is_finite x) && !bad = None -> bad := Some (i, x)
+        | Ir.Types.F _ | Ir.Types.I _ -> ())
+      cells;
+    (match !bad with
+    | Some (i, x) -> Error (Printf.sprintf "%s[%d] is not finite (%g)" name i x)
+    | None -> Ok ())
+
+let check_nonzero ~name ~n p mem =
+  match region p mem ~name with
+  | Error e -> Error e
+  | Ok cells ->
+    let nonzero =
+      Array.fold_left
+        (fun acc v ->
+          match v with
+          | Ir.Types.F x when x <> 0.0 -> acc + 1
+          | Ir.Types.I x when x <> 0 -> acc + 1
+          | Ir.Types.F _ | Ir.Types.I _ -> acc)
+        0 cells
+    in
+    if nonzero >= n then Ok ()
+    else Error (Printf.sprintf "%s has %d nonzero cells, expected >= %d" name nonzero n)

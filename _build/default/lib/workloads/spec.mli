@@ -1,0 +1,42 @@
+(** Workload descriptor: a MiniSIMT program plus everything needed to
+    launch it reproducibly (arguments, memory initialisation, machine
+    tweaks, output sanity check). One value per Table-2 benchmark. *)
+
+type t = {
+  name : string;
+  description : string; (* the Table-2 one-liner *)
+  source : string; (* MiniSIMT text, including predict hints *)
+  args : Ir.Types.value list; (* kernel arguments *)
+  coarsen : int option; (* thread-coarsening factor (§3), if the
+                            paper's methodology applies it *)
+  init : Ir.Types.program -> Simt.Memsys.t -> unit;
+      (* fills global tables; receives the compiled program to resolve
+         global base addresses *)
+  tweak_config : Simt.Config.t -> Simt.Config.t;
+      (* per-workload machine adjustments (e.g. a cache for the
+         memory-bound XSBench) *)
+  check : Ir.Types.program -> Simt.Memsys.t -> (unit, string) result;
+      (* post-run output sanity check *)
+}
+
+(** [init_rng spec] — deterministic generator for table initialisation,
+    derived from the workload name. *)
+val init_rng : t -> Support.Splitmix.t
+
+(** Fill [len] cells starting at the global [name]'s base with values
+    produced by [gen]. *)
+val fill_global :
+  Ir.Types.program ->
+  Simt.Memsys.t ->
+  name:string ->
+  gen:(int -> Ir.Types.value) ->
+  unit
+
+(** A check that every cell of global [name] holds a finite float (no
+    NaN/infinity escaped the kernel). *)
+val check_finite : name:string -> Ir.Types.program -> Simt.Memsys.t -> (unit, string) result
+
+(** A check that at least [n] cells of global [name] are nonzero (the
+    kernel actually produced output). *)
+val check_nonzero :
+  name:string -> n:int -> Ir.Types.program -> Simt.Memsys.t -> (unit, string) result

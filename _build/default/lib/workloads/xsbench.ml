@@ -1,0 +1,99 @@
+(* XSBench: the memory-bound sibling of RSBench (Tramm et al. [27]).
+
+   Same nested-divergent-loop shape, but the inner loop is dominated by
+   scattered table lookups rather than arithmetic, and acquiring a new
+   task is expensive: a binary search over the unionized energy grid
+   (the "expensive epilog" the paper calls out in Table 2). That refill
+   cost is why XSBench peaks at a small soft-barrier threshold in
+   Figure 9: refilling a few idle lanes at a time re-runs the binary
+   search too often, so it pays to keep executing the inner loop until
+   only a handful of threads remain. *)
+
+let n_materials = 12
+let grid_size = 4096
+let max_tasks = 16384
+
+let source =
+  Printf.sprintf
+    {|
+global nuclide_counts: int[%d];
+global energy_grid: float[%d];
+global xs_table: float[16384];
+global index_grid: int[%d];
+global results: float[%d];
+
+kernel xsbench(n_materials: int, grid_size: int) {
+  let material = randint(n_materials);
+  let n_nuclides = nuclide_counts[material];
+  let energy = rand();
+  // prolog: binary search of the unionized energy grid (expensive refill)
+  var lo: int = 0;
+  var hi: int = grid_size;
+  while (lo + 1 < hi) {
+    let mid = (lo + hi) / 2;
+    if (energy_grid[mid] <= energy) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  let grid_idx = index_grid[lo];
+  var macro_xs: float = 0.0;
+  predict L1 threshold 4;
+  var j: int = 0;
+  while (j < n_nuclides) {
+    L1:
+    // memory-bound lookup: gather two cross sections and interpolate
+    let row = (grid_idx * 131 + material * 17 + j * 29) %% 16384;
+    let xs_low = xs_table[row];
+    let xs_high = xs_table[(row + j + 1) %% 16384];
+    let xs_abs = xs_table[(row * 3 + 7) %% 16384];
+    let f = energy - float(int(energy));
+    macro_xs = macro_xs + xs_low + f * (xs_high - xs_low) + xs_abs * 0.1;
+    j = j + 1;
+  }
+  results[tid()] = macro_xs * 0.001 + 1.0;
+}
+|}
+    n_materials grid_size grid_size max_tasks
+
+let init (p : Ir.Types.program) mem =
+  let rng = Support.Splitmix.of_ints 0x5c 0x15be 2 in
+  let dist = Support.Dist.Bimodal { lo = (24, 120); hi = (200, 321); p_hi = 0.25 } in
+  Spec.fill_global p mem ~name:"nuclide_counts" ~gen:(fun _ ->
+      Ir.Types.I (Support.Dist.sample dist rng));
+  (* Sorted energy grid in [0, 1). *)
+  Spec.fill_global p mem ~name:"energy_grid" ~gen:(fun i ->
+      Ir.Types.F (float_of_int i /. float_of_int grid_size));
+  Spec.fill_global p mem ~name:"xs_table" ~gen:(fun _ ->
+      Ir.Types.F (Support.Splitmix.float rng));
+  Spec.fill_global p mem ~name:"index_grid" ~gen:(fun _ ->
+      Ir.Types.I (Support.Splitmix.int rng 997))
+
+let spec : Spec.t =
+  {
+    name = "xsbench";
+    description =
+      "Memory-bound Monte Carlo cross-section lookup: scattered-gather inner loop plus an \
+       expensive binary-search refill (Loop Merge + soft barrier)";
+    source;
+    args = [ Ir.Types.I n_materials; Ir.Types.I grid_size ];
+    coarsen = Some 6;
+    init;
+    tweak_config =
+      (fun c ->
+        {
+          c with
+          Simt.Config.n_warps = 2;
+          memory =
+            {
+              c.Simt.Config.memory with
+              Simt.Config.cache = Some { Simt.Config.sets = 64; ways = 4; hit_latency = 8 };
+            };
+        });
+    check =
+      (fun p mem ->
+        match Spec.check_finite ~name:"results" p mem with
+        | Error _ as e -> e
+        | Ok () -> Spec.check_nonzero ~name:"results" ~n:64 p mem);
+  }

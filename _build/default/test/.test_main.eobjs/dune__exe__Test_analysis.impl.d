@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Bool Front Hashtbl Ir List Option QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Core Hashtbl Ir Option Simt Support Workloads

@@ -1,0 +1,1 @@
+test/test_front.ml: Alcotest Array Core Front Ir List Simt String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Core Ir List Option Passes Printf QCheck2 QCheck_alcotest Simt String Workloads

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Analysis Core Front Hashtbl Ir List Passes Simt Workloads

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Analysis Core Front Hashtbl Ir List Passes Simt String Workloads

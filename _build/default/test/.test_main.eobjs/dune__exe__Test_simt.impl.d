@@ -1,0 +1,1 @@
+test/test_simt.ml: Alcotest Analysis Array Core Front Ir List Passes Printf QCheck2 QCheck_alcotest Simt Support

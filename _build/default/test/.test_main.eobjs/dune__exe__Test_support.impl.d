@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Float Format Int64 List QCheck2 QCheck_alcotest Support

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Core Ir List Option Printf Simt String Workloads

@@ -1,0 +1,192 @@
+(* Differential test: an independent OCaml reference implementation of the
+   MeiyaMD5 workload, computed straight from its per-thread sequential
+   semantics, must match the full pipeline (MiniSIMT source → coarsening →
+   lowering → synchronization passes → linearizer → SIMT simulator)
+   bit-for-bit, in every compilation mode.
+
+   MeiyaMD5 is the right subject: it is pure integer arithmetic (no
+   floating-point rounding-order concerns) and draws from the per-thread
+   PRNG, so the test also pins down the exact RNG stream contract
+   (streams keyed by (seed, warp, lane); a coarsened thread consumes all
+   of its tasks from one stream, in task order). *)
+
+let check = Alcotest.check
+let check_bool = check Alcotest.bool
+
+let imax = 2147483647
+
+(* One simulated task of the kernel in lib/workloads/meiyamd5.ml, executed
+   for virtual thread id [vtid] with draws taken from [rng]. Must mirror
+   the MiniSIMT source exactly, including the order of randint draws. *)
+let reference_task rng ~vtid ~max_len ~targets =
+  let length =
+    let short = 2 + Support.Splitmix.int rng 8 in
+    if Support.Splitmix.int rng 5 = 0 then (max_len / 2) + Support.Splitmix.int rng (max_len / 2)
+    else short
+  in
+  let a = ref 1732584193
+  and b = ref 271733879
+  and c = ref 1732584194
+  and d = ref 271733878 in
+  for block = 0 to length - 1 do
+    let m = (block * 1103515245) + (vtid * 12345) in
+    let f1 = (!b mod 65536 * (!c mod 65536)) + (!d mod 65536) in
+    a := (!a + f1 + m) mod imax;
+    a := ((!a * 131) + !b) mod imax;
+    a := ((!a * 31) + (!b mod 4096 * (!c mod 4096))) mod imax;
+    let f2 = (!a mod 65536 * (!d mod 65536)) + (!c mod 65536) in
+    b := (!b + f2 + (m * 7)) mod imax;
+    b := ((!b * 131) + !c) mod imax;
+    b := ((!b * 37) + (!c mod 4096 * (!d mod 4096))) mod imax;
+    let f3 = (!a mod 65536) + (!b mod 65536 * (!d mod 65536)) in
+    c := (!c + f3 + (m * 13)) mod imax;
+    c := ((!c * 41) + (!a mod 4096 * (!d mod 4096))) mod imax;
+    d := (!d + (!a mod 65536 * (!b mod 65536)) + (m * 29)) mod imax;
+    d := ((!d * 43) + (!a mod 4096 * (!b mod 4096))) mod imax
+  done;
+  let digest = (!a + !b + !c + !d) mod imax in
+  if digest mod 64 = targets.(digest mod 64) mod 64 then 1 else 0
+
+(* The targets table, regenerated exactly as the workload's [init] fills
+   it. *)
+let reference_targets () =
+  let rng = Support.Splitmix.of_ints 0x77 0xd5d5 7 in
+  Array.init 64 (fun _ -> Support.Splitmix.int rng 1000000)
+
+let reference_outputs (config : Simt.Config.t) ~coarsen ~max_len =
+  let targets = reference_targets () in
+  let n_threads = config.n_warps * config.warp_size in
+  let found = Hashtbl.create 64 in
+  for wid = 0 to config.n_warps - 1 do
+    for lane = 0 to config.warp_size - 1 do
+      let tid = (wid * config.warp_size) + lane in
+      let rng = Support.Splitmix.of_ints config.seed wid lane in
+      (* a coarsened thread runs its tasks in order on one stream; task c
+         simulates virtual thread tid + c * n_threads *)
+      for c = 0 to coarsen - 1 do
+        let vtid = tid + (c * n_threads) in
+        Hashtbl.replace found vtid (reference_task rng ~vtid ~max_len ~targets)
+      done
+    done
+  done;
+  found
+
+let run_mode options =
+  let spec = Workloads.Registry.find "meiyamd5" in
+  let outcome = Core.Runner.run_spec options spec in
+  let base, size =
+    Hashtbl.find outcome.Core.Runner.compiled.Core.Compile.program.Ir.Types.globals "found"
+  in
+  (outcome, Simt.Memsys.dump outcome.Core.Runner.memory ~base ~len:size)
+
+let test_against_reference options_name options () =
+  let spec = Workloads.Registry.find "meiyamd5" in
+  let config = spec.Workloads.Spec.tweak_config Simt.Config.default in
+  let coarsen = Option.get spec.Workloads.Spec.coarsen in
+  let max_len =
+    match spec.Workloads.Spec.args with
+    | [ Ir.Types.I n ] -> n
+    | _ -> Alcotest.fail "unexpected meiyamd5 arguments"
+  in
+  let expected = reference_outputs config ~coarsen ~max_len in
+  let _, cells = run_mode options in
+  let checked = ref 0 in
+  Hashtbl.iter
+    (fun vtid hit ->
+      incr checked;
+      match cells.(vtid) with
+      | Ir.Types.I simulated ->
+        if simulated <> hit then
+          Alcotest.failf "%s: found[%d] = %d, reference says %d" options_name vtid simulated hit
+      | Ir.Types.F _ -> Alcotest.failf "%s: found[%d] holds a float" options_name vtid)
+    expected;
+  check_bool "checked every virtual thread" true
+    (!checked = config.Simt.Config.n_warps * config.Simt.Config.warp_size * coarsen)
+
+(* ---- mummer: an independent reference for the suffix-walk workload ---- *)
+
+let mummer_tables () =
+  (* regenerated exactly as lib/workloads/mummer.ml's [init] fills them,
+     in the same draw order *)
+  let rng = Support.Splitmix.of_ints 0x33 0x9a2 6 in
+  let tree_child =
+    Array.init 8192 (fun _ ->
+        if Support.Splitmix.float rng < 0.06 then 0 else 1 + Support.Splitmix.int rng 8191)
+  in
+  let skewed () =
+    if Support.Splitmix.float rng < 0.95 then 0 else 1 + Support.Splitmix.int rng 3
+  in
+  let tree_base = Array.init 8192 (fun _ -> skewed ()) in
+  let query_bases = Array.init 16384 (fun _ -> skewed ()) in
+  (tree_child, tree_base, query_bases)
+
+let mummer_reference_task rng ~vtid ~query_len (tree_child, tree_base, query_bases) =
+  let query_off = vtid * 4 in
+  let node = ref (1 + Support.Splitmix.int rng 8191) in
+  let depth = ref 0 in
+  let matched = ref true in
+  while !matched && !depth < query_len do
+    let base_expected = tree_base.(!node mod 8192) in
+    let q = query_bases.((query_off + !depth) mod 16384) in
+    if q = base_expected then begin
+      node := tree_child.(((!node * 4) + q) mod 8192);
+      incr depth;
+      if !node = 0 then matched := false
+    end
+    else matched := false
+  done;
+  !depth
+
+let test_mummer_against_reference options_name options () =
+  let spec = Workloads.Registry.find "mummer" in
+  let config = spec.Workloads.Spec.tweak_config Simt.Config.default in
+  let coarsen = Option.get spec.Workloads.Spec.coarsen in
+  let query_len =
+    match spec.Workloads.Spec.args with
+    | [ Ir.Types.I n ] -> n
+    | _ -> Alcotest.fail "unexpected mummer arguments"
+  in
+  let tables = mummer_tables () in
+  let n_threads = config.Simt.Config.n_warps * config.Simt.Config.warp_size in
+  let outcome = Core.Runner.run_spec options spec in
+  let base, size =
+    Hashtbl.find outcome.Core.Runner.compiled.Core.Compile.program.Ir.Types.globals
+      "match_lengths"
+  in
+  let cells = Simt.Memsys.dump outcome.Core.Runner.memory ~base ~len:size in
+  for wid = 0 to config.Simt.Config.n_warps - 1 do
+    for lane = 0 to config.Simt.Config.warp_size - 1 do
+      let tid = (wid * config.Simt.Config.warp_size) + lane in
+      let rng = Support.Splitmix.of_ints config.Simt.Config.seed wid lane in
+      for c = 0 to coarsen - 1 do
+        let vtid = tid + (c * n_threads) in
+        let expected = mummer_reference_task rng ~vtid ~query_len tables in
+        match cells.(vtid) with
+        | Ir.Types.I simulated ->
+          if simulated <> expected then
+            Alcotest.failf "%s: match_lengths[%d] = %d, reference says %d" options_name vtid
+              simulated expected
+        | Ir.Types.F _ -> Alcotest.failf "%s: match_lengths[%d] holds a float" options_name vtid
+      done
+    done
+  done
+
+let tests =
+  [
+    ( "differential.mummer",
+      [
+        Alcotest.test_case "baseline matches OCaml reference" `Slow
+          (test_mummer_against_reference "baseline" Core.Compile.baseline);
+        Alcotest.test_case "specrecon matches OCaml reference" `Slow
+          (test_mummer_against_reference "specrecon" Core.Compile.speculative);
+      ] );
+    ( "differential.meiyamd5",
+      [
+        Alcotest.test_case "baseline matches OCaml reference" `Slow
+          (test_against_reference "baseline" Core.Compile.baseline);
+        Alcotest.test_case "specrecon matches OCaml reference" `Slow
+          (test_against_reference "specrecon" Core.Compile.speculative);
+        Alcotest.test_case "automatic matches OCaml reference" `Slow
+          (test_against_reference "automatic" Core.Compile.automatic);
+      ] );
+  ]

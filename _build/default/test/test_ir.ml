@@ -1,0 +1,277 @@
+(* Tests for the IR: builder invariants, verifier error classes, the
+   printer, and the linearizer. *)
+
+module T = Ir.Types
+module B = Ir.Builder
+module V = Ir.Verifier
+module L = Ir.Linear
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* A minimal valid kernel: entry computes tid and stores it. *)
+let minimal_kernel () =
+  let p = B.create_program () in
+  let base = B.alloc_global p "out" 64 in
+  let f = B.create_func p "k" ~params:0 in
+  B.set_kernel p "k";
+  let t = B.fresh_reg f in
+  let addr = B.fresh_reg f in
+  B.append f f.entry (T.Tid t);
+  B.append f f.entry (T.Bin (T.Add, addr, T.Imm (T.I base), T.Reg t));
+  B.append f f.entry (T.Store (T.Reg addr, T.Reg t));
+  B.set_term f f.entry T.Exit;
+  (p, f)
+
+(* ---- Builder ---- *)
+
+let test_builder_basics () =
+  let p, f = minimal_kernel () in
+  check_int "globals allocated" 64 p.T.mem_size;
+  check_int "param count" 0 (List.length f.T.params);
+  check_int "global base" 0 (B.global_base p "out");
+  let g = B.create_func p "helper" ~params:2 in
+  check (Alcotest.list Alcotest.int) "params are first regs" [ 0; 1 ] g.T.params;
+  let b2 = B.add_block g in
+  check_bool "block ids distinct" true (b2 <> g.T.entry);
+  let r = B.fresh_reg g in
+  check_int "fresh reg after params" 2 r
+
+let test_builder_errors () =
+  let p, _ = minimal_kernel () in
+  let invalid f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  invalid (fun () -> B.create_func p "k" ~params:0);
+  invalid (fun () -> B.alloc_global p "out" 8);
+  invalid (fun () -> B.alloc_global p "zero" 0);
+  invalid (fun () -> B.set_kernel p "nope");
+  invalid (fun () -> B.global_base p "nope")
+
+let test_builder_labels_hints () =
+  let p, f = minimal_kernel () in
+  ignore p;
+  let b = B.add_block f in
+  B.add_label f "L1" b;
+  check (Alcotest.option Alcotest.int) "label lookup" (Some b) (B.label_block f "L1");
+  check (Alcotest.option Alcotest.int) "missing label" None (B.label_block f "L2");
+  (match B.add_label f "L1" b with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate label accepted");
+  B.add_hint f { T.target = T.Label_target "L1"; region_start = f.T.entry; threshold = Some 4 };
+  check_int "hint recorded" 1 (List.length f.T.hints)
+
+(* ---- Verifier ---- *)
+
+let errors_of p = List.length (V.check_program p)
+
+let test_verifier_accepts_valid () =
+  let p, _ = minimal_kernel () in
+  check_int "no errors" 0 (errors_of p)
+
+let test_verifier_missing_kernel () =
+  let p = B.create_program () in
+  check_bool "missing kernel flagged" true (errors_of p > 0)
+
+let test_verifier_bad_branch_target () =
+  let p, f = minimal_kernel () in
+  B.set_term f f.T.entry (T.Jump 999);
+  check_bool "bad target flagged" true (errors_of p > 0)
+
+let test_verifier_bad_register () =
+  let p, f = minimal_kernel () in
+  B.append f f.T.entry (T.Mov (999, T.Imm (T.I 0)));
+  check_bool "bad register flagged" true (errors_of p > 0)
+
+let test_verifier_bad_call () =
+  let p, f = minimal_kernel () in
+  B.append f f.T.entry (T.Call { callee = "ghost"; args = []; ret = None });
+  check_bool "unknown callee flagged" true (errors_of p > 0);
+  let p2, f2 = minimal_kernel () in
+  let g = B.create_func p2 "two_args" ~params:2 in
+  B.set_term g g.T.entry (T.Ret None);
+  B.append f2 f2.T.entry (T.Call { callee = "two_args"; args = [ T.Imm (T.I 1) ]; ret = None });
+  check_bool "arity mismatch flagged" true (errors_of p2 > 0)
+
+let test_verifier_ret_exit_confusion () =
+  let p, f = minimal_kernel () in
+  B.set_term f f.T.entry (T.Ret None);
+  check_bool "ret in kernel flagged" true (errors_of p > 0);
+  let p2, _ = minimal_kernel () in
+  let g = B.create_func p2 "dev" ~params:0 in
+  B.set_term g g.T.entry T.Exit;
+  check_bool "exit in device function flagged" true (errors_of p2 > 0)
+
+let test_verifier_unreachable_block () =
+  let p, f = minimal_kernel () in
+  let orphan = B.add_block f in
+  B.set_term f orphan T.Exit;
+  check_bool "unreachable flagged" true (errors_of p > 0)
+
+let test_verifier_bad_barrier () =
+  let p, f = minimal_kernel () in
+  B.prepend f f.T.entry (T.Join 5);
+  (* no barrier was ever allocated *)
+  check_bool "unallocated barrier flagged" true (errors_of p > 0)
+
+let test_verifier_bad_hint () =
+  let p, f = minimal_kernel () in
+  B.add_hint f { T.target = T.Label_target "missing"; region_start = f.T.entry; threshold = None };
+  check_bool "unknown hint label flagged" true (errors_of p > 0);
+  let p2, f2 = minimal_kernel () in
+  B.add_hint f2 { T.target = T.Callee_target "ghost"; region_start = f2.T.entry; threshold = None };
+  check_bool "unknown hint callee flagged" true (errors_of p2 > 0)
+
+(* ---- helpers on types ---- *)
+
+let test_defs_uses () =
+  let open T in
+  check (Alcotest.list Alcotest.int) "bin defs" [ 3 ] (defs (Bin (Add, 3, Reg 1, Reg 2)));
+  check (Alcotest.list Alcotest.int) "bin uses" [ 1; 2 ] (uses (Bin (Add, 3, Reg 1, Reg 2)));
+  check (Alcotest.list Alcotest.int) "imm uses" [] (uses (Mov (0, Imm (I 5))));
+  check (Alcotest.list Alcotest.int) "store uses" [ 1; 2 ] (uses (Store (Reg 1, Reg 2)));
+  check (Alcotest.list Alcotest.int) "store defs" [] (defs (Store (Reg 1, Reg 2)));
+  check (Alcotest.list Alcotest.int) "call ret def" [ 7 ]
+    (defs (Call { callee = "f"; args = [ Reg 1 ]; ret = Some 7 }));
+  check (Alcotest.option Alcotest.int) "barrier of wait" (Some 2) (barrier_of (Wait 2));
+  check (Alcotest.option Alcotest.int) "barrier of mov" None (barrier_of (Mov (0, Imm (I 0))));
+  check (Alcotest.list Alcotest.int) "term uses" [ 4 ]
+    (term_uses (Br { cond = Reg 4; if_true = 0; if_false = 1 }))
+
+let test_successors () =
+  let open T in
+  check (Alcotest.list Alcotest.int) "jump" [ 3 ] (successors (Jump 3));
+  check (Alcotest.list Alcotest.int) "br" [ 1; 2 ]
+    (successors (Br { cond = Reg 0; if_true = 1; if_false = 2 }));
+  check (Alcotest.list Alcotest.int) "br same target" [ 1 ]
+    (successors (Br { cond = Reg 0; if_true = 1; if_false = 1 }));
+  check (Alcotest.list Alcotest.int) "exit" [] (successors Exit);
+  check (Alcotest.list Alcotest.int) "ret" [] (successors (Ret None))
+
+(* ---- Printer ---- *)
+
+let test_printer () =
+  let p, _ = minimal_kernel () in
+  let s = Ir.Printer.program_to_string p in
+  let has sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "has kernel marker" true (has "; kernel");
+  check_bool "has func" true (has "func k(");
+  check_bool "has tid" true (has "= tid");
+  check_bool "has store" true (has "store [");
+  check_bool "has exit" true (has "exit");
+  check_bool "has global" true (has "global out")
+
+(* ---- Linearizer ---- *)
+
+let diamond_kernel () =
+  (* entry: br c, then, else; both jump to join; join exits. *)
+  let p = B.create_program () in
+  let f = B.create_func p "k" ~params:0 in
+  B.set_kernel p "k";
+  let c = B.fresh_reg f in
+  let then_b = B.add_block f and else_b = B.add_block f and join = B.add_block f in
+  B.append f f.T.entry (T.Tid c);
+  B.set_term f f.T.entry (T.Br { cond = T.Reg c; if_true = then_b; if_false = else_b });
+  B.append f then_b (T.Mov (c, T.Imm (T.I 1)));
+  B.set_term f then_b (T.Jump join);
+  B.append f else_b (T.Mov (c, T.Imm (T.I 2)));
+  B.set_term f else_b (T.Jump join);
+  B.set_term f join T.Exit;
+  (p, f, then_b, else_b, join)
+
+let test_linearize_fallthrough () =
+  let p, f, _, _, _ = diamond_kernel () in
+  ignore f;
+  let l = L.linearize p in
+  (* tid, br, then-mov, jump(join) or fallthrough, else-mov, exit:
+     RPO layout is entry, then, else, join; the "then" block needs an
+     explicit jump over "else", while "else" falls through to "join". *)
+  check_int "instruction count" 6 (Array.length l.L.code);
+  check_int "kernel entry at 0" 0 l.L.kernel.L.entry_pc
+
+let test_linearize_block_entry_pc () =
+  let p, f, then_b, else_b, join = diamond_kernel () in
+  ignore f;
+  let l = L.linearize p in
+  let pc_then = L.block_entry_pc l ~func:"k" ~block:then_b in
+  let pc_else = L.block_entry_pc l ~func:"k" ~block:else_b in
+  let pc_join = L.block_entry_pc l ~func:"k" ~block:join in
+  (* DFS postorder visits [then] deepest-last, so RPO lays out the else
+     side first and the join last *)
+  check_bool "else before then (RPO)" true (pc_else < pc_then);
+  check_bool "then before join" true (pc_then < pc_join);
+  (match l.L.code.(pc_join) with
+  | L.Lexit -> ()
+  | _ -> Alcotest.fail "join should hold the exit");
+  Alcotest.check_raises "missing block" Not_found (fun () ->
+      ignore (L.block_entry_pc l ~func:"k" ~block:999))
+
+let test_linearize_calls () =
+  let p, f = minimal_kernel () in
+  let g = B.create_func p "twice" ~params:1 in
+  let r = B.fresh_reg g in
+  B.append g g.T.entry (T.Bin (T.Add, r, T.Reg 0, T.Reg 0));
+  B.set_term g g.T.entry (T.Ret (Some (T.Reg r)));
+  let d = B.fresh_reg f in
+  B.append f f.T.entry (T.Call { callee = "twice"; args = [ T.Imm (T.I 21) ]; ret = Some d });
+  let l = L.linearize p in
+  let found = ref false in
+  Array.iter
+    (fun i ->
+      match i with
+      | L.Lcall { callee; entry; n_regs; _ } ->
+        found := true;
+        check Alcotest.string "callee name" "twice" callee;
+        check_int "resolved entry" (L.block_entry_pc l ~func:"twice" ~block:g.T.entry) entry;
+        check_int "frame size" g.T.next_reg n_regs
+      | _ -> ())
+    l.L.code;
+  check_bool "call emitted" true !found
+
+let test_linearize_rejects_invalid () =
+  let p, f = minimal_kernel () in
+  B.set_term f f.T.entry (T.Jump 42);
+  (match L.linearize p with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected linearize to reject invalid program")
+
+let tests =
+  [
+    ( "ir.builder",
+      [
+        Alcotest.test_case "basics" `Quick test_builder_basics;
+        Alcotest.test_case "errors" `Quick test_builder_errors;
+        Alcotest.test_case "labels and hints" `Quick test_builder_labels_hints;
+      ] );
+    ( "ir.verifier",
+      [
+        Alcotest.test_case "accepts valid" `Quick test_verifier_accepts_valid;
+        Alcotest.test_case "missing kernel" `Quick test_verifier_missing_kernel;
+        Alcotest.test_case "bad branch target" `Quick test_verifier_bad_branch_target;
+        Alcotest.test_case "bad register" `Quick test_verifier_bad_register;
+        Alcotest.test_case "bad call" `Quick test_verifier_bad_call;
+        Alcotest.test_case "ret/exit confusion" `Quick test_verifier_ret_exit_confusion;
+        Alcotest.test_case "unreachable block" `Quick test_verifier_unreachable_block;
+        Alcotest.test_case "bad barrier" `Quick test_verifier_bad_barrier;
+        Alcotest.test_case "bad hint" `Quick test_verifier_bad_hint;
+      ] );
+    ( "ir.types",
+      [
+        Alcotest.test_case "defs/uses" `Quick test_defs_uses;
+        Alcotest.test_case "successors" `Quick test_successors;
+      ] );
+    ("ir.printer", [ Alcotest.test_case "renders program" `Quick test_printer ]);
+    ( "ir.linear",
+      [
+        Alcotest.test_case "fallthrough elision" `Quick test_linearize_fallthrough;
+        Alcotest.test_case "block entry pcs" `Quick test_linearize_block_entry_pc;
+        Alcotest.test_case "call resolution" `Quick test_linearize_calls;
+        Alcotest.test_case "rejects invalid" `Quick test_linearize_rejects_invalid;
+      ] );
+  ]

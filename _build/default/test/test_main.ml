@@ -1,0 +1,7 @@
+(* Test entry point: every suite from every layer of the stack. *)
+
+let () =
+  Alcotest.run "specrecon"
+    (Test_support.tests @ Test_ir.tests @ Test_front.tests @ Test_analysis.tests
+   @ Test_passes.tests @ Test_simt.tests @ Test_opt.tests @ Test_workloads.tests
+   @ Test_integration.tests @ Test_differential.tests)

@@ -1,0 +1,264 @@
+(* Tests for the optimization utilities: register liveness, dead code
+   elimination, dead-barrier cleanup, and the AST pretty-printer's
+   parse/print round trip. *)
+
+module T = Ir.Types
+module B = Ir.Builder
+module ISet = Analysis.Sets.Int_set
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* ---- register liveness ---- *)
+
+let test_reg_liveness_straightline () =
+  let p = B.create_program () in
+  let base = B.alloc_global p "out" 8 in
+  let f = B.create_func p "k" ~params:0 in
+  B.set_kernel p "k";
+  let a = B.fresh_reg f and b = B.fresh_reg f and dead = B.fresh_reg f in
+  B.append f f.T.entry (T.Tid a);
+  B.append f f.T.entry (T.Bin (T.Add, b, T.Reg a, T.Imm (T.I 1)));
+  B.append f f.T.entry (T.Bin (T.Mul, dead, T.Reg a, T.Imm (T.I 2)));
+  B.append f f.T.entry (T.Store (T.Imm (T.I base), T.Reg b));
+  B.set_term f f.T.entry T.Exit;
+  let lv = Analysis.Reg_liveness.run f in
+  check_bool "nothing live in" true (ISet.is_empty (Analysis.Reg_liveness.live_in lv f.T.entry));
+  (* after the Tid, [a] is live (used by both Bins) *)
+  check_bool "a live after def" true
+    (ISet.mem a (Analysis.Reg_liveness.live_after lv ~block:f.T.entry ~index:0));
+  (* after the Mul, only [b] is live (feeds the store) *)
+  let after_mul = Analysis.Reg_liveness.live_after lv ~block:f.T.entry ~index:2 in
+  check_bool "b live before store" true (ISet.mem b after_mul);
+  check_bool "dead reg not live" false (ISet.mem dead after_mul)
+
+let test_reg_liveness_branch () =
+  let p = B.create_program () in
+  let f = B.create_func p "k" ~params:0 in
+  B.set_kernel p "k";
+  let c = B.fresh_reg f and x = B.fresh_reg f in
+  let then_b = B.add_block f and join = B.add_block f in
+  B.append f f.T.entry (T.Tid c);
+  B.append f f.T.entry (T.Mov (x, T.Imm (T.I 1)));
+  B.set_term f f.T.entry (T.Br { cond = T.Reg c; if_true = then_b; if_false = join });
+  B.append f then_b (T.Bin (T.Add, x, T.Reg x, T.Imm (T.I 1)));
+  B.set_term f then_b (T.Jump join);
+  B.append f join (T.Store (T.Imm (T.I 0), T.Reg x));
+  B.set_term f join T.Exit;
+  ignore (B.alloc_global p "g" 4);
+  let lv = Analysis.Reg_liveness.run f in
+  check_bool "x live into then" true (ISet.mem x (Analysis.Reg_liveness.live_in lv then_b));
+  check_bool "x live into join" true (ISet.mem x (Analysis.Reg_liveness.live_in lv join));
+  check_bool "c dead after branch" false (ISet.mem c (Analysis.Reg_liveness.live_in lv join))
+
+(* ---- cleanup: DCE ---- *)
+
+let count_insts (p : T.program) =
+  Hashtbl.fold
+    (fun _ (f : T.func) acc ->
+      let n = ref 0 in
+      T.iter_blocks f (fun b -> n := !n + List.length b.T.insts);
+      acc + !n)
+    p.funcs 0
+
+let test_dce_removes_dead_chain () =
+  let src =
+    {|
+global out: int[64];
+kernel k() {
+  let used = tid() * 2;
+  let dead1 = used + 5;
+  let dead2 = dead1 * dead1;
+  out[tid()] = used;
+}
+|}
+  in
+  let p = Front.Lower.compile_source src in
+  let before = count_insts p in
+  let report = Passes.Cleanup.run p in
+  check_bool "removed the dead chain" true (report.Passes.Cleanup.dce_removed >= 2);
+  check_bool "program shrank" true (count_insts p < before);
+  Ir.Verifier.check_program_exn p
+
+let test_dce_keeps_rng_draws () =
+  (* An unused rand() still advances the stream: removing it would change
+     later draws. DCE must keep it. *)
+  let src =
+    {|
+global out: float[64];
+kernel k() {
+  let unused = rand();
+  out[tid()] = rand();
+}
+|}
+  in
+  let with_cleanup =
+    Core.Runner.run_source
+      ~config:{ Simt.Config.default with Simt.Config.n_warps = 1 }
+      Core.Compile.baseline ~source:src ~args:[]
+  in
+  let without_cleanup =
+    Core.Runner.run_source
+      ~config:{ Simt.Config.default with Simt.Config.n_warps = 1 }
+      { Core.Compile.baseline with Core.Compile.cleanup = false }
+      ~source:src ~args:[]
+  in
+  let dump (o : Core.Runner.outcome) = Simt.Memsys.dump o.Core.Runner.memory ~base:0 ~len:32 in
+  check_bool "cleanup preserves PRNG stream" true (dump with_cleanup = dump without_cleanup)
+
+let test_dce_semantics_preserved () =
+  (* Dead-looking code interleaved with live code: outputs must agree
+     with cleanup on and off. *)
+  let src =
+    {|
+global out: float[64];
+kernel k() {
+  var acc: float = 0.0;
+  for i in 0 .. 6 {
+    let dead = float(i) * 3.0;
+    let alive = float(i) + 1.0;
+    if (randint(2) == 0) { acc = acc + alive; }
+  }
+  out[tid()] = acc;
+}
+|}
+  in
+  let config = { Simt.Config.default with Simt.Config.n_warps = 1 } in
+  let on = Core.Runner.run_source ~config Core.Compile.speculative ~source:src ~args:[] in
+  let off =
+    Core.Runner.run_source ~config
+      { Core.Compile.speculative with Core.Compile.cleanup = false }
+      ~source:src ~args:[]
+  in
+  let dump (o : Core.Runner.outcome) = Simt.Memsys.dump o.Core.Runner.memory ~base:0 ~len:64 in
+  check_bool "same outputs" true (dump on = dump off);
+  check_bool "cleanup never adds issues" true
+    (on.Core.Runner.metrics.Simt.Metrics.issues <= off.Core.Runner.metrics.Simt.Metrics.issues)
+
+(* ---- cleanup: dead barriers ---- *)
+
+let test_dead_barrier_removal () =
+  let p = Front.Lower.compile_source "global out: int[64];\nkernel k() { out[tid()] = 1; }" in
+  let f = Hashtbl.find p.T.funcs "k" in
+  (* a joined-but-never-waited barrier, and a waited-but-never-joined one *)
+  let b_no_wait = B.fresh_barrier p in
+  let b_no_join = B.fresh_barrier p in
+  B.prepend f f.T.entry (T.Join b_no_wait);
+  B.prepend f f.T.entry (T.Cancel b_no_wait);
+  B.prepend f f.T.entry (T.Wait b_no_join);
+  let report = Passes.Cleanup.run p in
+  check_int "three dead barrier ops removed" 3 report.Passes.Cleanup.dead_barrier_ops_removed;
+  check_bool "no barrier instruction left" true
+    (let found = ref false in
+     T.iter_blocks f (fun b -> List.iter (fun i -> if T.is_barrier_inst i then found := true) b.T.insts);
+     not !found)
+
+let test_static_deconfliction_residue_cleaned () =
+  (* Static deconfliction deletes the PDOM barrier's ops wholesale; any
+     one-sided leftovers elsewhere are dead-barrier residue that cleanup
+     sweeps. Compile a real workload statically and verify no
+     never-waited joins survive. *)
+  let options =
+    {
+      Core.Compile.speculative with
+      Core.Compile.mode = Core.Compile.Speculative Passes.Deconflict.Static;
+    }
+  in
+  let compiled =
+    Core.Compile.compile options ~source:(Workloads.Registry.find "pathtracer").Workloads.Spec.source
+  in
+  let joined = ref ISet.empty and waited = ref ISet.empty in
+  Hashtbl.iter
+    (fun _ (f : T.func) ->
+      T.iter_blocks f (fun b ->
+          List.iter
+            (fun i ->
+              match i with
+              | T.Join x | T.Rejoin x -> joined := ISet.add x !joined
+              | T.Wait x | T.Wait_threshold (x, _) -> waited := ISet.add x !waited
+              | _ -> ())
+            b.T.insts))
+    compiled.Core.Compile.program.T.funcs;
+  check_bool "every joined barrier has a wait" true (ISet.subset !joined !waited);
+  check_bool "every waited barrier has a join" true (ISet.subset !waited !joined)
+
+(* ---- pretty-printer round trip ---- *)
+
+let roundtrip src =
+  let ast = Front.Parser.parse_string src in
+  let printed = Front.Pretty.to_string ast in
+  let reparsed =
+    try Front.Parser.parse_string printed
+    with Front.Parser.Parse_error (pos, msg) ->
+      Alcotest.failf "reparse failed at %d:%d: %s\n--- printed ---\n%s" pos.Front.Ast.line
+        pos.Front.Ast.col msg printed
+  in
+  if not (Front.Pretty.equal_program ast reparsed) then
+    Alcotest.failf "round trip changed the program:\n--- printed ---\n%s" printed
+
+let test_roundtrip_workloads () =
+  List.iter
+    (fun (spec : Workloads.Spec.t) -> roundtrip spec.Workloads.Spec.source)
+    Workloads.Registry.all
+
+let test_roundtrip_corpus () =
+  List.iter
+    (fun (app : Workloads.Corpus.app) -> roundtrip app.Workloads.Corpus.source)
+    (Workloads.Corpus.generate ~seed:3 ~count:30)
+
+let test_roundtrip_edge_cases () =
+  roundtrip
+    {|
+global s: int;
+global a: float[8];
+func f(x: int, y: float) -> float { return y; }
+kernel k(n: int) {
+  var q: float = 1.5e3;
+  let w = ((1 + 2) * 3) % 4;
+  if (w < n && !(w == 2) || n > 0) { q = -q; } else { q = f(w, q); }
+  L9:
+  predict L9 threshold 7;
+  predict func f;
+  while (w < n) { break; }
+  for z in 0 .. 4 { continue; }
+  a[w] = q;
+  s = w;
+  return;
+}
+|}
+
+let test_coarsened_roundtrip () =
+  (* Coarsened ASTs are synthetic; they should still print and reparse. *)
+  let ast = Front.Parser.parse_string (Workloads.Registry.find "rsbench").Workloads.Spec.source in
+  let coarsened = Front.Coarsen.apply ast ~factor:4 in
+  let printed = Front.Pretty.to_string coarsened in
+  let reparsed = Front.Parser.parse_string printed in
+  check_bool "coarsened round trip" true (Front.Pretty.equal_program coarsened reparsed);
+  (* and the reparsed version lowers to a verifiable program *)
+  Ir.Verifier.check_program_exn (Front.Lower.lower reparsed)
+
+let tests =
+  [
+    ( "analysis.reg_liveness",
+      [
+        Alcotest.test_case "straight line" `Quick test_reg_liveness_straightline;
+        Alcotest.test_case "branch" `Quick test_reg_liveness_branch;
+      ] );
+    ( "passes.cleanup",
+      [
+        Alcotest.test_case "dce removes dead chain" `Quick test_dce_removes_dead_chain;
+        Alcotest.test_case "dce keeps rng draws" `Quick test_dce_keeps_rng_draws;
+        Alcotest.test_case "dce preserves semantics" `Quick test_dce_semantics_preserved;
+        Alcotest.test_case "dead barriers removed" `Quick test_dead_barrier_removal;
+        Alcotest.test_case "static residue cleaned" `Quick
+          test_static_deconfliction_residue_cleaned;
+      ] );
+    ( "front.pretty",
+      [
+        Alcotest.test_case "workload round trips" `Quick test_roundtrip_workloads;
+        Alcotest.test_case "corpus round trips" `Quick test_roundtrip_corpus;
+        Alcotest.test_case "edge cases" `Quick test_roundtrip_edge_cases;
+        Alcotest.test_case "coarsened round trip" `Quick test_coarsened_roundtrip;
+      ] );
+  ]

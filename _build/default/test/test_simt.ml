@@ -1,0 +1,519 @@
+(* Tests for the SIMT simulator: value operations, the memory system,
+   the convergence-barrier unit, metrics, and the interpreter (execution
+   semantics, divergence behaviour, barrier semantics, error handling,
+   determinism). *)
+
+module T = Ir.Types
+module B = Ir.Builder
+module Mask = Support.Mask
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* ---- Valops ---- *)
+
+let test_valops_int () =
+  let open T in
+  check_bool "add" true (Simt.Valops.binop Add (I 2) (I 3) = I 5);
+  check_bool "div" true (Simt.Valops.binop Div (I 7) (I 2) = I 3);
+  check_bool "rem" true (Simt.Valops.binop Rem (I 7) (I 2) = I 1);
+  check_bool "min" true (Simt.Valops.binop Min (I 7) (I 2) = I 2);
+  check_bool "shl" true (Simt.Valops.binop Shl (I 1) (I 4) = I 16);
+  check_bool "lt true" true (Simt.Valops.binop Lt (I 1) (I 2) = I 1);
+  check_bool "lt false" true (Simt.Valops.binop Lt (I 2) (I 1) = I 0);
+  (match Simt.Valops.binop Div (I 1) (I 0) with
+  | exception Division_by_zero -> ()
+  | _ -> Alcotest.fail "expected Division_by_zero");
+  match Simt.Valops.binop Add (I 1) (F 2.0) with
+  | exception Simt.Valops.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected Type_error"
+
+let test_valops_float () =
+  let open T in
+  check_bool "fadd" true (Simt.Valops.binop Fadd (F 1.5) (F 2.5) = F 4.0);
+  check_bool "fmax" true (Simt.Valops.binop Fmax (F 1.5) (F 2.5) = F 2.5);
+  check_bool "fge" true (Simt.Valops.binop Fge (F 2.5) (F 2.5) = I 1);
+  check_bool "sqrt" true (Simt.Valops.unop Sqrt (F 4.0) = F 2.0);
+  check_bool "itof" true (Simt.Valops.unop Itof (I 3) = F 3.0);
+  check_bool "ftoi" true (Simt.Valops.unop Ftoi (F 3.7) = I 3);
+  check_bool "not" true (Simt.Valops.unop Not (I 0) = I 1);
+  match Simt.Valops.unop Sqrt (I 4) with
+  | exception Simt.Valops.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected Type_error"
+
+let test_valops_truthy () =
+  let open T in
+  check_bool "zero false" false (Simt.Valops.truthy (I 0));
+  check_bool "nonzero true" true (Simt.Valops.truthy (I (-3)));
+  check_bool "0.0 false" false (Simt.Valops.truthy (F 0.0));
+  check_bool "float true" true (Simt.Valops.truthy (F 0.5))
+
+(* ---- Memsys ---- *)
+
+let mem_config = Simt.Config.default.Simt.Config.memory
+
+let test_memsys_rw () =
+  let m = Simt.Memsys.create mem_config ~size:16 in
+  Simt.Memsys.write m 3 (T.F 1.5);
+  check_bool "read back" true (Simt.Memsys.read m 3 = T.F 1.5);
+  check_bool "default zero" true (Simt.Memsys.read m 0 = T.I 0);
+  check_int "size" 16 (Simt.Memsys.size m);
+  let invalid f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected bounds error"
+  in
+  invalid (fun () -> Simt.Memsys.read m 16);
+  invalid (fun () -> Simt.Memsys.read m (-1));
+  invalid (fun () -> Simt.Memsys.write m 99 (T.I 0));
+  invalid (fun () -> Simt.Memsys.dump m ~base:10 ~len:10)
+
+let test_memsys_coalescing () =
+  let m = Simt.Memsys.create mem_config ~size:4096 in
+  (* all lanes in one 16-word line: one transaction, base latency *)
+  let coalesced = Simt.Memsys.access_cost m ~addrs:(List.init 16 (fun i -> i)) in
+  check_int "coalesced cost" mem_config.Simt.Config.base_latency coalesced;
+  (* 32 lanes hitting 32 distinct lines: 31 extra transactions *)
+  let scattered = Simt.Memsys.access_cost m ~addrs:(List.init 32 (fun i -> i * 16)) in
+  check_int "scattered cost"
+    (mem_config.Simt.Config.base_latency + (31 * mem_config.Simt.Config.per_transaction))
+    scattered;
+  check_int "empty access free" 0 (Simt.Memsys.access_cost m ~addrs:[]);
+  let stats = Simt.Memsys.stats m in
+  check_int "transactions counted" (1 + 32) stats.Simt.Memsys.transactions
+
+let test_memsys_cache () =
+  let config =
+    { mem_config with Simt.Config.cache = Some { Simt.Config.sets = 4; ways = 2; hit_latency = 5 } }
+  in
+  let m = Simt.Memsys.create config ~size:4096 in
+  let miss_cost = Simt.Memsys.access_cost m ~addrs:[ 0 ] in
+  check_int "first touch misses" config.Simt.Config.base_latency miss_cost;
+  let hit_cost = Simt.Memsys.access_cost m ~addrs:[ 0 ] in
+  check_int "second touch hits" 5 hit_cost;
+  (* fill the set until line 0 is evicted: set index = line mod 4, so
+     lines 32/64 (i.e. addresses 512, 1024) map to set 0 as line 0 does *)
+  ignore (Simt.Memsys.access_cost m ~addrs:[ 512 ]);
+  ignore (Simt.Memsys.access_cost m ~addrs:[ 1024 ]);
+  let evicted = Simt.Memsys.access_cost m ~addrs:[ 0 ] in
+  check_int "evicted misses again" config.Simt.Config.base_latency evicted;
+  let stats = Simt.Memsys.stats m in
+  check_bool "hits and misses recorded" true
+    (stats.Simt.Memsys.hits >= 1 && stats.Simt.Memsys.misses >= 3)
+
+(* ---- Barrier unit ---- *)
+
+let test_barrier_basic_fire () =
+  let u = Simt.Barrier_unit.create ~n_barriers:2 ~warp_size:4 in
+  List.iter (fun l -> Simt.Barrier_unit.join u 0 l) [ 0; 1; 2 ];
+  check_bool "participant" true (Simt.Barrier_unit.is_participant u 0 1);
+  check_bool "lane 3 not in" false (Simt.Barrier_unit.is_participant u 0 3);
+  Simt.Barrier_unit.block u 0 0 ~threshold:None;
+  check_bool "no fire yet" true (Simt.Barrier_unit.fired u 0 = None);
+  check_int "arrived" 1 (Simt.Barrier_unit.arrived u 0);
+  Simt.Barrier_unit.block u 0 1 ~threshold:None;
+  Simt.Barrier_unit.block u 0 2 ~threshold:None;
+  (match Simt.Barrier_unit.fired u 0 with
+  | Some released -> check_int "all released" 3 (Mask.count released)
+  | None -> Alcotest.fail "expected fire");
+  check_bool "participants cleared" true (Mask.is_empty (Simt.Barrier_unit.participants u 0))
+
+let test_barrier_cancel_completes () =
+  let u = Simt.Barrier_unit.create ~n_barriers:1 ~warp_size:4 in
+  List.iter (fun l -> Simt.Barrier_unit.join u 0 l) [ 0; 1 ];
+  Simt.Barrier_unit.block u 0 0 ~threshold:None;
+  check_bool "waiting on lane 1" true (Simt.Barrier_unit.fired u 0 = None);
+  Simt.Barrier_unit.cancel u 0 1;
+  match Simt.Barrier_unit.fired u 0 with
+  | Some released -> check_int "lane 0 released" 1 (Mask.count released)
+  | None -> Alcotest.fail "cancel should complete the barrier"
+
+let test_barrier_threshold () =
+  let u = Simt.Barrier_unit.create ~n_barriers:1 ~warp_size:8 in
+  List.iter (fun l -> Simt.Barrier_unit.join u 0 l) [ 0; 1; 2; 3; 4; 5 ];
+  Simt.Barrier_unit.block u 0 0 ~threshold:(Some 3);
+  Simt.Barrier_unit.block u 0 1 ~threshold:(Some 3);
+  check_bool "below threshold holds" true (Simt.Barrier_unit.fired u 0 = None);
+  Simt.Barrier_unit.block u 0 2 ~threshold:(Some 3);
+  (match Simt.Barrier_unit.fired u 0 with
+  | Some released ->
+    check_int "exactly the waiters released" 3 (Mask.count released);
+    (* the rest still participate *)
+    check_int "remaining participants" 3 (Mask.count (Simt.Barrier_unit.participants u 0))
+  | None -> Alcotest.fail "threshold should fire");
+  (* threshold 0 releases immediately *)
+  Simt.Barrier_unit.block u 0 4 ~threshold:(Some 0);
+  match Simt.Barrier_unit.fired u 0 with
+  | Some released -> check_int "solo release" 1 (Mask.count released)
+  | None -> Alcotest.fail "threshold 0 should fire at once"
+
+let test_barrier_withdraw () =
+  let u = Simt.Barrier_unit.create ~n_barriers:3 ~warp_size:4 in
+  Simt.Barrier_unit.join u 0 0;
+  Simt.Barrier_unit.join u 2 0;
+  Simt.Barrier_unit.join u 2 1;
+  let affected = Simt.Barrier_unit.withdraw_lane u 0 in
+  check (Alcotest.list Alcotest.int) "withdrawn from both" [ 0; 2 ] affected;
+  check_bool "gone from b2" false (Simt.Barrier_unit.is_participant u 2 0);
+  check_bool "lane 1 remains" true (Simt.Barrier_unit.is_participant u 2 1)
+
+let test_barrier_errors () =
+  let u = Simt.Barrier_unit.create ~n_barriers:1 ~warp_size:4 in
+  let invalid f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  invalid (fun () -> Simt.Barrier_unit.join u 5 0);
+  invalid (fun () -> Simt.Barrier_unit.join u 0 9);
+  (* blocking a non-participant is a simulator-usage bug *)
+  invalid (fun () -> Simt.Barrier_unit.block u 0 0 ~threshold:None)
+
+(* ---- Metrics ---- *)
+
+let test_metrics () =
+  let m = Simt.Metrics.create ~warp_size:32 in
+  check (Alcotest.float 1e-9) "empty efficiency" 0.0 (Simt.Metrics.simt_efficiency m);
+  m.Simt.Metrics.issues <- 10;
+  m.Simt.Metrics.active_sum <- 160;
+  m.Simt.Metrics.cycles <- 20;
+  check (Alcotest.float 1e-9) "efficiency" 0.5 (Simt.Metrics.simt_efficiency m);
+  check (Alcotest.float 1e-9) "avg active" 16.0 (Simt.Metrics.avg_active m);
+  check (Alcotest.float 1e-9) "ipc" 0.5 (Simt.Metrics.ipc m)
+
+(* ---- Interp ---- *)
+
+let small_config = { Simt.Config.default with Simt.Config.n_warps = 1 }
+
+let run_src ?(config = small_config) ?(args = []) src =
+  let compiled = Core.Compile.compile Core.Compile.baseline ~source:src in
+  Simt.Interp.run config compiled.Core.Compile.linear ~args ~init_memory:(fun _ -> ())
+
+let out_cells (r : Simt.Interp.result) n = Simt.Memsys.dump r.Simt.Interp.memory ~base:0 ~len:n
+
+let test_interp_tid_store () =
+  let r = run_src "global out: int[64];\nkernel k() { out[tid()] = tid() * 2; }" in
+  let cells = out_cells r 32 in
+  Array.iteri
+    (fun i v -> check_bool (Printf.sprintf "cell %d" i) true (v = T.I (i * 2)))
+    cells;
+  check_int "all finished" 32 r.Simt.Interp.metrics.Simt.Metrics.threads_finished
+
+let test_interp_full_efficiency_when_uniform () =
+  let r = run_src "global out: int[64];\nkernel k() { var s: int = 0; for i in 0 .. 10 { s = s + i; } out[tid()] = s; }" in
+  check (Alcotest.float 0.001) "uniform kernel runs at 100%" 1.0
+    (Simt.Metrics.simt_efficiency r.Simt.Interp.metrics)
+
+let test_interp_divergence_reduces_efficiency () =
+  let r =
+    run_src
+      {|
+global out: int[64];
+kernel k() {
+  var s: int = 0;
+  if (lane() % 2 == 0) {
+    for i in 0 .. 20 { s = s + i; }
+  } else {
+    for i in 0 .. 20 { s = s - i; }
+  }
+  out[tid()] = s;
+}
+|}
+  in
+  let eff = Simt.Metrics.simt_efficiency r.Simt.Interp.metrics in
+  check_bool "divergent kernel below 90%" true (eff < 0.9);
+  check_bool "but above 40%" true (eff > 0.4)
+
+let test_interp_args () =
+  let r = run_src ~args:[ T.I 5; T.F 1.5 ]
+      "global out: float[64];\nkernel k(n: int, x: float) { out[tid()] = float(n) * x; }"
+  in
+  check_bool "arg value" true ((out_cells r 1).(0) = T.F 7.5)
+
+let test_interp_arity_error () =
+  let compiled =
+    Core.Compile.compile Core.Compile.baseline ~source:"kernel k(n: int) { let x = n; }"
+  in
+  match
+    Simt.Interp.run small_config compiled.Core.Compile.linear ~args:[] ~init_memory:(fun _ -> ())
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected arity error"
+
+let test_interp_runtime_errors () =
+  let expect_error src =
+    match run_src src with
+    | exception Simt.Interp.Runtime_error _ -> ()
+    | _ -> Alcotest.failf "expected runtime error"
+  in
+  expect_error "global out: int[4];\nkernel k() { out[tid() + 100] = 1; }";
+  expect_error "global out: int[64];\nkernel k() { out[tid()] = 1 / (tid() - tid()); }";
+  expect_error "global out: int[64];\nkernel k() { out[tid()] = randint(0); }"
+
+let test_interp_runaway () =
+  let config = { small_config with Simt.Config.max_issues = 1000 } in
+  let src =
+    "global out: int[64];\nkernel k() { var i: int = 0; while (i < 1) { i = i - 1; } out[tid()] = i; }"
+  in
+  match run_src ~config src with
+  | exception Simt.Interp.Runaway _ -> ()
+  | _ -> Alcotest.fail "expected runaway protection to trigger"
+
+let test_interp_determinism () =
+  let src =
+    {|
+global out: float[64];
+kernel k() {
+  var acc: float = 0.0;
+  for i in 0 .. 10 { acc = acc + rand(); }
+  out[tid()] = acc;
+}
+|}
+  in
+  let a = run_src src and b = run_src src in
+  check_bool "same seed, same results" true (out_cells a 32 = out_cells b 32);
+  check_int "same issue count" a.Simt.Interp.metrics.Simt.Metrics.issues
+    b.Simt.Interp.metrics.Simt.Metrics.issues;
+  let other_seed = { small_config with Simt.Config.seed = 7 } in
+  let c = run_src ~config:other_seed src in
+  check_bool "different seed, different results" true (out_cells a 32 <> out_cells c 32)
+
+let test_interp_policies_same_results () =
+  let src =
+    {|
+global out: float[64];
+kernel k() {
+  var acc: float = 0.0;
+  for i in 0 .. 8 {
+    if (rand() < 0.5) { acc = acc + 1.0; } else { acc = acc - 1.0; }
+  }
+  out[tid()] = acc;
+}
+|}
+  in
+  let with_policy policy = run_src ~config:{ small_config with Simt.Config.policy } src in
+  let a = with_policy Simt.Config.Most_threads in
+  let b = with_policy Simt.Config.Lowest_pc in
+  let c = with_policy Simt.Config.Round_robin in
+  check_bool "most-threads = lowest-pc results" true (out_cells a 32 = out_cells b 32);
+  check_bool "most-threads = round-robin results" true (out_cells a 32 = out_cells c 32)
+
+let test_interp_no_spontaneous_merge () =
+  (* Two sides of a divergent branch run the same uniform loop; without a
+     barrier they must NOT merge (group identities stay apart), so
+     efficiency stays near 50%. This pins down the Volta-faithful
+     convergence model. *)
+  let src =
+    {|
+global out: float[64];
+kernel k() {
+  var acc: float = float(lane());
+  if (lane() % 2 == 0) {
+    var i: int = 0;
+    while (i < 32) { acc = acc + 1.0; i = i + 1; }
+  } else {
+    var j: int = 0;
+    while (j < 32) { acc = acc + 1.0; j = j + 1; }
+  }
+  out[tid()] = acc;
+}
+|}
+  in
+  let r = run_src src in
+  let eff = Simt.Metrics.simt_efficiency r.Simt.Interp.metrics in
+  check_bool "diverged halves never exceed ~55%" true (eff < 0.55)
+
+let test_interp_barrier_reconverges () =
+  (* Hand-inserted convergence barrier: join before the divergent branch,
+     wait at the join point; efficiency recovers. *)
+  let p = Front.Lower.compile_source
+      {|
+global out: float[64];
+kernel k() {
+  var acc: float = float(lane());
+  if (lane() % 2 == 0) { acc = acc + 1.0; } else { acc = acc - 1.0; }
+  var i: int = 0;
+  while (i < 32) { acc = acc + 1.0; i = i + 1; }
+  out[tid()] = acc;
+}
+|}
+  in
+  (* compile twice: no sync vs baseline PDOM *)
+  let run_program program =
+    let linear = Ir.Linear.linearize program in
+    Simt.Interp.run small_config linear ~args:[] ~init_memory:(fun _ -> ())
+  in
+  let no_sync = run_program p in
+  let p2 = Front.Lower.compile_source
+      {|
+global out: float[64];
+kernel k() {
+  var acc: float = float(lane());
+  if (lane() % 2 == 0) { acc = acc + 1.0; } else { acc = acc - 1.0; }
+  var i: int = 0;
+  while (i < 32) { acc = acc + 1.0; i = i + 1; }
+  out[tid()] = acc;
+}
+|}
+  in
+  let divergence = Analysis.Divergence.run p2 in
+  ignore (Passes.Pdom_sync.run p2 divergence);
+  let with_sync = run_program p2 in
+  let eff_no = Simt.Metrics.simt_efficiency no_sync.Simt.Interp.metrics in
+  let eff_yes = Simt.Metrics.simt_efficiency with_sync.Simt.Interp.metrics in
+  check_bool "PDOM reconvergence recovers efficiency" true (eff_yes > eff_no +. 0.2);
+  (* and results agree *)
+  check_bool "results agree" true (out_cells no_sync 32 = out_cells with_sync 32)
+
+let test_tracer_consistency () =
+  (* The tracer sees exactly one event per issue, and the active-lane
+     totals reconstruct the SIMT-efficiency numerator. *)
+  let src =
+    {|
+global out: float[64];
+kernel k() {
+  var acc: float = 0.0;
+  for i in 0 .. 6 {
+    if (rand() < 0.5) { acc = acc + 1.0; }
+  }
+  out[tid()] = acc;
+}
+|}
+  in
+  let compiled = Core.Compile.compile Core.Compile.baseline ~source:src in
+  let issues = ref 0 and active = ref 0 in
+  let result =
+    Simt.Interp.run small_config compiled.Core.Compile.linear
+      ~tracer:(fun e ->
+        incr issues;
+        active := !active + List.length e.Simt.Interp.active;
+        (* lanes are ascending and within the warp *)
+        let rec ascending = function
+          | a :: (b :: _ as rest) -> a < b && ascending rest
+          | [ _ ] | [] -> true
+        in
+        if not (ascending e.Simt.Interp.active) then Alcotest.fail "lanes not ascending";
+        if e.Simt.Interp.warp <> 0 then Alcotest.fail "single-warp launch saw another warp")
+      ~args:[] ~init_memory:(fun _ -> ())
+  in
+  check_int "one event per issue" result.Simt.Interp.metrics.Simt.Metrics.issues !issues;
+  check_int "active sum matches" result.Simt.Interp.metrics.Simt.Metrics.active_sum !active
+
+let prop_memsys_cost_formula =
+  (* Without a cache the coalescing cost is exactly
+     base + (lines - 1) * per_transaction. *)
+  QCheck2.Test.make ~name:"memsys: cost matches the coalescing formula" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 32) (int_range 0 4095))
+    (fun addrs ->
+      let m = Simt.Memsys.create mem_config ~size:4096 in
+      let lines =
+        List.sort_uniq compare
+          (List.map (fun a -> a / mem_config.Simt.Config.line_words) addrs)
+      in
+      Simt.Memsys.access_cost m ~addrs
+      = mem_config.Simt.Config.base_latency
+        + ((List.length lines - 1) * mem_config.Simt.Config.per_transaction))
+
+let prop_barrier_unit_invariants =
+  (* Random operation sequences keep the unit's invariants: waiting is a
+     subset of participants, and a fire releases exactly the waiters. *)
+  let op_gen =
+    QCheck2.Gen.(
+      pair (int_range 0 2) (pair (int_range 0 1) (int_range 0 7)) (* op, barrier, lane *))
+  in
+  QCheck2.Test.make ~name:"barrier unit: waiting ⊆ participants under any op sequence"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 60) op_gen)
+    (fun ops ->
+      let u = Simt.Barrier_unit.create ~n_barriers:2 ~warp_size:8 in
+      List.for_all
+        (fun (op, (b, lane)) ->
+          (match op with
+          | 0 -> Simt.Barrier_unit.join u b lane
+          | 1 -> Simt.Barrier_unit.cancel u b lane
+          | _ ->
+            if
+              Simt.Barrier_unit.is_participant u b lane
+              && not (Support.Mask.mem lane (Simt.Barrier_unit.waiting u b))
+            then Simt.Barrier_unit.block u b lane ~threshold:None);
+          let w = Simt.Barrier_unit.waiting u b
+          and p = Simt.Barrier_unit.participants u b in
+          let subset_ok = Support.Mask.subset w p in
+          let fire_ok =
+            match Simt.Barrier_unit.fired u b with
+            | None -> true
+            | Some released ->
+              Support.Mask.equal released w
+              && Support.Mask.is_empty
+                   (Support.Mask.inter released (Simt.Barrier_unit.participants u b))
+          in
+          subset_ok && fire_ok)
+        ops)
+
+let test_config_validation () =
+  let invalid c = match Simt.Config.validate c with
+    | exception Invalid_argument _ -> ()
+    | () -> Alcotest.fail "expected config rejection"
+  in
+  invalid { Simt.Config.default with Simt.Config.warp_size = 0 };
+  invalid { Simt.Config.default with Simt.Config.warp_size = 1000 };
+  invalid { Simt.Config.default with Simt.Config.n_warps = 0 };
+  invalid { Simt.Config.default with Simt.Config.max_issues = 0 };
+  invalid
+    {
+      Simt.Config.default with
+      Simt.Config.latencies = { Simt.Config.default.Simt.Config.latencies with Simt.Config.alu = 0 };
+    };
+  invalid
+    {
+      Simt.Config.default with
+      Simt.Config.memory =
+        {
+          Simt.Config.default.Simt.Config.memory with
+          Simt.Config.cache = Some { Simt.Config.sets = 0; ways = 1; hit_latency = 1 };
+        };
+    };
+  Simt.Config.validate Simt.Config.default
+
+let tests =
+  [
+    ( "simt.valops",
+      [
+        Alcotest.test_case "int ops" `Quick test_valops_int;
+        Alcotest.test_case "float ops" `Quick test_valops_float;
+        Alcotest.test_case "truthy" `Quick test_valops_truthy;
+      ] );
+    ( "simt.memsys",
+      [
+        Alcotest.test_case "read/write" `Quick test_memsys_rw;
+        Alcotest.test_case "coalescing" `Quick test_memsys_coalescing;
+        Alcotest.test_case "cache" `Quick test_memsys_cache;
+      ] );
+    ( "simt.barrier_unit",
+      [
+        Alcotest.test_case "fire when all wait" `Quick test_barrier_basic_fire;
+        Alcotest.test_case "cancel completes" `Quick test_barrier_cancel_completes;
+        Alcotest.test_case "threshold (soft barrier)" `Quick test_barrier_threshold;
+        Alcotest.test_case "withdraw lane" `Quick test_barrier_withdraw;
+        Alcotest.test_case "errors" `Quick test_barrier_errors;
+      ] );
+    ("simt.metrics", [ Alcotest.test_case "derivations" `Quick test_metrics ]);
+    ( "simt.interp",
+      [
+        Alcotest.test_case "tid store" `Quick test_interp_tid_store;
+        Alcotest.test_case "uniform 100% efficiency" `Quick test_interp_full_efficiency_when_uniform;
+        Alcotest.test_case "divergence lowers efficiency" `Quick
+          test_interp_divergence_reduces_efficiency;
+        Alcotest.test_case "kernel args" `Quick test_interp_args;
+        Alcotest.test_case "arity error" `Quick test_interp_arity_error;
+        Alcotest.test_case "runtime errors" `Quick test_interp_runtime_errors;
+        Alcotest.test_case "runaway protection" `Quick test_interp_runaway;
+        Alcotest.test_case "determinism" `Quick test_interp_determinism;
+        Alcotest.test_case "policy-invariant results" `Quick test_interp_policies_same_results;
+        Alcotest.test_case "no spontaneous merge" `Quick test_interp_no_spontaneous_merge;
+        Alcotest.test_case "barriers reconverge" `Quick test_interp_barrier_reconverges;
+        Alcotest.test_case "tracer consistency" `Quick test_tracer_consistency;
+        Alcotest.test_case "config validation" `Quick test_config_validation;
+        QCheck_alcotest.to_alcotest prop_memsys_cost_formula;
+        QCheck_alcotest.to_alcotest prop_barrier_unit_invariants;
+      ] );
+  ]

@@ -1,0 +1,153 @@
+(* Tests over the Table-2 workloads and the synthetic corpus.
+
+   The central correctness property: for every workload, the baseline,
+   speculative, and automatic compilations produce bit-identical kernel
+   outputs — the synchronization passes reorder execution in time but
+   never change any thread's dataflow. *)
+
+module T = Ir.Types
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* Shrink a workload (fewer tasks per thread) so the three-way comparison
+   stays fast; the launch width stays at the paper configuration because
+   the output checks expect it. *)
+let shrink (spec : Workloads.Spec.t) =
+  { spec with Workloads.Spec.coarsen = Option.map (fun f -> min f 2) spec.Workloads.Spec.coarsen }
+
+let memory_image (o : Core.Runner.outcome) =
+  Simt.Memsys.dump o.Core.Runner.memory ~base:0
+    ~len:(Simt.Memsys.size o.Core.Runner.memory)
+
+let three_way_test (spec : Workloads.Spec.t) () =
+  let spec = shrink spec in
+  let baseline = Core.Runner.run_spec Core.Compile.baseline spec in
+  let speculative = Core.Runner.run_spec Core.Compile.speculative spec in
+  let automatic = Core.Runner.run_spec Core.Compile.automatic spec in
+  (match baseline.Core.Runner.check with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "baseline check: %s" e);
+  (match speculative.Core.Runner.check with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "speculative check: %s" e);
+  (match automatic.Core.Runner.check with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "automatic check: %s" e);
+  check_bool "baseline = speculative outputs" true
+    (memory_image baseline = memory_image speculative);
+  check_bool "baseline = automatic outputs" true (memory_image baseline = memory_image automatic);
+  (* every thread terminated in all three *)
+  let finished (o : Core.Runner.outcome) = o.Core.Runner.metrics.Simt.Metrics.threads_finished in
+  check_int "speculative finished" (finished baseline) (finished speculative);
+  check_int "automatic finished" (finished baseline) (finished automatic)
+
+let improvement_test name () =
+  (* At paper configuration, the headline workloads must show real SIMT
+     efficiency gains under speculative reconvergence. *)
+  let spec = Workloads.Registry.find name in
+  let baseline = Core.Runner.run_spec Core.Compile.baseline spec in
+  let optimized = Core.Runner.run_spec Core.Compile.speculative spec in
+  let be = Core.Runner.efficiency baseline and oe = Core.Runner.efficiency optimized in
+  if oe <= be then Alcotest.failf "%s: efficiency %.3f -> %.3f (expected a gain)" name be oe
+
+let auto_improvement_test name () =
+  let spec = Workloads.Registry.find name in
+  let baseline = Core.Runner.run_spec Core.Compile.baseline spec in
+  let optimized = Core.Runner.run_spec Core.Compile.automatic spec in
+  let be = Core.Runner.efficiency baseline and oe = Core.Runner.efficiency optimized in
+  if oe <= be then Alcotest.failf "%s: auto efficiency %.3f -> %.3f (expected a gain)" name be oe
+
+let test_registry () =
+  check_int "ten workloads" 10 (List.length Workloads.Registry.all);
+  check_int "two fig-9 subjects" 2 (List.length Workloads.Registry.soft_barrier_subjects);
+  check_bool "find works" true
+    (String.equal (Workloads.Registry.find "rsbench").Workloads.Spec.name "rsbench");
+  (match Workloads.Registry.find "nope" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found");
+  (* names unique *)
+  let names = List.map (fun (s : Workloads.Spec.t) -> s.Workloads.Spec.name) Workloads.Registry.all in
+  check_int "names unique" (List.length names) (List.length (List.sort_uniq compare names))
+
+let test_descriptions_nonempty () =
+  List.iter
+    (fun (s : Workloads.Spec.t) ->
+      check_bool (s.Workloads.Spec.name ^ " described") true
+        (String.length s.Workloads.Spec.description > 20))
+    Workloads.Registry.all
+
+(* ---- corpus ---- *)
+
+let test_corpus_deterministic () =
+  let a = Workloads.Corpus.generate ~seed:1 ~count:24 in
+  let b = Workloads.Corpus.generate ~seed:1 ~count:24 in
+  let c = Workloads.Corpus.generate ~seed:2 ~count:24 in
+  check_bool "same seed same corpus" true
+    (List.for_all2
+       (fun (x : Workloads.Corpus.app) (y : Workloads.Corpus.app) ->
+         String.equal x.Workloads.Corpus.source y.Workloads.Corpus.source)
+       a b);
+  check_bool "different seed differs somewhere" true
+    (List.exists2
+       (fun (x : Workloads.Corpus.app) (y : Workloads.Corpus.app) ->
+         not (String.equal x.Workloads.Corpus.source y.Workloads.Corpus.source))
+       a c)
+
+let test_corpus_all_run () =
+  let apps = Workloads.Corpus.generate ~seed:99 ~count:40 in
+  List.iter
+    (fun (app : Workloads.Corpus.app) ->
+      let outcome =
+        Core.Runner.run_source ~config:Workloads.Corpus.config ~init:Workloads.Corpus.init
+          Core.Compile.baseline ~source:app.Workloads.Corpus.source
+          ~args:app.Workloads.Corpus.args
+      in
+      check_int
+        (Printf.sprintf "app %d finished" app.Workloads.Corpus.id)
+        32 outcome.Core.Runner.metrics.Simt.Metrics.threads_finished)
+    apps
+
+let test_corpus_shape_mix () =
+  let apps = Workloads.Corpus.generate ~seed:520 ~count:520 in
+  let count shape =
+    List.length (List.filter (fun (a : Workloads.Corpus.app) -> a.Workloads.Corpus.shape = shape) apps)
+  in
+  let convergentish =
+    count Workloads.Corpus.Convergent + count Workloads.Corpus.Memory_streaming
+  in
+  check_bool "mostly convergent (divergent workloads are a small fraction)" true
+    (convergentish > 300);
+  check_bool "some divergent-loop apps" true (count Workloads.Corpus.Divergent_loop > 5);
+  check_bool "some imbalanced-branch apps" true (count Workloads.Corpus.Imbalanced_branch > 5)
+
+let tests =
+  [
+    ( "workloads.correctness",
+      List.map
+        (fun (spec : Workloads.Spec.t) ->
+          Alcotest.test_case
+            (spec.Workloads.Spec.name ^ ": identical outputs across modes")
+            `Slow (three_way_test spec))
+        Workloads.Registry.all );
+    ( "workloads.improvements",
+      List.map
+        (fun name -> Alcotest.test_case (name ^ ": efficiency gain") `Slow (improvement_test name))
+        [ "rsbench"; "pathtracer"; "mc-gpu"; "gpu-mcml"; "common-call"; "mcb" ]
+      @ List.map
+          (fun name ->
+            Alcotest.test_case (name ^ ": automatic gain") `Slow (auto_improvement_test name))
+          [ "meiyamd5"; "optix-trace" ] );
+    ( "workloads.registry",
+      [
+        Alcotest.test_case "registry" `Quick test_registry;
+        Alcotest.test_case "descriptions" `Quick test_descriptions_nonempty;
+      ] );
+    ( "workloads.corpus",
+      [
+        Alcotest.test_case "deterministic" `Quick test_corpus_deterministic;
+        Alcotest.test_case "all apps run" `Slow test_corpus_all_run;
+        Alcotest.test_case "shape mix" `Quick test_corpus_shape_mix;
+      ] );
+  ]
