@@ -115,22 +115,65 @@ let all_groups =
   Test.make_grouped ~name:"specrecon"
     [ fig7_group; fig8_group; fig9_group; fig10_group; funnel_group ]
 
-let benchmark () =
+(* Run Bechamel over [groups] and return sorted (name, ms/run) pairs;
+   tests without an OLS estimate report [nan]. *)
+let benchmark ~quota ~limit groups =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
-  let raw = Benchmark.all cfg instances all_groups in
+  let cfg = Benchmark.cfg ~limit ~quota ~kde:(Some 10) () in
+  let raw = Benchmark.all cfg instances groups in
   let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+  |> List.sort compare
+  |> List.map (fun (name, result) ->
+         match Analyze.OLS.estimates result with
+         | Some [ ns ] -> (name, ns /. 1e6)
+         | Some _ | None -> (name, Float.nan))
+
+let print_estimates estimates =
   Format.printf "==================================================================@.";
   Format.printf "Bechamel wall-clock benchmarks (per-run time)@.";
   Format.printf "==================================================================@.";
-  Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
-  |> List.sort compare
-  |> List.iter (fun (name, result) ->
-         match Analyze.OLS.estimates result with
-         | Some [ ns ] -> Format.printf "  %-45s %12.3f ms/run@." name (ns /. 1e6)
-         | Some _ | None -> Format.printf "  %-45s (no estimate)@." name)
+  List.iter
+    (fun (name, ms) ->
+      if Float.is_nan ms then Format.printf "  %-45s (no estimate)@." name
+      else Format.printf "  %-45s %12.3f ms/run@." name ms)
+    estimates
+
+(* Machine-readable perf trajectory: name -> ms/run. Future sessions
+   diff this file against their own run to spot interpreter
+   regressions without parsing the human-readable table. *)
+let json_path = "BENCH_interp.json"
+
+let write_json estimates =
+  let oc = open_out json_path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, ms) ->
+      Printf.fprintf oc "  %S: %s%s\n" name
+        (if Float.is_nan ms then "null" else Printf.sprintf "%.6f" ms)
+        (if i < List.length estimates - 1 then "," else ""))
+    estimates;
+  output_string oc "}\n";
+  close_out oc;
+  Format.printf "@.wrote %s (%d entries)@." json_path (List.length estimates)
+
+(* [--smoke]: one tiny quota over a fast singleton group plus the JSON
+   emission — enough for `dune build @bench-smoke` to catch bench-harness
+   rot without paying for the full run. *)
+let smoke_group =
+  Test.make_grouped ~name:"smoke"
+    [
+      Test.make ~name:"compile-baseline"
+        (Staged.stage (compile_bench Core.Compile.baseline (spec_of "rsbench")));
+    ]
 
 let () =
-  regenerate ();
-  benchmark ()
+  if Array.exists (String.equal "--smoke") Sys.argv then
+    write_json (benchmark ~quota:(Time.second 0.01) ~limit:20 smoke_group)
+  else begin
+    regenerate ();
+    let estimates = benchmark ~quota:(Time.second 0.5) ~limit:200 all_groups in
+    print_estimates estimates;
+    write_json estimates
+  end

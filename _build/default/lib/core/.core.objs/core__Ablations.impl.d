@@ -1,1 +1,1 @@
-lib/core/ablations.ml: Compile Format List Passes Runner Simt Workloads
+lib/core/ablations.ml: Compile Format List Passes Runner Simt Support Workloads

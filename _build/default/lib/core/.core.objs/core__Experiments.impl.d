@@ -1,1 +1,1 @@
-lib/core/experiments.ml: Compile Float Format List Printf Runner String Workloads
+lib/core/experiments.ml: Compile Float Format List Printf Runner String Support Workloads

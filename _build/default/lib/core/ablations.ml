@@ -1,6 +1,12 @@
 let subjects () =
   List.map Workloads.Registry.find [ "rsbench"; "pathtracer"; "mc-gpu"; "gpu-mcml" ]
 
+(* Every row of every ablation table is an independent bundle of
+   simulations; fan them out like the Experiments drivers do.
+   [Support.Domain_pool.map] keeps result order, so tables print
+   byte-identically to a sequential run. *)
+let pmap = Support.Domain_pool.map
+
 (* ---- deconfliction strategy ---- *)
 
 type deconflict_row = {
@@ -17,7 +23,7 @@ let barrier_issues (o : Runner.outcome) =
   m.Simt.Metrics.barrier_joins + m.Simt.Metrics.barrier_waits + m.Simt.Metrics.barrier_cancels
 
 let deconfliction ?config () =
-  List.map
+  pmap
     (fun (spec : Workloads.Spec.t) ->
       let baseline = Runner.run_spec ?config Compile.baseline spec in
       let dynamic = Runner.run_spec ?config Compile.speculative spec in
@@ -46,7 +52,7 @@ type policy_row = {
 }
 
 let policies ?(config = Simt.Config.default) () =
-  List.map
+  pmap
     (fun (spec : Workloads.Spec.t) ->
       let cycles_with policy =
         Runner.cycles
@@ -66,7 +72,7 @@ type warps_row = { warps : int; baseline_cycles : int; specrecon_cycles : int; s
 
 let warp_scaling ?(warps = [ 1; 2; 4; 8 ]) () =
   let spec = Workloads.Registry.find "rsbench" in
-  List.map
+  pmap
     (fun n ->
       let spec =
         {

@@ -22,7 +22,15 @@ let measure_one ?config (spec : Workloads.Spec.t) =
     let auto = check_or_fail spec.name (Runner.run_spec ?config Compile.automatic spec) in
     { name = spec.name; mode = "automatic"; baseline; optimized = auto }
 
-let measure_table2 ?config () = List.map (measure_one ?config) Workloads.Registry.all
+(* The exhibits below are embarrassingly parallel across workloads /
+   sweep points: every simulation owns all of its state, so they fan out
+   over a domain pool. [Support.Domain_pool.map] preserves input order
+   (and replays exceptions deterministically), which keeps every printed
+   table byte-identical to a sequential run — set SPECRECON_DOMAINS=1 to
+   force the sequential path and check. *)
+let pmap = Support.Domain_pool.map
+
+let measure_table2 ?config () = pmap (measure_one ?config) Workloads.Registry.all
 
 let table2 () =
   List.map (fun (s : Workloads.Spec.t) -> (s.name, s.description)) Workloads.Registry.all
@@ -66,23 +74,43 @@ type fig9_series = { subject : string; points : fig9_point list }
 let default_thresholds = [ 0; 2; 4; 6; 8; 12; 16; 20; 24; 28; 32 ]
 
 let figure9 ?config ?(thresholds = default_thresholds) () =
-  List.map
-    (fun (spec : Workloads.Spec.t) ->
-      let baseline = check_or_fail spec.name (Runner.run_spec ?config Compile.baseline spec) in
-      let points =
-        List.map
-          (fun threshold ->
-            let options = { Compile.speculative with Compile.threshold = Compile.Set threshold } in
-            let o = check_or_fail spec.name (Runner.run_spec ?config options spec) in
-            {
-              threshold;
-              efficiency = Runner.efficiency o;
-              speedup = Runner.speedup ~baseline ~optimized:o;
-            })
-          thresholds
-      in
-      { subject = spec.name; points })
-    Workloads.Registry.soft_barrier_subjects
+  let subjects = Workloads.Registry.soft_barrier_subjects in
+  (* Flatten subjects × thresholds into one work list so the sweep fills
+     the whole pool instead of one domain per subject. *)
+  let baselines =
+    pmap
+      (fun (spec : Workloads.Spec.t) ->
+        check_or_fail spec.name (Runner.run_spec ?config Compile.baseline spec))
+      subjects
+  in
+  let sweep =
+    List.concat_map
+      (fun (spec, baseline) -> List.map (fun t -> (spec, baseline, t)) thresholds)
+      (List.combine subjects baselines)
+  in
+  let points =
+    pmap
+      (fun ((spec : Workloads.Spec.t), baseline, threshold) ->
+        let options = { Compile.speculative with Compile.threshold = Compile.Set threshold } in
+        let o = check_or_fail spec.name (Runner.run_spec ?config options spec) in
+        {
+          threshold;
+          efficiency = Runner.efficiency o;
+          speedup = Runner.speedup ~baseline ~optimized:o;
+        })
+      sweep
+  in
+  let rec chunks = function
+    | [] -> []
+    | rest ->
+      let n = List.length thresholds in
+      let head = List.filteri (fun i _ -> i < n) rest in
+      let tail = List.filteri (fun i _ -> i >= n) rest in
+      head :: chunks tail
+  in
+  List.map2
+    (fun (spec : Workloads.Spec.t) points -> { subject = spec.name; points })
+    subjects (chunks points)
 
 (* ---- Figure 10 ---- *)
 
@@ -96,7 +124,7 @@ type fig10_row = {
 }
 
 let figure10 ?config () =
-  List.map
+  pmap
     (fun (spec : Workloads.Spec.t) ->
       let baseline = check_or_fail spec.name (Runner.run_spec ?config Compile.baseline spec) in
       let auto = check_or_fail spec.name (Runner.run_spec ?config Compile.automatic spec) in
@@ -141,7 +169,7 @@ let corpus_funnel ?(seed = 520) ?(count = 520) () =
   let apps = Workloads.Corpus.generate ~seed ~count in
   let config = Workloads.Corpus.config in
   let per_app =
-    List.map
+    pmap
       (fun (app : Workloads.Corpus.app) ->
         let baseline =
           Runner.run_source ~config ~init:Workloads.Corpus.init Compile.baseline

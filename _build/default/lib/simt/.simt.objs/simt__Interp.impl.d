@@ -1,1 +1,1 @@
-lib/simt/interp.ml: Analysis Array Barrier_unit Buffer Config Format Hashtbl Ir List Memsys Metrics Option Printf Support Valops
+lib/simt/interp.ml: Analysis Array Barrier_unit Buffer Config Format Ir List Memsys Metrics Option Printf Support Valops

@@ -66,11 +66,13 @@ let fire_condition t b =
   else if Mask.equal w p then true
   else
     (* Soft-barrier rule: fire when at least one waiter's threshold is
-       met by the number of blocked participants. *)
+       met by the number of blocked participants. The waiter count is
+       loop-invariant, so take the popcount once. *)
+    let arrived = Mask.count w in
     Mask.fold
       (fun lane acc ->
         let k = t.threshold.(b).(lane) in
-        acc || (k >= 0 && Mask.count w >= k))
+        acc || (k >= 0 && arrived >= k))
       w false
 
 let fired t b =

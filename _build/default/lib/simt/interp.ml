@@ -28,7 +28,8 @@ type thread = {
   mutable pc : int;
   mutable status : thread_status;
   mutable ready_at : int;
-  (* Convergence-group identity. Threads co-issue only when they share a
+  (* Convergence-group identity: the index of this thread's group slot in
+     its warp's [gmask] table. Threads co-issue only when they share a
      group; groups split whenever members head to different places
      (divergent branch outcomes, barrier blocking) and merge ONLY when a
      convergence barrier fires. This models Volta behaviour faithfully:
@@ -42,7 +43,21 @@ type warp = {
   wid : int;
   threads : thread array;
   barriers : Barrier_unit.t;
-  mutable rr_pc : int; (* last pc issued, for the Round_robin policy *)
+  mutable rr_pc : int; (* last pc issued by the Round_robin policy *)
+  (* Live convergence groups as a packed table of lane bitmasks: slots
+     [0, n_groups) hold disjoint non-empty masks covering every non-Done
+     thread. Maintained incrementally on split/merge, so the issue path
+     never rebuilds the partition. Invariant: all members of a group
+     share the same pc, status and ready_at — they always transition
+     together, and any divergent transition (branch, return, barrier
+     block) immediately re-partitions the group by destination. *)
+  gmask : Mask.t array;
+  mutable n_groups : int;
+  (* Cached min ready_at over Ready groups (max_int if none), so an idle
+     cycle advances time in O(warps) instead of O(warps × lanes).
+     [ready_stale] marks the cache dirty after any group mutation. *)
+  mutable ready_min : int;
+  mutable ready_stale : bool;
 }
 
 let frame_of th =
@@ -93,43 +108,80 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
       group = 0;
     }
   in
-  let group_counter = ref 0 in
-  let fresh_group () =
-    incr group_counter;
-    !group_counter
-  in
-  (* Threads that moved together may have landed in different places;
-     re-partition them into fresh groups by destination pc. *)
-  let regroup threads =
-    let by_pc = Hashtbl.create 4 in
-    List.iter
-      (fun th ->
-        match th.status with
-        | Ready | Blocked -> (
-          match Hashtbl.find_opt by_pc th.pc with
-          | Some gid -> th.group <- gid
-          | None ->
-            let gid = fresh_group () in
-            Hashtbl.replace by_pc th.pc gid;
-            th.group <- gid)
-        | Done -> ())
-      threads
-  in
   let warps =
     Array.init config.n_warps (fun wid ->
-        {
-          wid;
-          threads = Array.init config.warp_size (make_thread wid);
-          barriers =
-            Barrier_unit.create ~n_barriers:lprog.n_barriers ~warp_size:config.warp_size;
-          rr_pc = -1;
-        })
+        let w =
+          {
+            wid;
+            threads = Array.init config.warp_size (make_thread wid);
+            barriers =
+              Barrier_unit.create ~n_barriers:lprog.n_barriers ~warp_size:config.warp_size;
+            rr_pc = -1;
+            gmask = Array.make config.warp_size Mask.empty;
+            n_groups = 1;
+            ready_min = 0;
+            ready_stale = true;
+          }
+        in
+        w.gmask.(0) <- Mask.full config.warp_size;
+        w)
   in
   let n_threads = config.n_warps * config.warp_size in
   let cycle = ref 0 in
   let last_warp = ref (config.n_warps - 1) in
+  (* Per-run scratch: simulation within one [run] is single-threaded, so
+     one set of buffers serves every warp without re-allocation. *)
+  let addr_buf = Array.make config.warp_size 0 in
+  let part_pc = Array.make config.warp_size 0 in
+  let part_slot = Array.make config.warp_size 0 in
+  let cand_pc = Array.make config.warp_size 0 in
+  let cand_mask = Array.make config.warp_size Mask.empty in
   let context w th =
     Printf.sprintf "warp %d lane %d tid %d pc %d" w.wid th.lane th.tid th.pc
+  in
+  (* ---- incremental group-table maintenance ---- *)
+  let detach w th =
+    let s = th.group in
+    let m = Mask.remove th.lane w.gmask.(s) in
+    w.gmask.(s) <- m;
+    if Mask.is_empty m then begin
+      (* free the slot by moving the last one down *)
+      let last = w.n_groups - 1 in
+      if s <> last then begin
+        w.gmask.(s) <- w.gmask.(last);
+        Mask.iter (fun lane -> w.threads.(lane).group <- s) w.gmask.(s)
+      end;
+      w.n_groups <- last
+    end
+  in
+  (* Threads that moved together may have landed in different places;
+     re-partition them into fresh groups by destination pc. *)
+  let regroup w moved =
+    w.ready_stale <- true;
+    Mask.iter
+      (fun lane ->
+        let th = w.threads.(lane) in
+        if th.status <> Done then detach w th)
+      moved;
+    let k = ref 0 in
+    Mask.iter
+      (fun lane ->
+        let th = w.threads.(lane) in
+        if th.status <> Done then begin
+          let j = ref 0 in
+          while !j < !k && part_pc.(!j) <> th.pc do incr j done;
+          if !j = !k then begin
+            part_pc.(!k) <- th.pc;
+            part_slot.(!k) <- w.n_groups;
+            w.gmask.(w.n_groups) <- Mask.empty;
+            w.n_groups <- w.n_groups + 1;
+            incr k
+          end;
+          let s = part_slot.(!j) in
+          w.gmask.(s) <- Mask.add lane w.gmask.(s);
+          th.group <- s
+        end)
+      moved
   in
   (* Release every lane the barrier fire condition allows. *)
   let release_fired w b =
@@ -137,98 +189,106 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
     | None -> ()
     | Some released ->
       metrics.barrier_fires <- metrics.barrier_fires + 1;
-      let threads = ref [] in
       Mask.iter
         (fun lane ->
           let th = w.threads.(lane) in
           th.status <- Ready;
           th.pc <- th.pc + 1;
-          th.ready_at <- !cycle + lat.barrier;
-          threads := th :: !threads)
+          th.ready_at <- !cycle + lat.barrier)
         released;
       (* The fire is the one place where diverged threads reconverge:
          everyone released at the same point joins one fresh group. *)
-      regroup !threads
+      regroup w released
   in
   let finish_thread w th =
     th.status <- Done;
+    w.ready_stale <- true;
+    detach w th;
     metrics.threads_finished <- metrics.threads_finished + 1;
     let affected = Barrier_unit.withdraw_lane w.barriers th.lane in
     List.iter (release_fired w) affected
   in
-  (* Execute one issued group: all [lanes] of [w] sit at [pc]. *)
-  let execute w pc lanes =
-    let threads = List.map (fun lane -> w.threads.(lane)) lanes in
+  (* Execute one issued group: all lanes of [active] sit at [pc]. *)
+  let execute w pc active =
+    w.ready_stale <- true;
+    let each f = Mask.iter (fun lane -> f w.threads.(lane)) active in
     let advance_all latency =
-      List.iter
-        (fun th ->
+      each (fun th ->
           th.pc <- pc + 1;
           th.ready_at <- !cycle + latency)
-        threads
     in
     match lprog.code.(pc) with
     | L.Op op -> (
       match op with
       | T.Bin (bop, d, a, b) ->
-        List.iter (fun th -> set_reg th d (Valops.binop bop (eval th a) (eval th b))) threads;
+        each (fun th -> set_reg th d (Valops.binop bop (eval th a) (eval th b)));
         advance_all (if T.is_float_op bop then lat.float_op else lat.alu)
       | T.Un (uop, d, a) ->
-        List.iter (fun th -> set_reg th d (Valops.unop uop (eval th a))) threads;
+        each (fun th -> set_reg th d (Valops.unop uop (eval th a)));
         advance_all (if T.is_special_unop uop then lat.special else lat.alu)
       | T.Mov (d, a) ->
-        List.iter (fun th -> set_reg th d (eval th a)) threads;
+        each (fun th -> set_reg th d (eval th a));
         advance_all lat.alu
       | T.Load (d, a) ->
         metrics.mem_accesses <- metrics.mem_accesses + 1;
-        let addrs = List.map (fun th -> Valops.to_int (eval th a)) threads in
-        let cost = Memsys.access_cost memory ~addrs in
-        List.iter2 (fun th addr -> set_reg th d (Memsys.read memory addr)) threads addrs;
+        let n = ref 0 in
+        each (fun th ->
+            addr_buf.(!n) <- Valops.to_int (eval th a);
+            incr n);
+        let cost = Memsys.access_costn memory ~addrs:addr_buf ~n:!n in
+        let i = ref 0 in
+        each (fun th ->
+            set_reg th d (Memsys.read memory addr_buf.(!i));
+            incr i);
         advance_all cost
       | T.Store (a, v) ->
         metrics.mem_accesses <- metrics.mem_accesses + 1;
-        let addrs = List.map (fun th -> Valops.to_int (eval th a)) threads in
-        let cost = Memsys.access_cost memory ~addrs in
+        let n = ref 0 in
+        each (fun th ->
+            addr_buf.(!n) <- Valops.to_int (eval th a);
+            incr n);
+        let cost = Memsys.access_costn memory ~addrs:addr_buf ~n:!n in
         (* Lane order resolves write conflicts: the highest lane wins,
            matching CUDA's unspecified-but-single-winner semantics
            deterministically. *)
-        List.iter2 (fun th addr -> Memsys.write memory addr (eval th v)) threads addrs;
+        let i = ref 0 in
+        each (fun th ->
+            Memsys.write memory addr_buf.(!i) (eval th v);
+            incr i);
         advance_all cost
       | T.Tid d ->
-        List.iter (fun th -> set_reg th d (T.I th.tid)) threads;
+        each (fun th -> set_reg th d (T.I th.tid));
         advance_all lat.alu
       | T.Lane d ->
-        List.iter (fun th -> set_reg th d (T.I th.lane)) threads;
+        each (fun th -> set_reg th d (T.I th.lane));
         advance_all lat.alu
       | T.Nthreads d ->
-        List.iter (fun th -> set_reg th d (T.I n_threads)) threads;
+        each (fun th -> set_reg th d (T.I n_threads));
         advance_all lat.alu
       | T.Rand d ->
-        List.iter (fun th -> set_reg th d (T.F (Support.Splitmix.float th.rng))) threads;
+        each (fun th -> set_reg th d (T.F (Support.Splitmix.float th.rng)));
         advance_all lat.rand
       | T.Randint (d, n) ->
-        List.iter
-          (fun th ->
+        each (fun th ->
             let bound = Valops.to_int (eval th n) in
             if bound <= 0 then
               raise
                 (Runtime_error
                    (Printf.sprintf "randint bound %d not positive (%s)" bound (context w th)));
-            set_reg th d (T.I (Support.Splitmix.int th.rng bound)))
-          threads;
+            set_reg th d (T.I (Support.Splitmix.int th.rng bound)));
         advance_all lat.rand
       | T.Join b | T.Rejoin b ->
         metrics.barrier_joins <- metrics.barrier_joins + 1;
-        List.iter (fun th -> Barrier_unit.join w.barriers b th.lane) threads;
+        each (fun th -> Barrier_unit.join w.barriers b th.lane);
         advance_all lat.barrier
       | T.Cancel b ->
         metrics.barrier_cancels <- metrics.barrier_cancels + 1;
-        List.iter (fun th -> Barrier_unit.cancel w.barriers b th.lane) threads;
+        each (fun th -> Barrier_unit.cancel w.barriers b th.lane);
         advance_all lat.barrier;
         release_fired w b
       | T.Wait b ->
         metrics.barrier_waits <- metrics.barrier_waits + 1;
-        List.iter
-          (fun th ->
+        each (fun th ->
             if Barrier_unit.is_participant w.barriers b th.lane then begin
               th.status <- Blocked;
               Barrier_unit.block w.barriers b th.lane ~threshold:None
@@ -236,15 +296,13 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
             else begin
               th.pc <- pc + 1;
               th.ready_at <- !cycle + lat.barrier
-            end)
-          threads;
+            end);
         (* blockers and pass-through threads part ways *)
-        regroup threads;
+        regroup w active;
         release_fired w b
       | T.Wait_threshold (b, k) ->
         metrics.barrier_waits <- metrics.barrier_waits + 1;
-        List.iter
-          (fun th ->
+        each (fun th ->
             if Barrier_unit.is_participant w.barriers b th.lane then begin
               th.status <- Blocked;
               Barrier_unit.block w.barriers b th.lane ~threshold:(Some k)
@@ -252,29 +310,25 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
             else begin
               th.pc <- pc + 1;
               th.ready_at <- !cycle + lat.barrier
-            end)
-          threads;
-        regroup threads;
+            end);
+        regroup w active;
         release_fired w b
       | T.Arrived (d, b) ->
-        List.iter (fun th -> set_reg th d (T.I (Barrier_unit.arrived w.barriers b))) threads;
+        each (fun th -> set_reg th d (T.I (Barrier_unit.arrived w.barriers b)));
         advance_all lat.barrier
       | T.Call _ ->
         (* The linearizer turns calls into [Lcall]. *)
         raise (Runtime_error (Printf.sprintf "raw call at pc %d" pc)))
     | L.Lcall { entry; n_regs; args = call_args; ret; callee = _ } ->
-      List.iter
-        (fun th ->
+      each (fun th ->
           let values = List.map (eval th) call_args in
           let regs = Array.make (max n_regs 1) (T.I 0) in
           List.iteri (fun i v -> regs.(i) <- v) values;
           th.frames <- { regs; ret_pc = pc + 1; ret_reg = ret } :: th.frames;
           th.pc <- entry;
           th.ready_at <- !cycle + lat.call)
-        threads
     | L.Lret op ->
-      List.iter
-        (fun th ->
+      each (fun th ->
           let value = Option.map (eval th) op in
           match th.frames with
           | { ret_pc; ret_reg; _ } :: (_ :: _ as rest) ->
@@ -285,67 +339,88 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
             | None, (Some _ | None) -> ());
             th.pc <- ret_pc;
             th.ready_at <- !cycle + lat.call
-          | _ -> raise (Runtime_error (Printf.sprintf "ret outside call (%s)" (context w th))))
-        threads;
+          | _ -> raise (Runtime_error (Printf.sprintf "ret outside call (%s)" (context w th))));
       (* returns to different call sites split the group *)
-      regroup threads
+      regroup w active
     | L.Lbr { cond; target } ->
-      List.iter
-        (fun th ->
+      each (fun th ->
           th.pc <- (if Valops.truthy (eval th cond) then target else pc + 1);
-          th.ready_at <- !cycle + lat.branch)
-        threads;
+          th.ready_at <- !cycle + lat.branch);
       (* a divergent outcome splits the convergence group *)
-      regroup threads
+      regroup w active
     | L.Ljump target ->
-      List.iter
-        (fun th ->
+      each (fun th ->
           th.pc <- target;
           th.ready_at <- !cycle + lat.branch)
-        threads
-    | L.Lexit -> List.iter (fun th -> finish_thread w th) threads
+    | L.Lexit -> each (fun th -> finish_thread w th)
   in
   (* Pick the next (warp, pc, lanes) to issue, rotating over warps.
-     Candidates are convergence groups (threads sharing a group id), not
-     mere PC coincidences. *)
+     Candidates are convergence groups, read straight off the warp's
+     incremental group table; a group is issuable when its (uniform)
+     status is Ready and its ready_at has passed. Candidates are ordered
+     by (pc, lexicographic lane list) — the order the schedule-sensitive
+     policies are defined against. *)
   let select_group w =
-    let groups = Hashtbl.create 8 in
-    let gids = ref [] in
-    Array.iter
-      (fun th ->
-        if th.status = Ready && th.ready_at <= !cycle then begin
-          if not (Hashtbl.mem groups th.group) then gids := th.group :: !gids;
-          Hashtbl.replace groups th.group
-            (th.lane :: Option.value (Hashtbl.find_opt groups th.group) ~default:[])
-        end)
-      w.threads;
-    match !gids with
-    | [] -> None
-    | _ ->
-      let candidates =
-        List.map
-          (fun gid ->
-            let lanes = List.rev (Hashtbl.find groups gid) in
-            let pc = w.threads.(List.hd lanes).pc in
-            (pc, lanes))
-          (List.sort compare !gids)
-      in
-      let candidates = List.sort compare candidates in
+    let k = ref 0 in
+    for s = 0 to w.n_groups - 1 do
+      let m = w.gmask.(s) in
+      let rep = w.threads.(Mask.lowest m) in
+      if rep.status = Ready && rep.ready_at <= !cycle then begin
+        cand_pc.(!k) <- rep.pc;
+        cand_mask.(!k) <- m;
+        incr k
+      end
+    done;
+    let k = !k in
+    if k = 0 then None
+    else begin
+      for i = 1 to k - 1 do
+        let pc = cand_pc.(i) and m = cand_mask.(i) in
+        let j = ref (i - 1) in
+        while
+          !j >= 0
+          && (cand_pc.(!j) > pc
+             || (cand_pc.(!j) = pc && Mask.compare_lex cand_mask.(!j) m > 0))
+        do
+          cand_pc.(!j + 1) <- cand_pc.(!j);
+          cand_mask.(!j + 1) <- cand_mask.(!j);
+          decr j
+        done;
+        cand_pc.(!j + 1) <- pc;
+        cand_mask.(!j + 1) <- m
+      done;
       let chosen =
         match config.policy with
-        | Config.Lowest_pc -> List.hd candidates
+        | Config.Lowest_pc -> 0
         | Config.Most_threads ->
-          List.fold_left
-            (fun (bpc, blanes) (pc, lanes) ->
-              if List.length lanes > List.length blanes then (pc, lanes) else (bpc, blanes))
-            (List.hd candidates) (List.tl candidates)
-        | Config.Round_robin -> (
-          match List.find_opt (fun (pc, _) -> pc > w.rr_pc) candidates with
-          | Some c -> c
-          | None -> List.hd candidates)
+          let best = ref 0 in
+          let best_n = ref (Mask.count cand_mask.(0)) in
+          for i = 1 to k - 1 do
+            let n = Mask.count cand_mask.(i) in
+            if n > !best_n then begin
+              best := i;
+              best_n := n
+            end
+          done;
+          !best
+        | Config.Round_robin ->
+          let found = ref 0 in
+          (try
+             for i = 0 to k - 1 do
+               if cand_pc.(i) > w.rr_pc then begin
+                 found := i;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          (* rr_pc is Round_robin state only: the other policies must
+             not touch it, or a policy change would perturb schedules it
+             never influences. *)
+          w.rr_pc <- cand_pc.(!found);
+          !found
       in
-      w.rr_pc <- fst chosen;
-      Some chosen
+      Some (cand_pc.(chosen), cand_mask.(chosen))
+    end
   in
   let find_issue () =
     let found = ref None in
@@ -383,7 +458,12 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
           th.status <- Ready;
           th.pc <- th.pc + 1;
           th.ready_at <- !cycle + lat.barrier;
-          th.group <- fresh_group ();
+          w.ready_stale <- true;
+          detach w th;
+          let s = w.n_groups in
+          w.gmask.(s) <- Mask.singleton th.lane;
+          w.n_groups <- s + 1;
+          th.group <- s;
           release_fired w b
         | None -> raise (Deadlock "blocked thread not waiting on any barrier")
       end
@@ -409,21 +489,23 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
   let running = ref true in
   while !running do
     match find_issue () with
-    | Some (w, pc, lanes) ->
+    | Some (w, pc, active) ->
       metrics.issues <- metrics.issues + 1;
       if metrics.issues > config.max_issues then
         raise (Runaway (Printf.sprintf "issue budget %d exhausted" config.max_issues));
-      metrics.active_sum <- metrics.active_sum + List.length lanes;
+      metrics.active_sum <- metrics.active_sum + Mask.count active;
       (match tracer with
       | Some observe ->
-        observe { at_cycle = !cycle; warp = w.wid; pc; active = lanes; where = lprog.locs.(pc) }
+        observe
+          { at_cycle = !cycle; warp = w.wid; pc; active = Mask.to_list active;
+            where = lprog.locs.(pc) }
       | None -> ());
       if is_block_entry.(pc) then begin
         let loc = lprog.locs.(pc) in
         Analysis.Profile.record profile ~func:loc.L.in_func ~block:loc.L.in_block
-          ~count:(List.length lanes)
+          ~count:(Mask.count active)
       end;
-      (try execute w pc lanes with
+      (try execute w pc active with
       | Valops.Type_error msg ->
         raise (Runtime_error (Printf.sprintf "type error at pc %d (warp %d): %s" pc w.wid msg))
       | Division_by_zero ->
@@ -433,24 +515,27 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
       incr cycle
     | None ->
       (* Nothing issuable this cycle: advance time to the next ready
-         thread, finish, or handle an all-blocked stall. *)
-      let next_ready = ref max_int in
-      let any_live = ref false in
-      Array.iter
-        (fun w ->
-          Array.iter
-            (fun th ->
-              match th.status with
-              | Ready ->
-                any_live := true;
-                if th.ready_at < !next_ready then next_ready := th.ready_at
-              | Blocked -> any_live := true
-              | Done -> ())
-            w.threads)
-        warps;
-      if not !any_live then running := false
-      else if !next_ready < max_int then cycle := max !next_ready (!cycle + 1)
-      else yield_or_deadlock ()
+         group, finish, or handle an all-blocked stall. Group uniformity
+         makes the per-warp minimum a min over groups, not lanes, and the
+         cache makes the common all-warps-stalled step O(warps). *)
+      if metrics.threads_finished >= n_threads then running := false
+      else begin
+        let next = ref max_int in
+        Array.iter
+          (fun w ->
+            if w.ready_stale then begin
+              let m = ref max_int in
+              for s = 0 to w.n_groups - 1 do
+                let rep = w.threads.(Mask.lowest w.gmask.(s)) in
+                if rep.status = Ready && rep.ready_at < !m then m := rep.ready_at
+              done;
+              w.ready_min <- !m;
+              w.ready_stale <- false
+            end;
+            if w.ready_min < !next then next := w.ready_min)
+          warps;
+        if !next < max_int then cycle := max !next (!cycle + 1) else yield_or_deadlock ()
+      end
   done;
   metrics.cycles <- !cycle;
   { metrics; memory; profile }

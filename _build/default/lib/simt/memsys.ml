@@ -12,6 +12,10 @@ type t = {
   config : Config.memory;
   data : Ir.Types.value array;
   cache : cache_state option;
+  (* Scratch for coalescing: distinct line ids of the access in flight.
+     Grown on demand; reused across accesses so the hot path stays
+     allocation-free. *)
+  mutable lines : int array;
   mutable reads : int;
   mutable writes : int;
   mutable transactions : int;
@@ -31,6 +35,7 @@ let create (config : Config.memory) ~size =
     config;
     data = Array.make size (Ir.Types.I 0);
     cache;
+    lines = Array.make 32 0;
     reads = 0;
     writes = 0;
     transactions = 0;
@@ -74,26 +79,59 @@ let probe cache line =
     false
   end
 
-let access_cost t ~addrs =
-  match addrs with
-  | [] -> 0
-  | _ ->
-    let lines = List.sort_uniq compare (List.map (fun a -> a / t.config.line_words) addrs) in
-    t.transactions <- t.transactions + List.length lines;
-    (match t.cache with
-    | None ->
-      t.config.base_latency + ((List.length lines - 1) * t.config.per_transaction)
+(* [access_costn t ~addrs ~n] prices the warp access touching
+   [addrs.(0 .. n-1)]. The distinct lines are collected into the reused
+   [t.lines] scratch and probed in ascending order (the order the old
+   list-based path established, which the cache LRU state depends on). *)
+let access_costn t ~addrs ~n =
+  if n = 0 then 0
+  else begin
+    if Array.length t.lines < n then t.lines <- Array.make n 0;
+    let lines = t.lines in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      let line = addrs.(i) / t.config.line_words in
+      let j = ref 0 in
+      while !j < !k && lines.(!j) <> line do incr j done;
+      if !j = !k then begin
+        lines.(!k) <- line;
+        incr k
+      end
+    done;
+    let k = !k in
+    (* insertion sort: k is at most the warp width and usually tiny *)
+    for i = 1 to k - 1 do
+      let line = lines.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && lines.(!j) > line do
+        lines.(!j + 1) <- lines.(!j);
+        decr j
+      done;
+      lines.(!j + 1) <- line
+    done;
+    t.transactions <- t.transactions + k;
+    match t.cache with
+    | None -> t.config.base_latency + ((k - 1) * t.config.per_transaction)
     | Some cache ->
-      let hits, misses = List.partition (probe cache) lines in
-      t.hits <- t.hits + List.length hits;
-      t.misses <- t.misses + List.length misses;
+      let hits = ref 0 in
+      for i = 0 to k - 1 do
+        if probe cache lines.(i) then incr hits
+      done;
+      let hits = !hits in
+      let misses = k - hits in
+      t.hits <- t.hits + hits;
+      t.misses <- t.misses + misses;
       let miss_cost =
-        match misses with
-        | [] -> 0
-        | _ -> t.config.base_latency + ((List.length misses - 1) * t.config.per_transaction)
+        if misses = 0 then 0
+        else t.config.base_latency + ((misses - 1) * t.config.per_transaction)
       in
-      let hit_cost = if hits = [] then 0 else cache.hit_latency in
-      max hit_cost miss_cost)
+      let hit_cost = if hits = 0 then 0 else cache.hit_latency in
+      max hit_cost miss_cost
+  end
+
+let access_cost t ~addrs =
+  let addrs = Array.of_list addrs in
+  access_costn t ~addrs ~n:(Array.length addrs)
 
 let stats t =
   { reads = t.reads; writes = t.writes; transactions = t.transactions; hits = t.hits;

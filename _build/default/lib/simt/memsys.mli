@@ -32,6 +32,12 @@ val size : t -> int
     cache state and statistics. *)
 val access_cost : t -> addrs:int list -> int
 
+(** [access_costn t ~addrs ~n] — same as {!access_cost} for the addresses
+    in [addrs.(0 .. n-1)]. This is the interpreter's hot-path entry: the
+    caller reuses one scratch array across issues, so no per-access list
+    is built. *)
+val access_costn : t -> addrs:int array -> n:int -> int
+
 val stats : t -> stats
 
 (** [dump t ~base ~len] — snapshot of a memory region. *)

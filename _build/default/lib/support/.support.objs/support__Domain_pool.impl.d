@@ -1,0 +1,1 @@
+lib/support/domain_pool.ml: Array Atomic Domain List Printf String Sys

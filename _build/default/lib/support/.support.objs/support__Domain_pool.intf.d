@@ -1,0 +1,1 @@
+lib/support/domain_pool.mli:

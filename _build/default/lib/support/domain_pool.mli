@@ -1,0 +1,23 @@
+(** Deterministic parallel [map] over stdlib domains.
+
+    The experiment drivers use this to spread independent simulations
+    across cores. Results come back in input order and exceptions are
+    replayed for the earliest failing element, so a parallel run is
+    observationally identical to the sequential one — the property that
+    keeps every printed table byte-for-byte stable. *)
+
+(** Environment variable ["SPECRECON_DOMAINS"] overriding the worker
+    count. [SPECRECON_DOMAINS=1] forces the sequential path (useful to
+    cross-check parallel output); unset means
+    [Domain.recommended_domain_count ()]. *)
+val env_var : string
+
+(** Worker count that {!map} will use: the {!env_var} override when set,
+    otherwise [Domain.recommended_domain_count ()].
+    @raise Invalid_argument when the override is not a positive integer. *)
+val domains : unit -> int
+
+(** [map f xs] is [List.map f xs], computed on up to [domains ()]
+    domains. [f] must be safe to run concurrently with itself on
+    distinct elements (the simulator is: every run owns its state). *)
+val map : ('a -> 'b) -> 'a list -> 'b list

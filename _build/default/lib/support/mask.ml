@@ -28,18 +28,32 @@ let union a b = a lor b
 let inter a b = a land b
 let diff a b = a land lnot b
 
+(* SWAR popcount. Masks occupy bits [0, max_width) of a 63-bit native
+   int, so every constant below fits comfortably; the first mask only
+   needs even bit positions of [m lsr 1], which spans bits [0, 61). *)
 let count m =
-  let rec loop m acc = if m = 0 then acc else loop (m lsr 1) (acc + (m land 1)) in
-  loop m 0
+  let m = m - ((m lsr 1) land 0x1555555555555555) in
+  let m = (m land 0x3333333333333333) + ((m lsr 2) land 0x3333333333333333) in
+  let m = (m + (m lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  let m = m + (m lsr 8) in
+  let m = m + (m lsr 16) in
+  let m = m + (m lsr 32) in
+  m land 0x7F
 
 let is_empty m = m = 0
 let equal (a : int) b = a = b
 let subset a b = a land lnot b = 0
 let disjoint a b = a land b = 0
 
+(* Visit only the set bits: peel the lowest one each round, so sparse
+   masks (the common case on a diverged warp) cost O(popcount), not
+   O(max_width). *)
 let iter f m =
-  for lane = 0 to max_width - 1 do
-    if m land (1 lsl lane) <> 0 then f lane
+  let m = ref m in
+  while !m <> 0 do
+    let bit = !m land - !m in
+    f (count (bit - 1));
+    m := !m land (!m - 1)
   done
 
 let fold f m acc =
@@ -53,8 +67,25 @@ let of_list lanes = List.fold_left (fun m lane -> add lane m) empty lanes
 
 let lowest m =
   if m = 0 then raise Not_found;
-  let rec loop lane = if m land (1 lsl lane) <> 0 then lane else loop (lane + 1) in
-  loop 0
+  (* Isolate the lowest set bit; the popcount of (bit - 1) is its index. *)
+  count ((m land -m) - 1)
+
+(* Ascending-lane-list lexicographic order, computed on the bits. The
+   first differing lane is the lowest bit of [a lxor b]; whichever mask
+   owns it lists a smaller element there — unless the other mask has no
+   lane at or above that point, in which case it is a strict prefix and
+   sorts first. Matches [compare (to_list a) (to_list b)]. *)
+let compare_lex a b =
+  if a = b then 0
+  else begin
+    let l = (a lxor b) land -(a lxor b) in
+    let owner_is_a = a land l <> 0 in
+    let other = if owner_is_a then b else a in
+    let other_exhausted = other land lnot (l - 1) = 0 in
+    if owner_is_a then if other_exhausted then 1 else -1
+    else if other_exhausted then -1
+    else 1
+  end
 
 let pp ~width ppf m =
   Format.pp_print_string ppf "0b";

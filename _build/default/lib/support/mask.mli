@@ -66,6 +66,13 @@ val of_list : int list -> t
 (** Lowest member lane. @raise Not_found on the empty mask. *)
 val lowest : t -> int
 
+(** [compare_lex a b] orders masks as their ascending lane lists compare
+    lexicographically: [compare_lex a b] has the sign of
+    [compare (to_list a) (to_list b)]. The interpreter's scheduler uses
+    this to break ties between groups parked at the same pc without
+    materialising the lists. *)
+val compare_lex : t -> t -> int
+
 (** Formats as a binary lane string, lane [width-1] first, e.g. [0b0101]
     for lanes {0, 2} at width 4. *)
 val pp : width:int -> Format.formatter -> t -> unit

@@ -1,1 +1,1 @@
-test/test_differential.ml: Alcotest Array Core Hashtbl Ir Option Simt Support Workloads
+test/test_differential.ml: Alcotest Array Core Hashtbl Int64 Ir List Option Printf Simt Support Workloads

@@ -1,1 +1,1 @@
-test/test_support.ml: Alcotest Float Format Int64 List QCheck2 QCheck_alcotest Support
+test/test_support.ml: Alcotest Domain Float Format Fun Int64 List Printf QCheck2 QCheck_alcotest Support Sys Unix

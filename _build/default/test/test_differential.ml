@@ -12,6 +12,7 @@
 
 let check = Alcotest.check
 let check_bool = check Alcotest.bool
+let check_int = check Alcotest.int
 
 let imax = 2147483647
 
@@ -171,8 +172,115 @@ let test_mummer_against_reference options_name options () =
     done
   done
 
+
+(* ---- full-registry golden differential vs the seed interpreter ----
+
+   The mask-based interpreter (bitmask convergence groups, preallocated
+   scratch, cached time-advance) is required to be *observationally
+   identical* to the original list/Hashtbl implementation — same issue
+   schedule, same cycle accounting, same memory image. These goldens
+   were captured by running the seed interpreter over the whole workload
+   registry under each compilation mode; any schedule or timing drift in
+   a future interpreter change trips this immediately. *)
+
+type golden = {
+  issues : int;
+  active_sum : int;
+  cycles : int;
+  mem_accesses : int;
+  barrier_joins : int;
+  barrier_waits : int;
+  barrier_fires : int;
+  barrier_cancels : int;
+  yields : int;
+  threads_finished : int;
+  mem_digest : int;
+}
+
+let seed_goldens =
+  [
+    ("rsbench", "baseline", { issues = 171059; active_sum = 1671005; cycles = 209618; mem_accesses = 3816; barrier_joins = 3804; barrier_waits = 121; barrier_fires = 12; barrier_cancels = 0; yields = 0; threads_finished = 64; mem_digest = 892441511871304325 });
+    ("rsbench", "speculative", { issues = 124008; active_sum = 1782000; cycles = 147377; mem_accesses = 2947; barrier_joins = 5109; barrier_waits = 3009; barrier_fires = 2720; barrier_cancels = 2729; yields = 0; threads_finished = 64; mem_digest = 892441511871304325 });
+    ("rsbench", "automatic", { issues = 124008; active_sum = 1782000; cycles = 147377; mem_accesses = 2947; barrier_joins = 5109; barrier_waits = 3009; barrier_fires = 2720; barrier_cancels = 2729; yields = 0; threads_finished = 64; mem_digest = 892441511871304325 });
+    ("xsbench", "baseline", { issues = 135731; active_sum = 1692222; cycles = 485136; mem_accesses = 10380; barrier_joins = 3712; barrier_waits = 421; barrier_fires = 168; barrier_cancels = 0; yields = 0; threads_finished = 64; mem_digest = 373752142903086589 });
+    ("xsbench", "speculative", { issues = 246533; active_sum = 1816099; cycles = 331597; mem_accesses = 17389; barrier_joins = 13660; barrier_waits = 7976; barrier_fires = 6966; barrier_cancels = 5195; yields = 0; threads_finished = 64; mem_digest = 373752142903086589 });
+    ("xsbench", "automatic", { issues = 143503; active_sum = 1816099; cycles = 500057; mem_accesses = 9952; barrier_joins = 10268; barrier_waits = 6151; barrier_fires = 5415; barrier_cancels = 2443; yields = 0; threads_finished = 64; mem_digest = 373752142903086589 });
+    ("mcb", "baseline", { issues = 10598; active_sum = 80516; cycles = 13919; mem_accesses = 146; barrier_joins = 672; barrier_waits = 792; barrier_fires = 534; barrier_cancels = 0; yields = 0; threads_finished = 64; mem_digest = 1908784984988443069 });
+    ("mcb", "speculative", { issues = 8733; active_sum = 84603; cycles = 11550; mem_accesses = 158; barrier_joins = 598; barrier_waits = 733; barrier_fires = 514; barrier_cancels = 187; yields = 0; threads_finished = 64; mem_digest = 1908784984988443069 });
+    ("mcb", "automatic", { issues = 8733; active_sum = 84603; cycles = 11550; mem_accesses = 158; barrier_joins = 598; barrier_waits = 733; barrier_fires = 514; barrier_cancels = 187; yields = 0; threads_finished = 64; mem_digest = 1908784984988443069 });
+    ("pathtracer", "baseline", { issues = 81846; active_sum = 718976; cycles = 167639; mem_accesses = 5132; barrier_joins = 5017; barrier_waits = 4062; barrier_fires = 3022; barrier_cancels = 0; yields = 0; threads_finished = 64; mem_digest = 4440290232581343234 });
+    ("pathtracer", "speculative", { issues = 43408; active_sum = 726966; cycles = 81465; mem_accesses = 2324; barrier_joins = 2773; barrier_waits = 2835; barrier_fires = 1876; barrier_cancels = 274; yields = 0; threads_finished = 64; mem_digest = 4440290232581343234 });
+    ("pathtracer", "automatic", { issues = 43408; active_sum = 726966; cycles = 81465; mem_accesses = 2324; barrier_joins = 2773; barrier_waits = 2835; barrier_fires = 1876; barrier_cancels = 274; yields = 0; threads_finished = 64; mem_digest = 4440290232581343234 });
+    ("mc-gpu", "baseline", { issues = 18409; active_sum = 128824; cycles = 30655; mem_accesses = 424; barrier_joins = 1410; barrier_waits = 1513; barrier_fires = 1202; barrier_cancels = 0; yields = 0; threads_finished = 64; mem_digest = 2163197422340525621 });
+    ("mc-gpu", "speculative", { issues = 11891; active_sum = 133925; cycles = 21710; mem_accesses = 283; barrier_joins = 884; barrier_waits = 1062; barrier_fires = 795; barrier_cancels = 202; yields = 0; threads_finished = 64; mem_digest = 2163197422340525621 });
+    ("mc-gpu", "automatic", { issues = 11891; active_sum = 133925; cycles = 21710; mem_accesses = 283; barrier_joins = 884; barrier_waits = 1062; barrier_fires = 795; barrier_cancels = 202; yields = 0; threads_finished = 64; mem_digest = 2163197422340525621 });
+    ("mummer", "baseline", { issues = 11737; active_sum = 103363; cycles = 41629; mem_accesses = 885; barrier_joins = 1191; barrier_waits = 1424; barrier_fires = 897; barrier_cancels = 0; yields = 0; threads_finished = 64; mem_digest = 2873978097527350252 });
+    ("mummer", "speculative", { issues = 11331; active_sum = 111692; cycles = 39396; mem_accesses = 660; barrier_joins = 1124; barrier_waits = 1394; barrier_fires = 951; barrier_cancels = 334; yields = 0; threads_finished = 64; mem_digest = 2873978097527350252 });
+    ("mummer", "automatic", { issues = 11324; active_sum = 114383; cycles = 39465; mem_accesses = 660; barrier_joins = 1134; barrier_waits = 1290; barrier_fires = 780; barrier_cancels = 619; yields = 0; threads_finished = 64; mem_digest = 2873978097527350252 });
+    ("meiyamd5", "baseline", { issues = 47563; active_sum = 390444; cycles = 47660; mem_accesses = 24; barrier_joins = 556; barrier_waits = 196; barrier_fires = 36; barrier_cancels = 0; yields = 0; threads_finished = 64; mem_digest = 2128813945386842112 });
+    ("meiyamd5", "speculative", { issues = 47563; active_sum = 390444; cycles = 47660; mem_accesses = 24; barrier_joins = 556; barrier_waits = 196; barrier_fires = 36; barrier_cancels = 0; yields = 0; threads_finished = 64; mem_digest = 2128813945386842112 });
+    ("meiyamd5", "automatic", { issues = 32172; active_sum = 403132; cycles = 35529; mem_accesses = 344; barrier_joins = 992; barrier_waits = 991; barrier_fires = 754; barrier_cancels = 461; yields = 0; threads_finished = 64; mem_digest = 2128813945386842112 });
+    ("optix-trace", "baseline", { issues = 65082; active_sum = 316088; cycles = 108898; mem_accesses = 2908; barrier_joins = 4420; barrier_waits = 3848; barrier_fires = 2832; barrier_cancels = 0; yields = 0; threads_finished = 64; mem_digest = 414506578627320441 });
+    ("optix-trace", "speculative", { issues = 65082; active_sum = 316088; cycles = 108898; mem_accesses = 2908; barrier_joins = 4420; barrier_waits = 3848; barrier_fires = 2832; barrier_cancels = 0; yields = 0; threads_finished = 64; mem_digest = 414506578627320441 });
+    ("optix-trace", "automatic", { issues = 44143; active_sum = 320252; cycles = 75269; mem_accesses = 1801; barrier_joins = 3535; barrier_waits = 3328; barrier_fires = 2404; barrier_cancels = 452; yields = 0; threads_finished = 64; mem_digest = 414506578627320441 });
+    ("gpu-mcml", "baseline", { issues = 36967; active_sum = 583863; cycles = 48245; mem_accesses = 426; barrier_joins = 2544; barrier_waits = 2269; barrier_fires = 2126; barrier_cancels = 0; yields = 0; threads_finished = 64; mem_digest = 1122208241897937969 });
+    ("gpu-mcml", "speculative", { issues = 30282; active_sum = 603994; cycles = 38121; mem_accesses = 397; barrier_joins = 2283; barrier_waits = 2333; barrier_fires = 2006; barrier_cancels = 401; yields = 0; threads_finished = 64; mem_digest = 1122208241897937969 });
+    ("gpu-mcml", "automatic", { issues = 30282; active_sum = 603994; cycles = 38121; mem_accesses = 397; barrier_joins = 2283; barrier_waits = 2333; barrier_fires = 2006; barrier_cancels = 401; yields = 0; threads_finished = 64; mem_digest = 1122208241897937969 });
+    ("common-call", "baseline", { issues = 26274; active_sum = 425280; cycles = 26350; mem_accesses = 2; barrier_joins = 24; barrier_waits = 48; barrier_fires = 24; barrier_cancels = 0; yields = 0; threads_finished = 64; mem_digest = 543971077896856215 });
+    ("common-call", "speculative", { issues = 13582; active_sum = 426944; cycles = 15938; mem_accesses = 2; barrier_joins = 74; barrier_waits = 96; barrier_fires = 48; barrier_cancels = 2; yields = 0; threads_finished = 64; mem_digest = 543971077896856215 });
+    ("common-call", "automatic", { issues = 26274; active_sum = 425280; cycles = 26350; mem_accesses = 2; barrier_joins = 24; barrier_waits = 48; barrier_fires = 24; barrier_cancels = 0; yields = 0; threads_finished = 64; mem_digest = 543971077896856215 });
+  ]
+
+(* Order-sensitive rolling hash over the full memory image; float cells
+   hash by bit pattern so this is exact, not approximate. *)
+let digest_memory (m : Simt.Memsys.t) =
+  let n = Simt.Memsys.size m in
+  let cells = Simt.Memsys.dump m ~base:0 ~len:n in
+  let h = ref 0 in
+  Array.iter
+    (fun v ->
+      let bits =
+        match v with
+        | Ir.Types.I i -> i
+        | Ir.Types.F f -> Int64.to_int (Int64.bits_of_float f)
+      in
+      h := ((!h * 1000003) lxor bits) land max_int)
+    cells;
+  !h
+
+let options_of_mode = function
+  | "baseline" -> Core.Compile.baseline
+  | "speculative" -> Core.Compile.speculative
+  | "automatic" -> Core.Compile.automatic
+  | mode -> Alcotest.failf "unknown mode %s" mode
+
+let test_registry_matches_seed () =
+  List.iter
+    (fun (name, mode, g) ->
+      let spec = Workloads.Registry.find name in
+      let o = Core.Runner.run_spec (options_of_mode mode) spec in
+      let m = o.Core.Runner.metrics in
+      let tag field = Printf.sprintf "%s/%s %s" name mode field in
+      check_int (tag "issues") g.issues m.Simt.Metrics.issues;
+      check_int (tag "active_sum") g.active_sum m.Simt.Metrics.active_sum;
+      check_int (tag "cycles") g.cycles m.Simt.Metrics.cycles;
+      check_int (tag "mem_accesses") g.mem_accesses m.Simt.Metrics.mem_accesses;
+      check_int (tag "barrier_joins") g.barrier_joins m.Simt.Metrics.barrier_joins;
+      check_int (tag "barrier_waits") g.barrier_waits m.Simt.Metrics.barrier_waits;
+      check_int (tag "barrier_fires") g.barrier_fires m.Simt.Metrics.barrier_fires;
+      check_int (tag "barrier_cancels") g.barrier_cancels m.Simt.Metrics.barrier_cancels;
+      check_int (tag "yields") g.yields m.Simt.Metrics.yields;
+      check_int (tag "threads_finished") g.threads_finished m.Simt.Metrics.threads_finished;
+      check_int (tag "mem_digest") g.mem_digest (digest_memory o.Core.Runner.memory))
+    seed_goldens
+
 let tests =
   [
+    ( "differential.registry",
+      [
+        Alcotest.test_case "all workloads x modes match seed goldens" `Slow
+          test_registry_matches_seed;
+      ] );
     ( "differential.mummer",
       [
         Alcotest.test_case "baseline matches OCaml reference" `Slow

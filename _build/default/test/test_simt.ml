@@ -297,6 +297,50 @@ kernel k() {
   check_bool "most-threads = lowest-pc results" true (out_cells a 32 = out_cells b 32);
   check_bool "most-threads = round-robin results" true (out_cells a 32 = out_cells c 32)
 
+let test_interp_rr_state_scoped () =
+  (* Round_robin is the only policy allowed to touch the rotation cursor
+     (rr_pc); regression guard for the bug where every policy updated it.
+     The cursor is per-launch state, so the observable contract is:
+     (a) a policy's full issue schedule is a function of that policy
+     alone — running other policies before/after it, in any order within
+     one process, must not perturb it — and (b) Round_robin genuinely
+     rotates (its schedule differs from Lowest_pc's on a divergent
+     workload), so (a) is not vacuous. *)
+  let src =
+    {|
+global out: float[64];
+kernel k() {
+  var acc: float = 0.0;
+  for i in 0 .. 6 {
+    if (rand() < 0.5) { acc = acc + 1.0; } else { acc = acc - rand(); }
+  }
+  out[tid()] = acc;
+}
+|}
+  in
+  let compiled = Core.Compile.compile Core.Compile.baseline ~source:src in
+  let trace policy =
+    let events = ref [] in
+    let tracer (e : Simt.Interp.issue_event) =
+      events := (e.Simt.Interp.at_cycle, e.Simt.Interp.warp, e.Simt.Interp.pc, e.Simt.Interp.active) :: !events
+    in
+    ignore
+      (Simt.Interp.run ~tracer
+         { small_config with Simt.Config.policy }
+         compiled.Core.Compile.linear ~args:[] ~init_memory:(fun _ -> ()));
+    List.rev !events
+  in
+  let lowest_first = trace Simt.Config.Lowest_pc in
+  let round_robin = trace Simt.Config.Round_robin in
+  let most_threads = trace Simt.Config.Most_threads in
+  let lowest_again = trace Simt.Config.Lowest_pc in
+  let most_again = trace Simt.Config.Most_threads in
+  check_bool "lowest-pc schedule unperturbed by other policies" true
+    (lowest_first = lowest_again);
+  check_bool "most-threads schedule unperturbed by other policies" true
+    (most_threads = most_again);
+  check_bool "round-robin actually rotates" true (round_robin <> lowest_first)
+
 let test_interp_no_spontaneous_merge () =
   (* Two sides of a divergent branch run the same uniform loop; without a
      barrier they must NOT merge (group identities stay apart), so
@@ -509,6 +553,7 @@ let tests =
         Alcotest.test_case "runaway protection" `Quick test_interp_runaway;
         Alcotest.test_case "determinism" `Quick test_interp_determinism;
         Alcotest.test_case "policy-invariant results" `Quick test_interp_policies_same_results;
+        Alcotest.test_case "rr cursor scoped to round-robin" `Quick test_interp_rr_state_scoped;
         Alcotest.test_case "no spontaneous merge" `Quick test_interp_no_spontaneous_merge;
         Alcotest.test_case "barriers reconverge" `Quick test_interp_barrier_reconverges;
         Alcotest.test_case "tracer consistency" `Quick test_tracer_consistency;

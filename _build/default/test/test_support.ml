@@ -65,6 +65,61 @@ let test_mask_pp () =
   check Alcotest.string "binary" "0b0101" (Format.asprintf "%a" (Mask.pp ~width:4) m);
   check Alcotest.string "hex" "0x5" (Mask.to_hex m)
 
+(* ---- fast paths vs. the original naive implementations ----
+
+   [count] became a SWAR popcount, [lowest] a bit trick, and [iter] a
+   set-bit peeling loop. Each must agree with the straightforward
+   per-lane scan it replaced, over the full lane range (not just warp
+   width 32). *)
+
+let naive_count m =
+  let c = ref 0 in
+  for lane = 0 to Mask.max_width - 1 do
+    if Mask.mem lane m then incr c
+  done;
+  !c
+
+let naive_lowest m =
+  let rec loop lane =
+    if lane >= Mask.max_width then raise Not_found
+    else if Mask.mem lane m then lane
+    else loop (lane + 1)
+  in
+  loop 0
+
+let naive_iter f m =
+  for lane = 0 to Mask.max_width - 1 do
+    if Mask.mem lane m then f lane
+  done
+
+let collect iter_fn m =
+  let out = ref [] in
+  iter_fn (fun lane -> out := lane :: !out) m;
+  List.rev !out
+
+let test_mask_count_matches_naive () =
+  let cases =
+    [ Mask.empty; Mask.full 1; Mask.full 32; Mask.full Mask.max_width;
+      Mask.singleton (Mask.max_width - 1);
+      Mask.of_list [ 0; 3; 31; 32; 60; Mask.max_width - 1 ] ]
+  in
+  List.iter
+    (fun m -> check_int (Mask.to_hex m) (naive_count m) (Mask.count m))
+    cases
+
+let test_mask_lowest_matches_naive () =
+  List.iter
+    (fun m -> check_int (Mask.to_hex m) (naive_lowest m) (Mask.lowest m))
+    [ Mask.full 1; Mask.full 32; Mask.singleton (Mask.max_width - 1);
+      Mask.of_list [ 5; 40; 61 ] ]
+
+let test_mask_iter_matches_naive () =
+  List.iter
+    (fun m ->
+      check (Alcotest.list Alcotest.int) (Mask.to_hex m) (collect naive_iter m)
+        (collect Mask.iter m))
+    [ Mask.empty; Mask.full 32; Mask.of_list [ 0; 17; 33; 61 ] ]
+
 let lane_gen = QCheck2.Gen.int_range 0 31
 let lanes_gen = QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 32) lane_gen
 
@@ -88,6 +143,69 @@ let prop_mask_roundtrip =
       let m = Mask.of_list ls in
       Mask.equal (Mask.of_list (Mask.to_list m)) m
       && List.for_all (fun l -> Mask.mem l m) ls)
+
+let wide_lanes_gen =
+  QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 32) (QCheck2.Gen.int_range 0 (Mask.max_width - 1))
+
+let prop_mask_fast_paths =
+  QCheck2.Test.make ~name:"mask: count/lowest/iter match naive scans" ~count:500 wide_lanes_gen
+    (fun ls ->
+      let m = Mask.of_list ls in
+      Mask.count m = naive_count m
+      && collect Mask.iter m = collect naive_iter m
+      && (Mask.is_empty m || Mask.lowest m = naive_lowest m))
+
+let prop_mask_compare_lex =
+  QCheck2.Test.make ~name:"mask: compare_lex orders like lane lists" ~count:500
+    QCheck2.Gen.(pair wide_lanes_gen wide_lanes_gen)
+    (fun (la, lb) ->
+      let a = Mask.of_list la and b = Mask.of_list lb in
+      compare (Mask.compare_lex a b) 0 = compare (compare (Mask.to_list a) (Mask.to_list b)) 0)
+
+(* ---- Domain_pool ---- *)
+
+(* Exercise the genuinely parallel path even on single-core CI by
+   forcing the worker count through the env override, restoring the
+   previous setting afterwards. *)
+let with_domains n f =
+  let previous =
+    match Sys.getenv_opt Support.Domain_pool.env_var with
+    | Some v -> v
+    | None -> string_of_int (Domain.recommended_domain_count ())
+  in
+  Unix.putenv Support.Domain_pool.env_var (string_of_int n);
+  Fun.protect ~finally:(fun () -> Unix.putenv Support.Domain_pool.env_var previous) f
+
+let test_domain_pool_map_order () =
+  let xs = List.init 100 Fun.id in
+  let expected = List.map (fun x -> x * x) xs in
+  List.iter
+    (fun n ->
+      with_domains n (fun () ->
+          check (Alcotest.list Alcotest.int)
+            (Printf.sprintf "%d domains" n)
+            expected
+            (Support.Domain_pool.map (fun x -> x * x) xs)))
+    [ 1; 2; 4; 7 ]
+
+let test_domain_pool_exception_order () =
+  (* Whatever domain hits an exception first, the one replayed must be
+     the earliest failing list element — determinism extends to errors. *)
+  with_domains 4 (fun () ->
+      match
+        Support.Domain_pool.map
+          (fun x -> if x mod 7 = 3 then failwith (Printf.sprintf "boom %d" x) else x)
+          (List.init 50 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure msg -> check Alcotest.string "earliest element wins" "boom 3" msg)
+
+let test_domain_pool_env_validation () =
+  with_domains 2 (fun () ->
+      Unix.putenv Support.Domain_pool.env_var "zero";
+      match Support.Domain_pool.domains () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument for a non-numeric override")
 
 (* ---- Splitmix ---- *)
 
@@ -223,9 +341,20 @@ let tests =
         Alcotest.test_case "iteration" `Quick test_mask_iteration;
         Alcotest.test_case "errors" `Quick test_mask_errors;
         Alcotest.test_case "pp" `Quick test_mask_pp;
+        Alcotest.test_case "count matches naive" `Quick test_mask_count_matches_naive;
+        Alcotest.test_case "lowest matches naive" `Quick test_mask_lowest_matches_naive;
+        Alcotest.test_case "iter matches naive" `Quick test_mask_iter_matches_naive;
         qtest prop_mask_union_count;
         qtest prop_mask_partition;
         qtest prop_mask_roundtrip;
+        qtest prop_mask_fast_paths;
+        qtest prop_mask_compare_lex;
+      ] );
+    ( "support.domain_pool",
+      [
+        Alcotest.test_case "map preserves order" `Quick test_domain_pool_map_order;
+        Alcotest.test_case "exception replay order" `Quick test_domain_pool_exception_order;
+        Alcotest.test_case "env validation" `Quick test_domain_pool_env_validation;
       ] );
     ( "support.splitmix",
       [

@@ -1,0 +1,47 @@
+(* A minimal fork/join pool over stdlib domains (OCaml 5; no Domainslib).
+
+   [map f xs] farms the elements out to [domains ()] workers pulling from
+   a shared atomic cursor, then reassembles results by index — so the
+   output order (and therefore anything printed from it) is identical to
+   [List.map f xs], whatever the scheduling. Exceptions are also
+   replayed deterministically: the one raised for the earliest list
+   element wins, no matter which domain hit it first. *)
+
+let env_var = "SPECRECON_DOMAINS"
+
+let domains () =
+  match Sys.getenv_opt env_var with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None ->
+      invalid_arg (Printf.sprintf "Domain_pool: %s=%S is not a positive integer" env_var s))
+  | None -> Domain.recommended_domain_count ()
+
+type 'b slot = Pending | Value of 'b | Raised of exn
+
+let map f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let workers = min (domains ()) n in
+  if workers <= 1 then List.map f xs
+  else begin
+    let results = Array.make n Pending in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i >= n then continue := false
+        else results.(i) <- (match f items.(i) with v -> Value v | exception e -> Raised e)
+      done
+    in
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    List.init n (fun i ->
+        match results.(i) with
+        | Value v -> v
+        | Raised e -> raise e
+        | Pending -> assert false)
+  end
