@@ -12,38 +12,52 @@ end
 
 module Solver = Dataflow.Make (Set_lattice)
 
-(* Effect of one instruction on the joined-barrier state (forward). *)
-let joined_step state inst =
+(* Effect of one instruction on the joined-barrier state (forward).
+   [call_waits callee] is the set of barriers whose wait sits at
+   [callee]'s entry (§4.4 interprocedural propagation): in the caller the
+   call itself is the wait event, so it clears membership like a [Wait]
+   would. Barriers the caller never joined are unaffected. *)
+let joined_step ~call_waits state inst =
   match inst with
   | Ir.Types.Join b | Ir.Types.Rejoin b -> Int_set.add b state
   | Ir.Types.Wait b | Ir.Types.Wait_threshold (b, _) | Ir.Types.Cancel b -> Int_set.remove b state
+  | Ir.Types.Call { callee; _ } -> Int_set.diff state (call_waits callee)
   | Ir.Types.Bin _ | Ir.Types.Un _ | Ir.Types.Mov _ | Ir.Types.Load _ | Ir.Types.Store _
   | Ir.Types.Tid _ | Ir.Types.Lane _ | Ir.Types.Nthreads _ | Ir.Types.Rand _
-  | Ir.Types.Randint _ | Ir.Types.Call _ | Ir.Types.Arrived _ -> state
+  | Ir.Types.Randint _ | Ir.Types.Arrived _ -> state
 
 (* Effect of one instruction on the live-barrier state (backward: the
    state *before* the instruction given the state after it). *)
-let live_step state inst =
+let live_step ~call_waits state inst =
   match inst with
   | Ir.Types.Wait b | Ir.Types.Wait_threshold (b, _) -> Int_set.add b state
   | Ir.Types.Join b | Ir.Types.Rejoin b -> Int_set.remove b state
+  | Ir.Types.Call { callee; _ } -> Int_set.union state (call_waits callee)
   | Ir.Types.Cancel _ | Ir.Types.Bin _ | Ir.Types.Un _ | Ir.Types.Mov _ | Ir.Types.Load _
   | Ir.Types.Store _ | Ir.Types.Tid _ | Ir.Types.Lane _ | Ir.Types.Nthreads _ | Ir.Types.Rand _
-  | Ir.Types.Randint _ | Ir.Types.Call _ | Ir.Types.Arrived _ -> state
+  | Ir.Types.Randint _ | Ir.Types.Arrived _ -> state
 
-type t = { func : Ir.Types.func; joined : Solver.result; live : Solver.result }
+type t = {
+  func : Ir.Types.func;
+  call_waits : string -> Int_set.t;
+  joined : Solver.result;
+  live : Solver.result;
+}
 
-let run (func : Ir.Types.func) =
+let no_call_waits _ = Int_set.empty
+
+let run ?(call_waits = no_call_waits) (func : Ir.Types.func) =
   let g = Cfg.of_func func in
   let joined =
     Solver.solve g Dataflow.Forward ~boundary:Int_set.empty ~transfer:(fun id state ->
-        List.fold_left joined_step state (Ir.Types.block func id).insts)
+        List.fold_left (joined_step ~call_waits) state (Ir.Types.block func id).insts)
   in
   let live =
     Solver.solve g Dataflow.Backward ~boundary:Int_set.empty ~transfer:(fun id state ->
-        List.fold_left live_step state (List.rev (Ir.Types.block func id).insts))
+        List.fold_left (live_step ~call_waits) state
+          (List.rev (Ir.Types.block func id).insts))
   in
-  { func; joined; live }
+  { func; call_waits; joined; live }
 
 let joined_in t id = Solver.before t.joined id
 let joined_out t id = Solver.after t.joined id
@@ -54,7 +68,9 @@ let joined_at t { block; index } =
   let insts = (Ir.Types.block t.func block).insts in
   let rec replay state i = function
     | [] -> state
-    | inst :: rest -> if i >= index then state else replay (joined_step state inst) (i + 1) rest
+    | inst :: rest ->
+      if i >= index then state
+      else replay (joined_step ~call_waits:t.call_waits state inst) (i + 1) rest
   in
   replay (joined_in t block) 0 insts
 
@@ -64,7 +80,7 @@ let live_at t { block; index } =
   let n = List.length insts in
   let suffix = List.filteri (fun i _ -> i >= index) insts in
   ignore n;
-  List.fold_left live_step (live_out t block) (List.rev suffix)
+  List.fold_left (live_step ~call_waits:t.call_waits) (live_out t block) (List.rev suffix)
 
 let points_satisfying t pred barrier =
   let points = ref [] in

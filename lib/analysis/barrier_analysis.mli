@@ -24,8 +24,15 @@ type point = { block : int; index : int }
 type t
 
 (** [run func] computes both analyses for every barrier mentioned in
-    [func]. *)
-val run : Ir.Types.func -> t
+    [func].
+
+    [call_waits callee] names the barriers whose wait was propagated to
+    [callee]'s entry (§4.4): in the caller, a call to [callee] then acts
+    as the wait event — clearing membership for the joined analysis and
+    generating liveness for the backward analysis — mirroring the
+    caller-side model {!Interproc} itself uses. Defaults to the empty
+    mapping, i.e. purely intraprocedural analysis. *)
+val run : ?call_waits:(string -> Int_set.t) -> Ir.Types.func -> t
 
 (** Set of barriers joined (member of an uncleared barrier) at block
     entry/exit — Equation 1. *)

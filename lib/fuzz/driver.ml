@@ -1,0 +1,67 @@
+type finding = {
+  id : int;
+  shape : Gen.shape;
+  violation : Oracle.violation;
+  shrunk : Front.Ast.program;
+}
+
+type report = {
+  seed : int;
+  count : int;
+  passed : int;
+  limited : int;
+  findings : finding list;
+}
+
+let run ?(params = Gen.default_params) ?max_issues ?shrink_budget ~seed ~count () =
+  let passed = ref 0 and limited = ref 0 and findings = ref [] in
+  for id = 0 to count - 1 do
+    let case = Gen.generate ~params ~seed id in
+    match Oracle.check ?max_issues case.Gen.ast with
+    | Oracle.Ok_run -> incr passed
+    | Oracle.Limit _ -> incr limited
+    | Oracle.Violation violation ->
+      let same_kind ast =
+        match Oracle.check ?max_issues ast with
+        | Oracle.Violation v -> v.Oracle.kind = violation.Oracle.kind
+        | Oracle.Ok_run | Oracle.Limit _ -> false
+      in
+      let shrunk = Shrink.shrink ?budget:shrink_budget case.Gen.ast ~still_failing:same_kind in
+      findings := { id; shape = case.Gen.shape; violation; shrunk } :: !findings
+  done;
+  { seed; count; passed = !passed; limited = !limited; findings = List.rev !findings }
+
+let render_finding ~seed finding =
+  (* Violation details can span many lines (barrier-state dumps); every
+     line must carry the comment marker for the repro to stay parseable. *)
+  let commented =
+    String.concat "\n"
+      (List.map (fun l -> "// " ^ l) (String.split_on_char '\n' finding.violation.Oracle.detail))
+  in
+  Printf.sprintf
+    "// srfuzz repro: seed=%d id=%d shape=%s kind=%s\n%s\n// Replayed by test/corpus: every oracle must pass once the bug is fixed.\n%s"
+    seed finding.id (Gen.shape_name finding.shape)
+    (Oracle.kind_name finding.violation.Oracle.kind)
+    commented
+    (Front.Pretty.to_string finding.shrunk)
+
+let save_corpus ~dir ~seed finding =
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "srfuzz_%d_%d_%s.simt" seed finding.id
+         (Oracle.kind_name finding.violation.Oracle.kind))
+  in
+  let oc = open_out path in
+  output_string oc (render_finding ~seed finding);
+  close_out oc;
+  path
+
+let pp_report ppf r =
+  Format.fprintf ppf "srfuzz: seed %d, %d programs: %d ok, %d budget-limited, %d violations@."
+    r.seed r.count r.passed r.limited (List.length r.findings);
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "  [%d] %s %s: %s@." f.id (Gen.shape_name f.shape)
+        (Oracle.kind_name f.violation.Oracle.kind)
+        f.violation.Oracle.detail)
+    r.findings

@@ -1,0 +1,38 @@
+(** Fuzzing campaigns: generate → oracle → shrink → serialize.
+
+    A campaign is fully determined by [(seed, count, params)]: program
+    [i] is [Gen.generate ~seed i], so any finding names the exact pair
+    that reproduces it. Violations are minimized with {!Shrink} (the
+    predicate being "same violation kind") and carry a ready-to-commit
+    [.simt] rendering for [test/corpus/]. *)
+
+type finding = {
+  id : int;
+  shape : Gen.shape;
+  violation : Oracle.violation;  (** classification of the original failure *)
+  shrunk : Front.Ast.program;  (** minimized program still failing the same way *)
+}
+
+type report = {
+  seed : int;
+  count : int;
+  passed : int;
+  limited : int;  (** programs skipped on the issue budget, not failures *)
+  findings : finding list;
+}
+
+val run :
+  ?params:Gen.params -> ?max_issues:int -> ?shrink_budget:int -> seed:int -> count:int -> unit ->
+  report
+
+(** The corpus serialization: a header comment naming the campaign
+    coordinates and classification, then the minimized source. The file
+    is a plain [.simt] program — [test/corpus/] replays it through
+    {!Oracle.check}. *)
+val render_finding : seed:int -> finding -> string
+
+(** [save_corpus ~dir ~seed finding] writes the rendering to
+    [dir/srfuzz_<seed>_<id>_<kind>.simt] and returns the path. *)
+val save_corpus : dir:string -> seed:int -> finding -> string
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,482 @@
+open Front.Ast
+module Sm = Support.Splitmix
+
+let n_threads = 64
+let data_size = 256
+
+type shape = If_in_loop | Trip_loop | Common_call | Mixed
+
+let shape_name = function
+  | If_in_loop -> "if-in-loop"
+  | Trip_loop -> "trip-loop"
+  | Common_call -> "common-call"
+  | Mixed -> "mixed"
+
+type params = { stmt_budget : int; max_depth : int }
+
+let default_params = { stmt_budget = 14; max_depth = 3 }
+
+type case = { id : int; shape : shape; ast : program }
+
+(* ---- AST construction helpers (positions are synthetic) ---- *)
+
+let pos = { line = 0; col = 0 }
+let e desc = { desc; pos }
+let stmt sdesc = { sdesc; spos = pos }
+let ilit n = e (Int_lit n)
+let flit x = e (Float_lit x)
+let evar n = e (Var n)
+let call f args = e (Call_expr (f, args))
+let bin op a b = e (Binary (op, a, b))
+let tid () = call "tid" []
+let lane () = call "lane" []
+
+(* ---- generator state and scope tracking ---- *)
+
+type var_info = { vname : string; vty : ty; vmut : bool }
+
+type env = {
+  vars : var_info list;  (* bindings in scope, innermost first *)
+  dfuncs : (string * ty) list;  (* device functions, [ty -> ty] *)
+  in_loop : bool;  (* [break] is legal *)
+  in_for : bool;  (* [continue] is legal (never inside the while
+                     skeleton, whose manual increment it would skip) *)
+  depth : int;
+}
+
+let top_env = { vars = []; dfuncs = []; in_loop = false; in_for = false; depth = 0 }
+
+type st = { rng : Sm.t; mutable fresh : int; params : params }
+
+let fresh st prefix =
+  let n = st.fresh in
+  st.fresh <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+let pick st xs = List.nth xs (Sm.int st.rng (List.length xs))
+let chance st p = Sm.float st.rng < p
+let vars_of ty env = List.filter (fun v -> v.vty = ty) env.vars
+let muts_of ty env = List.filter (fun v -> v.vty = ty && v.vmut) env.vars
+
+(* Exactly representable, non-negative literals: dyadic values survive
+   the parse/print round trip bit-for-bit, and the parser never produces
+   a negative literal node (a leading [-] parses as [Uneg]), so only
+   non-negative literals keep the generated AST parser-canonical. *)
+let float_literal st = flit (float_of_int (Sm.int st.rng 49) *. 0.0625)
+
+(* ---- expressions ----
+
+   Every expression is safe by construction: integer divisors have the
+   shape [(e % k) + (k + 1)], which lands in [2, 2k]; array reads wrap
+   the index into range with [((e % n) + n) % n]. *)
+
+let cmp_ops = [ Beq; Bne; Blt; Ble; Bgt; Bge ]
+
+let rec int_expr st env fuel =
+  let leaf () =
+    let ivars = vars_of Tint env in
+    let choices =
+      [ (fun () -> ilit (Sm.int st.rng 10));
+        (fun () -> tid ());
+        (fun () -> lane ());
+        (fun () -> call "nthreads" []);
+        (fun () -> call "randint" [ ilit (2 + Sm.int st.rng 8) ]) ]
+      @ (if ivars = [] then [] else [ (fun () -> evar (pick st ivars).vname) ])
+    in
+    (pick st choices) ()
+  in
+  if fuel <= 0 then leaf ()
+  else
+    match Sm.int st.rng 12 with
+    | 0 | 1 ->
+      bin (pick st [ Badd; Bsub; Bmul ]) (int_expr st env (fuel - 1)) (int_expr st env (fuel - 1))
+    | 2 ->
+      let k = 2 + Sm.int st.rng 6 in
+      let divisor =
+        bin Badd (bin Brem (int_expr st env (fuel - 1)) (ilit k)) (ilit (k + 1))
+      in
+      bin (if chance st 0.5 then Bdiv else Brem) (int_expr st env (fuel - 1)) divisor
+    | 3 -> bin (pick st cmp_ops) (int_expr st env (fuel - 1)) (int_expr st env (fuel - 1))
+    | 4 -> bin (pick st cmp_ops) (float_expr st env (fuel - 1)) (float_expr st env (fuel - 1))
+    | 5 -> call (if chance st 0.5 then "min" else "max")
+             [ int_expr st env (fuel - 1); int_expr st env (fuel - 1) ]
+    | 6 ->
+      bin (if chance st 0.5 then Band else Bor)
+        (int_expr st env (fuel - 1)) (int_expr st env (fuel - 1))
+    | 7 -> e (Unary ((if chance st 0.5 then Uneg else Unot), int_expr st env (fuel - 1)))
+    | 8 -> e (Index ("datai", safe_index st env (fuel - 1)))
+    | 9 -> call "int" [ float_expr st env (fuel - 1) ]
+    | 10 when List.exists (fun (_, ty) -> ty = Tint) env.dfuncs ->
+      let name, _ = pick st (List.filter (fun (_, ty) -> ty = Tint) env.dfuncs) in
+      call name [ int_expr st env (fuel - 2) ]
+    | _ -> leaf ()
+
+and float_expr st env fuel =
+  let leaf () =
+    let fvars = vars_of Tfloat env in
+    let choices =
+      [ (fun () -> float_literal st); (fun () -> call "rand" []) ]
+      @ (if fvars = [] then [] else [ (fun () -> evar (pick st fvars).vname) ])
+    in
+    (pick st choices) ()
+  in
+  if fuel <= 0 then leaf ()
+  else
+    match Sm.int st.rng 10 with
+    | 0 | 1 ->
+      bin (pick st [ Badd; Bsub; Bmul ]) (float_expr st env (fuel - 1))
+        (float_expr st env (fuel - 1))
+    | 2 -> bin Bdiv (float_expr st env (fuel - 1)) (float_expr st env (fuel - 1))
+    | 3 -> call (pick st [ "sin"; "cos"; "fabs" ]) [ float_expr st env (fuel - 1) ]
+    | 4 -> call "sqrt" [ call "fabs" [ float_expr st env (fuel - 1) ] ]
+    | 5 -> call (if chance st 0.5 then "fmin" else "fmax")
+             [ float_expr st env (fuel - 1); float_expr st env (fuel - 1) ]
+    | 6 -> call "float" [ int_expr st env (fuel - 1) ]
+    | 7 -> e (Index ("dataf", safe_index st env (fuel - 1)))
+    | 8 when List.exists (fun (_, ty) -> ty = Tfloat) env.dfuncs ->
+      let name, _ = pick st (List.filter (fun (_, ty) -> ty = Tfloat) env.dfuncs) in
+      call name [ float_expr st env (fuel - 2) ]
+    | _ -> leaf ()
+
+and safe_index st env fuel =
+  let n = ilit data_size in
+  bin Brem (bin Badd (bin Brem (int_expr st env fuel) n) n) n
+
+(* Branch and loop conditions, biased toward the divergence sources the
+   paper studies (per-thread PRNG draws, lane/thread identity). *)
+let rec cond st env fuel =
+  match Sm.int st.rng 8 with
+  | 0 | 1 -> bin Beq (call "randint" [ ilit (2 + Sm.int st.rng 6) ]) (ilit 0)
+  | 2 -> bin Beq (bin Brem (lane ()) (ilit (2 + Sm.int st.rng 4))) (ilit (Sm.int st.rng 2))
+  | 3 -> bin Blt (call "rand" []) (flit (0.125 *. float_of_int (1 + Sm.int st.rng 7)))
+  | 4 -> bin Blt (tid ()) (int_expr st env 1)
+  | 5 when fuel > 0 ->
+    bin (if chance st 0.5 then Band else Bor) (cond st env (fuel - 1)) (cond st env (fuel - 1))
+  | _ -> bin (pick st cmp_ops) (int_expr st env 1) (int_expr st env 1)
+
+(* Loop bounds must keep every loop finite: literals, PRNG draws with a
+   literal bound, or lane arithmetic — all bounded by construction. *)
+let trip_expr st =
+  match Sm.int st.rng 3 with
+  | 0 -> ilit (1 + Sm.int st.rng 8)
+  | 1 -> bin Badd (ilit 1) (call "randint" [ ilit (2 + Sm.int st.rng 9) ])
+  | _ -> bin Badd (bin Brem (lane ()) (ilit (2 + Sm.int st.rng 5))) (ilit (Sm.int st.rng 3))
+
+(* ---- statements ---- *)
+
+let decl st env =
+  let ty = if chance st 0.5 then Tint else Tfloat in
+  let mutable_ = chance st 0.65 in
+  let name = fresh st "v" in
+  let init = if ty = Tint then int_expr st env 2 else float_expr st env 2 in
+  let annot = if chance st 0.5 then Some ty else None in
+  ( [ stmt (Decl { name; ty = annot; init; mutable_ }) ],
+    { env with vars = { vname = name; vty = ty; vmut = mutable_ } :: env.vars } )
+
+let store st env =
+  if chance st 0.5 then stmt (Index_assign ("outi", tid (), int_expr st env 2))
+  else stmt (Index_assign ("outf", tid (), float_expr st env 2))
+
+(* The bounded while skeleton: a fresh counter, a bounded trip count
+   evaluated once, and an unconditional increment as the last statement.
+   The counter is kept out of [env], so no generated statement can touch
+   it; [continue] is disabled inside (it would skip the increment). *)
+let rec while_skeleton st env fuel =
+  let j = fresh st "j" in
+  let t = fresh st "t" in
+  let benv =
+    { env with
+      vars = { vname = t; vty = Tint; vmut = false } :: env.vars;
+      in_loop = true;
+      in_for = false;
+      depth = env.depth + 1 }
+  in
+  let body = gen_block st benv (fuel - 2) in
+  [ stmt (Decl { name = j; ty = Some Tint; init = ilit 0; mutable_ = true });
+    stmt (Decl { name = t; ty = None; init = trip_expr st; mutable_ = false });
+    stmt
+      (While
+         ( bin Blt (evar j) (evar t),
+           body @ [ stmt (Assign (j, bin Badd (evar j) (ilit 1))) ] )) ]
+
+and for_skeleton st env fuel =
+  let i = fresh st "i" in
+  let benv =
+    { env with
+      vars = { vname = i; vty = Tint; vmut = false } :: env.vars;
+      in_loop = true;
+      in_for = true;
+      depth = env.depth + 1 }
+  in
+  [ stmt (For { var = i; from_ = ilit 0; to_ = trip_expr st; body = gen_block st benv (fuel - 1) }) ]
+
+and if_stmt st env fuel =
+  let benv = { env with depth = env.depth + 1 } in
+  let then_ = gen_block st benv (fuel / 2) in
+  let else_ = if chance st 0.45 then gen_block st benv (fuel / 3) else [] in
+  [ stmt (If (cond st env 1, then_, else_)) ]
+
+and gen_stmt st env fuel =
+  let deep = env.depth < st.params.max_depth in
+  let int_muts = muts_of Tint env and float_muts = muts_of Tfloat env in
+  let choices =
+    [ (3, fun () -> let s, env' = decl st env in (s, env', 1));
+      (1, fun () -> ([ store st env ], env, 1)) ]
+    @ (if int_muts = [] then []
+       else [ (2, fun () -> ([ stmt (Assign ((pick st int_muts).vname, int_expr st env 3)) ], env, 1)) ])
+    @ (if float_muts = [] then []
+       else
+         [ (2, fun () -> ([ stmt (Assign ((pick st float_muts).vname, float_expr st env 3)) ], env, 1)) ])
+    @ (if not deep then []
+       else
+         [ (2, fun () -> (if_stmt st env fuel, env, 2 + (fuel / 2)));
+           (1, fun () -> (for_skeleton st env fuel, env, fuel));
+           (1, fun () -> (while_skeleton st env fuel, env, fuel)) ])
+    @ (if env.dfuncs = [] then []
+       else
+         [ (1, fun () ->
+               let name, ty = pick st env.dfuncs in
+               let arg = if ty = Tint then int_expr st env 2 else float_expr st env 2 in
+               ([ stmt (Expr_stmt (call name [ arg ])) ], env, 1)) ])
+    @ (if not env.in_loop then []
+       else [ (1, fun () -> ([ stmt (If (cond st env 0, [ stmt Break ], [])) ], env, 1)) ])
+    @ (if not env.in_for then []
+       else [ (1, fun () -> ([ stmt (If (cond st env 0, [ stmt Continue ], [])) ], env, 1)) ])
+  in
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 choices in
+  let roll = Sm.int st.rng total in
+  let rec select acc = function
+    | [] -> assert false
+    | (w, f) :: rest -> if roll < acc + w then f () else select (acc + w) rest
+  in
+  select 0 choices
+
+and gen_block st env fuel =
+  if fuel <= 0 then []
+  else
+    let stmts, env', used = gen_stmt st env fuel in
+    stmts @ gen_block st env' (fuel - max 1 used)
+
+(* ---- device functions ---- *)
+
+let gen_dfunc st idx ty =
+  let name = Printf.sprintf "fn%d" idx in
+  let p = fresh st "p" in
+  let a = fresh st "a" and i = fresh st "i" in
+  let iters = 2 + Sm.int st.rng 12 in
+  let body_update =
+    if ty = Tfloat then
+      stmt
+        (Assign
+           ( a,
+             bin Badd (evar a)
+               (bin Bmul (call "sin" [ bin Bmul (evar a) (float_literal st) ]) (float_literal st))
+           ))
+    else
+      stmt
+        (Assign
+           ( a,
+             bin Brem
+               (bin Badd (bin Bmul (evar a) (ilit (3 + Sm.int st.rng 128))) (ilit (Sm.int st.rng 97)))
+               (ilit 65537) ))
+  in
+  {
+    name;
+    params = [ (p, ty) ];
+    ret = Some ty;
+    body =
+      [ stmt (Decl { name = a; ty = Some ty; init = evar p; mutable_ = true });
+        stmt (Decl { name = i; ty = Some Tint; init = ilit 0; mutable_ = true });
+        stmt
+          (While
+             ( bin Blt (evar i) (ilit iters),
+               [ body_update; stmt (Assign (i, bin Badd (evar i) (ilit 1))) ] ));
+        stmt (Return (Some (evar a))) ];
+    is_kernel = false;
+    fpos = pos;
+  }
+
+(* ---- shapes ---- *)
+
+let maybe_threshold st = if chance st 0.3 then Some (2 + Sm.int st.rng 30) else None
+
+let acc_decls st =
+  let accf = fresh st "accf" and acci = fresh st "acci" in
+  ( [ stmt (Decl { name = accf; ty = Some Tfloat; init = float_literal st; mutable_ = true });
+      stmt (Decl { name = acci; ty = Some Tint; init = ilit (Sm.int st.rng 5); mutable_ = true }) ],
+    accf,
+    acci )
+
+let finish accf acci =
+  [ stmt (Index_assign ("outf", tid (), evar accf));
+    stmt (Index_assign ("outi", tid (), evar acci)) ]
+
+let with_accs env accf acci =
+  { env with
+    vars =
+      { vname = accf; vty = Tfloat; vmut = true }
+      :: { vname = acci; vty = Tint; vmut = true } :: env.vars }
+
+(* Figure 2(a) / Listing 1: divergent condition in a loop, predicted
+   reconvergence at the start of the (expensive) branch body. *)
+let if_in_loop_body st env =
+  let fuel = st.params.stmt_budget in
+  let decls, accf, acci = acc_decls st in
+  let env = with_accs env accf acci in
+  let label = fresh st "L" in
+  let hinted = chance st 0.7 in
+  let i = fresh st "i" in
+  let lenv =
+    { env with
+      vars = { vname = i; vty = Tint; vmut = false } :: env.vars;
+      in_loop = true;
+      in_for = true;
+      depth = env.depth + 1 }
+  in
+  let benv = { lenv with depth = lenv.depth + 1 } in
+  let prolog = gen_block st lenv (fuel / 4) in
+  let heavy =
+    gen_block st benv (fuel / 2)
+    @ [ stmt (Assign (accf, bin Badd (evar accf) (float_expr st benv 2))) ]
+  in
+  let then_ = if hinted then stmt (Label label) :: heavy else heavy in
+  let else_ = if chance st 0.4 then gen_block st benv (fuel / 4) else [] in
+  let epilog = [ stmt (Assign (acci, bin Badd (evar acci) (ilit 1))) ] in
+  let loop =
+    stmt
+      (For
+         { var = i;
+           from_ = ilit 0;
+           to_ = trip_expr st;
+           body = prolog @ [ stmt (If (cond st lenv 1, then_, else_)) ] @ epilog })
+  in
+  decls
+  @ (if hinted then [ stmt (Predict { target = Tlabel label; threshold = maybe_threshold st }) ]
+     else [])
+  @ [ loop ] @ finish accf acci
+
+(* Figure 2(b): divergent trip count, predicted reconvergence at the loop
+   head so lagging threads collect across iterations. *)
+let trip_loop_body st env =
+  let fuel = st.params.stmt_budget in
+  let decls, accf, acci = acc_decls st in
+  let env = with_accs env accf acci in
+  let label = fresh st "L" in
+  let hinted = chance st 0.75 in
+  let j = fresh st "j" and t = fresh st "t" in
+  let benv =
+    { env with
+      vars = { vname = t; vty = Tint; vmut = false } :: env.vars;
+      in_loop = true;
+      in_for = false;
+      depth = env.depth + 1 }
+  in
+  let body =
+    gen_block st benv (fuel / 2)
+    @ [ stmt (Assign (accf, bin Badd (evar accf) (float_expr st benv 2))) ]
+  in
+  let body = if hinted then stmt (Label label) :: body else body in
+  decls
+  @ [ stmt (Decl { name = t; ty = None; init = trip_expr st; mutable_ = false }) ]
+  @ (if hinted then [ stmt (Predict { target = Tlabel label; threshold = maybe_threshold st }) ]
+     else [])
+  @ [ stmt (Decl { name = j; ty = Some Tint; init = ilit 0; mutable_ = true });
+      stmt
+        (While
+           ( bin Blt (evar j) (evar t),
+             body @ [ stmt (Assign (j, bin Badd (evar j) (ilit 1))) ] )) ]
+  @ gen_block st env (fuel / 4)
+  @ finish accf acci
+
+(* Figure 2(c): both sides of a divergent branch call the same device
+   function from different program points. *)
+let common_call_body st env callee =
+  let fuel = st.params.stmt_budget in
+  let decls, accf, acci = acc_decls st in
+  let env = with_accs env accf acci in
+  let hinted = chance st 0.8 in
+  let i = fresh st "i" in
+  let lenv =
+    { env with
+      vars = { vname = i; vty = Tint; vmut = false } :: env.vars;
+      in_loop = true;
+      in_for = true;
+      depth = env.depth + 1 }
+  in
+  let call_side scale =
+    let arg = float_expr st lenv 2 in
+    let c = call callee [ arg ] in
+    stmt (Assign (accf, bin Badd (evar accf) (if scale then bin Bmul c (float_literal st) else c)))
+  in
+  decls
+  @ (if hinted then [ stmt (Predict { target = Tfunc callee; threshold = None }) ] else [])
+  @ [ stmt
+        (For
+           { var = i;
+             from_ = ilit 0;
+             to_ = trip_expr st;
+             body =
+               gen_block st lenv (fuel / 4)
+               @ [ stmt (If (cond st lenv 1, [ call_side false ], [ call_side true ])) ] }) ]
+  @ finish accf acci
+
+(* Free-form statements; sometimes a predicted label right after a
+   divergent branch (the spot where the speculative barrier collides with
+   the compiler's PDOM barrier and Deconflict must arbitrate). *)
+let mixed_body st env =
+  let fuel = st.params.stmt_budget in
+  let decls, accf, acci = acc_decls st in
+  let env = with_accs env accf acci in
+  let mid =
+    if chance st 0.4 then begin
+      let label = fresh st "L" in
+      let benv = { env with depth = env.depth + 1 } in
+      [ stmt (Predict { target = Tlabel label; threshold = maybe_threshold st });
+        stmt
+          (If
+             ( cond st env 1,
+               gen_block st benv (fuel / 3),
+               gen_block st benv (fuel / 4) ));
+        stmt (Label label) ]
+    end
+    else []
+  in
+  decls @ gen_block st env (fuel / 2) @ mid @ gen_block st env (fuel / 3) @ finish accf acci
+
+(* ---- program assembly ---- *)
+
+let globals =
+  [ { gname = "outi"; gty = Tint; gsize = Some n_threads };
+    { gname = "outf"; gty = Tfloat; gsize = Some n_threads };
+    { gname = "datai"; gty = Tint; gsize = Some data_size };
+    { gname = "dataf"; gty = Tfloat; gsize = Some data_size } ]
+
+let pick_shape st =
+  let x = Sm.float st.rng in
+  if x < 0.30 then If_in_loop
+  else if x < 0.58 then Trip_loop
+  else if x < 0.73 then Common_call
+  else Mixed
+
+let generate ?(params = default_params) ~seed id =
+  let st = { rng = Sm.of_ints seed id 0xf022; fresh = 0; params } in
+  let shape = pick_shape st in
+  let dfuncs =
+    match shape with
+    | Common_call -> [ gen_dfunc st 0 Tfloat ]
+    | Mixed | If_in_loop | Trip_loop ->
+      let n = if chance st 0.3 then 1 + Sm.int st.rng 2 else 0 in
+      List.init n (fun i -> gen_dfunc st i (if chance st 0.5 then Tfloat else Tint))
+  in
+  let env =
+    { top_env with dfuncs = List.map (fun f -> (f.name, Option.get f.ret)) dfuncs }
+  in
+  let body =
+    match shape with
+    | If_in_loop -> if_in_loop_body st env
+    | Trip_loop -> trip_loop_body st env
+    | Common_call -> common_call_body st env (List.hd dfuncs).name
+    | Mixed -> mixed_body st env
+  in
+  let kernel = { name = "k"; params = []; ret = None; body; is_kernel = true; fpos = pos } in
+  { id; shape; ast = { globals; funcs = dfuncs @ [ kernel ] } }

@@ -1,0 +1,46 @@
+(** Seeded random generation of well-formed MiniSIMT programs.
+
+    The generator is typed and scope-aware: every program it produces
+    parses, lowers, and executes without runtime errors by construction —
+    divisors are forced positive, array indices are wrapped into range,
+    loops are trip-count bounded, and [predict] directives are only placed
+    where their target label (or callee) is statically reachable.
+
+    Schedule independence, the property the differential oracles rely on,
+    is also enforced structurally: kernels write only to per-thread cells
+    ([outi[tid()]] / [outf[tid()]]) and read only from read-only input
+    arrays ([datai] / [dataf]), so the final memory image cannot depend on
+    the warp scheduler or the compilation mode.
+
+    Generation is biased toward the divergence shapes of the paper's §3 —
+    divergent-if-in-loop (Figure 2(a) / Listing 1), divergent trip counts
+    (Figure 2(b)), and the common-function-call pattern (Figure 2(c)) —
+    plus soft-barrier thresholds (§4.6) and hint-free programs that
+    exercise the PDOM-only path. *)
+
+(** Number of threads the oracle launches; [outi]/[outf] are sized to it. *)
+val n_threads : int
+
+(** Size of the read-only [datai]/[dataf] input arrays. *)
+val data_size : int
+
+type shape =
+  | If_in_loop  (** divergent condition inside a loop, label in the branch *)
+  | Trip_loop  (** divergent trip-count while loop, label at the loop head *)
+  | Common_call  (** both sides of a branch call the same device function *)
+  | Mixed  (** free-form statements, optional post-branch label *)
+
+val shape_name : shape -> string
+
+type params = {
+  stmt_budget : int;  (** fuel for statement generation *)
+  max_depth : int;  (** control-flow nesting limit *)
+}
+
+val default_params : params
+
+type case = { id : int; shape : shape; ast : Front.Ast.program }
+
+(** [generate ~seed id] deterministically produces program [id] of the
+    campaign keyed by [seed]: same pair, same program, forever. *)
+val generate : ?params:params -> seed:int -> int -> case

@@ -1,0 +1,158 @@
+module T = Ir.Types
+module Sm = Support.Splitmix
+
+type kind = Round_trip | Stage_failure | Deadlock | Runtime_error | Result_divergence
+
+let kind_name = function
+  | Round_trip -> "round-trip"
+  | Stage_failure -> "stage-failure"
+  | Deadlock -> "deadlock"
+  | Runtime_error -> "runtime-error"
+  | Result_divergence -> "result-divergence"
+
+type violation = { kind : kind; detail : string }
+
+type verdict = Ok_run | Limit of string | Violation of violation
+
+let pp_verdict ppf = function
+  | Ok_run -> Format.pp_print_string ppf "ok"
+  | Limit msg -> Format.fprintf ppf "limit (%s)" msg
+  | Violation { kind; detail } -> Format.fprintf ppf "VIOLATION %s: %s" (kind_name kind) detail
+
+let policies = [ Simt.Config.Most_threads; Simt.Config.Lowest_pc; Simt.Config.Round_robin ]
+
+let policy_name = function
+  | Simt.Config.Most_threads -> "most-threads"
+  | Simt.Config.Lowest_pc -> "lowest-pc"
+  | Simt.Config.Round_robin -> "round-robin"
+
+let base_config =
+  { Simt.Config.default with Simt.Config.n_warps = Gen.n_threads / 32; seed = 11 }
+
+(* The input arrays are filled by global name, so the pattern depends
+   only on the source program (the layout is fixed at lowering, before
+   any mode-specific pass runs). *)
+let init_memory (program : T.program) mem =
+  Hashtbl.iter
+    (fun name (base, size) ->
+      match name with
+      | "datai" ->
+        let rng = Sm.of_ints 0xda7a base 1 in
+        for i = 0 to size - 1 do
+          Simt.Memsys.write mem (base + i) (T.I (Sm.int rng 1024 - 256))
+        done
+      | "dataf" ->
+        let rng = Sm.of_ints 0xda7a base 2 in
+        for i = 0 to size - 1 do
+          Simt.Memsys.write mem (base + i) (T.F (Sm.float rng *. 4.0 -. 1.0))
+        done
+      | _ -> ())
+    program.T.globals
+
+(* Bit-exact memory snapshot: float cells compare by IEEE bit pattern
+   (works for NaN payloads too), tagged so an int and a float holding the
+   same bits cannot alias. *)
+let snapshot mem =
+  let n = Simt.Memsys.size mem in
+  Array.map
+    (function
+      | T.I i -> (false, i)
+      | T.F f -> (true, Int64.to_int (Int64.bits_of_float f)))
+    (Simt.Memsys.dump mem ~base:0 ~len:n)
+
+let first_diff a b =
+  let rec go i =
+    if i >= Array.length a || i >= Array.length b then None
+    else if a.(i) <> b.(i) then Some i
+    else go (i + 1)
+  in
+  if Array.length a <> Array.length b then Some (min (Array.length a) (Array.length b)) else go 0
+
+let round_trip ast =
+  let src = Front.Pretty.to_string ast in
+  match Front.Parser.parse_string src with
+  | reparsed ->
+    if Front.Pretty.equal_program ast reparsed then None
+    else Some { kind = Round_trip; detail = "re-parsed program differs structurally" }
+  | exception Front.Parser.Parse_error (p, msg) ->
+    Some
+      { kind = Round_trip;
+        detail = Format.asprintf "pretty output does not parse: %a: %s" Front.Ast.pp_pos p msg }
+  | exception Front.Lexer.Lex_error (p, msg) ->
+    Some
+      { kind = Round_trip;
+        detail = Format.asprintf "pretty output does not lex: %a: %s" Front.Ast.pp_pos p msg }
+
+exception Stop of verdict
+
+let check ?(max_issues = 1_500_000) ast =
+  match round_trip ast with
+  | Some v -> Violation v
+  | None -> (
+    let compiled =
+      try
+        Ok
+          (List.map
+             (fun mode -> (mode, Pipeline.compile ~mode ast))
+             [ Pipeline.Baseline; Pipeline.Specrecon ])
+      with Pipeline.Stage_error (stage, msg) ->
+        Error { kind = Stage_failure; detail = Printf.sprintf "%s: %s" stage msg }
+    in
+    match compiled with
+    | Error v -> Violation v
+    | Ok staged -> (
+      let reference = ref None in
+      try
+        List.iter
+          (fun (mode, (s : Pipeline.staged)) ->
+            List.iter
+              (fun policy ->
+                let where =
+                  Printf.sprintf "%s/%s" (Pipeline.mode_name mode) (policy_name policy)
+                in
+                let config = { base_config with Simt.Config.policy; max_issues } in
+                let result =
+                  try
+                    Simt.Interp.run config s.linear ~args:[]
+                      ~init_memory:(init_memory s.program)
+                  with
+                  | Simt.Interp.Deadlock msg ->
+                    raise
+                      (Stop
+                         (Violation
+                            { kind = Deadlock; detail = Printf.sprintf "%s: %s" where msg }))
+                  | Simt.Interp.Runtime_error msg ->
+                    raise
+                      (Stop
+                         (Violation
+                            { kind = Runtime_error; detail = Printf.sprintf "%s: %s" where msg }))
+                  | Simt.Interp.Runaway msg ->
+                    raise (Stop (Limit (Printf.sprintf "%s: %s" where msg)))
+                in
+                let snap = snapshot result.Simt.Interp.memory in
+                let finished = result.Simt.Interp.metrics.Simt.Metrics.threads_finished in
+                match !reference with
+                | None -> reference := Some (where, snap, finished)
+                | Some (ref_where, ref_snap, ref_finished) ->
+                  if finished <> ref_finished then
+                    raise
+                      (Stop
+                         (Violation
+                            { kind = Result_divergence;
+                              detail =
+                                Printf.sprintf "%s finished %d threads, %s finished %d" ref_where
+                                  ref_finished where finished }));
+                  (match first_diff ref_snap snap with
+                  | None -> ()
+                  | Some addr ->
+                    raise
+                      (Stop
+                         (Violation
+                            { kind = Result_divergence;
+                              detail =
+                                Printf.sprintf "memory differs between %s and %s at address %d"
+                                  ref_where where addr }))))
+              policies)
+          staged;
+        Ok_run
+      with Stop v -> v))

@@ -1,0 +1,55 @@
+(** Differential oracles over one MiniSIMT program.
+
+    [check] runs the full pipeline of correctness contracts this
+    repository claims:
+
+    + {b Round trip} — [Front.Parser.parse_string (Front.Pretty.to_string
+      ast)] must be structurally equal to [ast] ({!Front.Pretty}'s
+      documented contract).
+    + {b Stage health} — lowering and every synchronization pass must
+      leave the IR {!Ir.Verifier}-clean, in both compilation modes
+      ({!Pipeline}).
+    + {b Mode/schedule independence} — the final memory image and the
+      per-thread PRNG-stream consumption must be byte-identical between
+      the PDOM-only baseline and the speculative-reconvergence
+      compilation, under every scheduler policy (the {!Simt.Interp}
+      determinism contract, §4.2–4.3 of the paper).
+    + {b No deadlock, no runtime error} — a deconflicted program must
+      never raise {!Simt.Interp.Deadlock}, and a generated program never
+      {!Simt.Interp.Runtime_error}.
+
+    {!Simt.Interp.Runaway} (the [max_issues] budget) is {e not} a
+    violation: it is the fuzzer's liveness cap, reported as {!Limit} so a
+    campaign can account for skipped programs honestly. *)
+
+type kind =
+  | Round_trip  (** pretty-printed source re-parses differently (or not at all) *)
+  | Stage_failure  (** a pass raised, or left the IR verifier-unclean *)
+  | Deadlock  (** conflicting barriers stalled the machine *)
+  | Runtime_error  (** type error, out-of-bounds access, division by zero *)
+  | Result_divergence  (** memory images differ across modes/policies *)
+
+val kind_name : kind -> string
+
+type violation = { kind : kind; detail : string }
+
+type verdict =
+  | Ok_run  (** every oracle passed *)
+  | Limit of string  (** a run exhausted the issue budget; program skipped *)
+  | Violation of violation
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** The interpreter configurations the differential matrix uses: 2 warps
+    of 32 threads ([Gen.n_threads] total) under each scheduler policy. *)
+val policies : Simt.Config.policy list
+
+val base_config : Simt.Config.t
+
+(** Deterministic fill for the read-only [datai]/[dataf] input arrays —
+    identical across modes because the global layout is fixed at lowering. *)
+val init_memory : Ir.Types.program -> Simt.Memsys.t -> unit
+
+(** [check ast] runs every oracle and returns the first violation found
+    (round trip, then staging, then the run matrix). *)
+val check : ?max_issues:int -> Front.Ast.program -> verdict

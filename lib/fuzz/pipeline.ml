@@ -1,0 +1,79 @@
+module T = Ir.Types
+
+type mode = Baseline | Specrecon
+
+let mode_name = function Baseline -> "baseline" | Specrecon -> "specrecon"
+
+exception Stage_error of string * string
+
+type staged = { program : T.program; linear : Ir.Linear.t; resolutions : int }
+
+let stage name f =
+  match f () with
+  | v -> v
+  | exception Failure msg -> raise (Stage_error (name, msg))
+  | exception Front.Lower.Lower_error (p, msg) ->
+    raise (Stage_error (name, Format.asprintf "%a: %s" Front.Ast.pp_pos p msg))
+
+let verify name program =
+  match Ir.Verifier.check_program program with
+  | [] -> ()
+  | errors ->
+    let rendered =
+      String.concat "; " (List.map (Format.asprintf "%a" Ir.Verifier.pp_error) errors)
+    in
+    raise (Stage_error ("verify:" ^ name, rendered))
+
+let strip_hints (p : T.program) = Hashtbl.iter (fun _ (f : T.func) -> f.hints <- []) p.funcs
+
+(* Barrier priority for deconfliction, as Core.Compile ranks it: user
+   hints beat region barriers beat compiler PDOM barriers (§4.1). *)
+let make_priority ~applied ~interproc ~pdom =
+  let rank = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Passes.Specrecon.applied) ->
+      Hashtbl.replace rank (a.in_func, a.user_barrier) 3;
+      match a.region_barrier with
+      | Some b -> Hashtbl.replace rank (a.in_func, b) 2
+      | None -> ())
+    applied;
+  List.iter
+    (fun (a : Passes.Interproc.applied) -> Hashtbl.replace rank (a.in_func, a.barrier) 3)
+    interproc;
+  List.iter (fun (fname, _, b) -> Hashtbl.replace rank (fname, b) 1) pdom;
+  fun fname b -> Option.value (Hashtbl.find_opt rank (fname, b)) ~default:1
+
+let compile ?(deconflict = true) ~mode ast =
+  let program = stage "lower" (fun () -> Front.Lower.lower ast) in
+  verify "lower" program;
+  let resolutions =
+    match mode with
+    | Baseline ->
+      strip_hints program;
+      let divergence = Analysis.Divergence.run program in
+      ignore (stage "pdom_sync" (fun () -> Passes.Pdom_sync.run program divergence));
+      verify "pdom_sync" program;
+      0
+    | Specrecon ->
+      let applied = stage "specrecon" (fun () -> Passes.Specrecon.run program) in
+      verify "specrecon" program;
+      let interproc = stage "interproc" (fun () -> Passes.Interproc.run program) in
+      verify "interproc" program;
+      let divergence = Analysis.Divergence.run program in
+      let pdom = stage "pdom_sync" (fun () -> Passes.Pdom_sync.run program divergence) in
+      verify "pdom_sync" program;
+      if deconflict then begin
+        let priority = make_priority ~applied ~interproc ~pdom in
+        let report =
+          stage "deconflict" (fun () ->
+              Passes.Deconflict.run program ~strategy:Passes.Deconflict.Dynamic ~priority)
+        in
+        verify "deconflict" program;
+        List.length report.Passes.Deconflict.resolutions
+      end
+      else 0
+  in
+  ignore (stage "cleanup" (fun () -> Passes.Cleanup.run program));
+  verify "cleanup" program;
+  let linear = stage "linearize" (fun () -> Ir.Linear.linearize program) in
+  { program; linear; resolutions }

@@ -1,0 +1,31 @@
+(** The compilation pipeline, staged for oracle checking.
+
+    Mirrors {!Core.Compile.compile_ast} for the two modes the paper
+    differentiates — PDOM-only baseline (§2) and speculative reconvergence
+    with dynamic deconfliction (§4) — but runs {!Ir.Verifier} after every
+    pass and tags failures with the stage that caused them, so a fuzzing
+    campaign can report {e which} layer broke instead of a bare [Failure].
+
+    [~deconflict:false] skips §4.3's deconfliction on the speculative
+    pipeline. That is exactly the configuration the paper calls unsafe
+    (conflicting barriers deadlock), and the test suite uses it to prove
+    the deadlock is real and that Deconflict removes it. *)
+
+type mode = Baseline | Specrecon
+
+val mode_name : mode -> string
+
+exception Stage_error of string * string
+(** [(stage, message)]: the pass raised, or the verifier found structural
+    errors after it. Stages: ["lower"], ["specrecon"], ["interproc"],
+    ["pdom_sync"], ["deconflict"], ["cleanup"], ["linearize"]. *)
+
+type staged = {
+  program : Ir.Types.program;
+  linear : Ir.Linear.t;
+  resolutions : int;  (** deconfliction resolutions applied (0 for baseline) *)
+}
+
+(** [compile ~mode ast] lowers and runs the mode's synchronization passes,
+    verifying after each stage. @raise Stage_error as documented. *)
+val compile : ?deconflict:bool -> mode:mode -> Front.Ast.program -> staged

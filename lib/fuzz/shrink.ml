@@ -1,0 +1,102 @@
+open Front.Ast
+
+(* Pre-order edit of the [n]-th statement across every function body.
+   [f] returns the replacement statement list; all other statements are
+   kept, with the edit recursing into nested blocks. *)
+let rec edit_stmt ctr n f s =
+  let here = !ctr in
+  incr ctr;
+  if here = n then f s
+  else
+    let sdesc =
+      match s.sdesc with
+      | If (c, t, e) -> If (c, edit_block ctr n f t, edit_block ctr n f e)
+      | While (c, b) -> While (c, edit_block ctr n f b)
+      | For r -> For { r with body = edit_block ctr n f r.body }
+      | d -> d
+    in
+    [ { s with sdesc } ]
+
+and edit_block ctr n f stmts = List.concat_map (edit_stmt ctr n f) stmts
+
+let edit_program prog n f =
+  let ctr = ref 0 in
+  let funcs = List.map (fun fn -> { fn with body = edit_block ctr n f fn.body }) prog.funcs in
+  { prog with funcs }
+
+let count_stmts prog =
+  let ctr = ref 0 in
+  List.iter (fun fn -> ignore (edit_block ctr (-1) (fun s -> [ s ]) fn.body)) prog.funcs;
+  !ctr
+
+let nth_stmt prog n =
+  let found = ref None in
+  ignore
+    (edit_program prog n (fun s ->
+         found := Some s;
+         [ s ]));
+  !found
+
+let zero_of = function Tint -> { desc = Int_lit 0; pos = { line = 0; col = 0 } }
+  | Tfloat -> { desc = Float_lit 0.0; pos = { line = 0; col = 0 } }
+
+(* All single-step reductions of [prog], coarsest first. *)
+let candidates prog =
+  let drop_funcs =
+    List.filter_map
+      (fun fn ->
+        if fn.is_kernel then None
+        else Some (fun () -> { prog with funcs = List.filter (fun f -> f.name <> fn.name) prog.funcs }))
+      prog.funcs
+  in
+  let drop_globals =
+    List.map
+      (fun g -> fun () -> { prog with globals = List.filter (fun g' -> g'.gname <> g.gname) prog.globals })
+      prog.globals
+  in
+  let n = count_stmts prog in
+  let deletes = List.init n (fun i -> fun () -> edit_program prog i (fun _ -> [])) in
+  let unwraps =
+    List.concat
+      (List.init n (fun i ->
+           match nth_stmt prog i with
+           | Some { sdesc = If (_, t, e); _ } ->
+             (fun () -> edit_program prog i (fun _ -> t))
+             :: (if e = [] then [] else [ (fun () -> edit_program prog i (fun _ -> e)) ])
+           | Some { sdesc = While (_, b); _ } -> [ (fun () -> edit_program prog i (fun _ -> b)) ]
+           | Some { sdesc = For { body; _ }; _ } ->
+             [ (fun () -> edit_program prog i (fun _ -> body)) ]
+           | _ -> []))
+  in
+  let simplify_inits =
+    List.concat
+      (List.init n (fun i ->
+           match nth_stmt prog i with
+           | Some ({ sdesc = Decl ({ ty = Some ty; init; _ } as d); _ } as s)
+             when init.desc <> (zero_of ty).desc ->
+             [ (fun () ->
+                   edit_program prog i (fun _ ->
+                       [ { s with sdesc = Decl { d with init = zero_of ty } } ])) ]
+           | _ -> []))
+  in
+  drop_funcs @ drop_globals @ deletes @ unwraps @ simplify_inits
+
+let shrink ?(budget = 300) ast ~still_failing =
+  let evals = ref 0 in
+  let rec pass current =
+    if !evals >= budget then current
+    else
+      let next =
+        List.find_map
+          (fun make ->
+            if !evals >= budget then None
+            else begin
+              incr evals;
+              let candidate = make () in
+              if still_failing candidate then Some candidate else None
+            end)
+          (candidates current)
+      in
+      match next with Some smaller -> pass smaller | None -> current
+  in
+  pass ast

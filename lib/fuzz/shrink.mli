@@ -1,0 +1,19 @@
+(** Greedy minimization of failing MiniSIMT programs.
+
+    Candidate reductions, tried in order against the caller's predicate:
+    drop a device function, delete one statement (pre-order over every
+    function body), unwrap a control-flow statement into one of its
+    blocks, and zero out a declaration's initializer. The first candidate
+    that still fails becomes the new current program; the scan restarts
+    until a full pass yields nothing or the evaluation budget runs out.
+
+    Candidates that no longer parse-check (a deleted declaration leaves a
+    dangling use, an unwrapped loop strands a [break]) are rejected by the
+    predicate itself — the oracle classifies them differently — so the
+    shrinker needs no legality analysis of its own. *)
+
+(** [shrink ~budget ast ~still_failing] returns a (weakly) minimal
+    program for which [still_failing] holds. [budget] caps predicate
+    evaluations (default 300). [still_failing ast] must be true on entry. *)
+val shrink :
+  ?budget:int -> Front.Ast.program -> still_failing:(Front.Ast.program -> bool) -> Front.Ast.program

@@ -10,18 +10,48 @@ type report = {
   unresolved : (string * T.barrier * T.barrier) list;
 }
 
-(* Insert [Cancel demoted] immediately before every wait on [kept]. *)
-let dynamic_cancel (f : T.func) ~kept ~demoted =
+(* Barriers whose wait sits at a function's entry block — i.e. the waits
+   {!Interproc} propagates to predicted callees (§4.4). In every caller,
+   a call to such a function is the wait event for those barriers, both
+   for conflict detection and for dynamic-cancel placement. *)
+let entry_waits (p : T.program) =
+  let tbl = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun name (f : T.func) ->
+      let waits =
+        List.fold_left
+          (fun acc i ->
+            match i with
+            | T.Wait b | T.Wait_threshold (b, _) -> Analysis.Sets.Int_set.add b acc
+            | T.Join _ | T.Rejoin _ | T.Cancel _ | T.Arrived _ | T.Bin _ | T.Un _ | T.Mov _
+            | T.Load _ | T.Store _ | T.Tid _ | T.Lane _ | T.Nthreads _ | T.Rand _ | T.Randint _
+            | T.Call _ -> acc)
+          Analysis.Sets.Int_set.empty (T.block f f.entry).insts
+      in
+      Hashtbl.replace tbl name waits)
+    p.funcs;
+  fun callee ->
+    Option.value (Hashtbl.find_opt tbl callee) ~default:Analysis.Sets.Int_set.empty
+
+(* Insert [Cancel demoted] immediately before every wait on [kept] — a
+   literal wait, or a call whose callee waits on [kept] at entry. *)
+let dynamic_cancel (f : T.func) ~call_waits ~kept ~demoted =
+  let waits_on_kept = function
+    | T.Wait x | T.Wait_threshold (x, _) -> x = kept
+    | T.Call { callee; _ } -> Analysis.Sets.Int_set.mem kept (call_waits callee)
+    | T.Join _ | T.Rejoin _ | T.Cancel _ | T.Arrived _ | T.Bin _ | T.Un _ | T.Mov _ | T.Load _
+    | T.Store _ | T.Tid _ | T.Lane _ | T.Nthreads _ | T.Rand _ | T.Randint _ -> false
+  in
   T.iter_blocks f (fun b ->
       let rec rebuild acc = function
         | [] -> List.rev acc
-        | ((T.Wait x | T.Wait_threshold (x, _)) as w) :: rest when x = kept ->
-          rebuild (w :: T.Cancel demoted :: acc) rest
+        | w :: rest when waits_on_kept w -> rebuild (w :: T.Cancel demoted :: acc) rest
         | i :: rest -> rebuild (i :: acc) rest
       in
       b.insts <- rebuild [] b.insts)
 
 let run (p : T.program) ~strategy ~priority =
+  let call_waits = entry_waits p in
   let resolutions = ref [] in
   let unresolved = ref [] in
   let names = List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) p.funcs []) in
@@ -36,7 +66,7 @@ let run (p : T.program) ~strategy ~priority =
       let handled = Hashtbl.create 8 in
       let continue_ = ref true in
       while !continue_ do
-        let ba = BA.run f in
+        let ba = BA.run ~call_waits f in
         let conflicts =
           List.filter (fun pair -> not (Hashtbl.mem handled pair)) (BA.conflicts ba)
         in
@@ -50,7 +80,7 @@ let run (p : T.program) ~strategy ~priority =
             let kept, demoted = if px > py then (x, y) else (y, x) in
             (match strategy with
             | Static -> ignore (Edit.remove_barrier_ops f demoted)
-            | Dynamic -> dynamic_cancel f ~kept ~demoted);
+            | Dynamic -> dynamic_cancel f ~call_waits ~kept ~demoted);
             resolutions := { in_func = name; kept; demoted; strategy } :: !resolutions
           end
       done)

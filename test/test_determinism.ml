@@ -1,0 +1,23 @@
+(* Experiment outputs must not depend on the worker-domain count: the
+   corpus funnel fans compilation and simulation out through
+   {!Support.Domain_pool}, and the determinism contract (§4.2) extends
+   to the rendered report — byte-identical whether one domain or four
+   do the work. *)
+
+let render_funnel domains =
+  Test_support.with_domains domains (fun () ->
+      Format.asprintf "%a" Core.Experiments.pp_funnel
+        (Core.Experiments.corpus_funnel ~seed:7 ~count:12 ()))
+
+let test_funnel_domain_independence () =
+  Alcotest.(check string) "byte-identical under 1 vs 4 domains" (render_funnel 1)
+    (render_funnel 4)
+
+let tests =
+  [
+    ( "determinism.domains",
+      [
+        Alcotest.test_case "corpus funnel under 1 vs 4 domains" `Slow
+          test_funnel_domain_independence;
+      ] );
+  ]

@@ -227,7 +227,12 @@ let seed_goldens =
     ("gpu-mcml", "speculative", { issues = 30282; active_sum = 603994; cycles = 38121; mem_accesses = 397; barrier_joins = 2283; barrier_waits = 2333; barrier_fires = 2006; barrier_cancels = 401; yields = 0; threads_finished = 64; mem_digest = 1122208241897937969 });
     ("gpu-mcml", "automatic", { issues = 30282; active_sum = 603994; cycles = 38121; mem_accesses = 397; barrier_joins = 2283; barrier_waits = 2333; barrier_fires = 2006; barrier_cancels = 401; yields = 0; threads_finished = 64; mem_digest = 1122208241897937969 });
     ("common-call", "baseline", { issues = 26274; active_sum = 425280; cycles = 26350; mem_accesses = 2; barrier_joins = 24; barrier_waits = 48; barrier_fires = 24; barrier_cancels = 0; yields = 0; threads_finished = 64; mem_digest = 543971077896856215 });
-    ("common-call", "speculative", { issues = 13582; active_sum = 426944; cycles = 15938; mem_accesses = 2; barrier_joins = 74; barrier_waits = 96; barrier_fires = 48; barrier_cancels = 2; yields = 0; threads_finished = 64; mem_digest = 543971077896856215 });
+    (* Recaptured when deconfliction learned to see interprocedural
+       barriers (calls to a waiting callee now count as the wait event,
+       srfuzz corpus id 18): the propagated barrier's conflict with the
+       PDOM join is now resolved by Cancel-before-call, so the schedule
+       metrics moved while the memory digest stayed identical. *)
+    ("common-call", "speculative", { issues = 13912; active_sum = 427712; cycles = 16255; mem_accesses = 4; barrier_joins = 96; barrier_waits = 96; barrier_fires = 24; barrier_cancels = 52; yields = 0; threads_finished = 64; mem_digest = 543971077896856215 });
     ("common-call", "automatic", { issues = 26274; active_sum = 425280; cycles = 26350; mem_accesses = 2; barrier_joins = 24; barrier_waits = 48; barrier_fires = 24; barrier_cancels = 0; yields = 0; threads_finished = 64; mem_digest = 543971077896856215 });
   ]
 

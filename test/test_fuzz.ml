@@ -1,0 +1,120 @@
+(* Regression gates for the fuzzing subsystem itself:
+
+   - corpus replay: every minimized repro under corpus/ (found by
+     srfuzz, root-caused, fixed, then promoted) must pass every
+     differential oracle, forever;
+   - fixed-seed smoke campaign: the tier-1 slice of a full
+     [srfuzz --seed 42] run;
+   - deconfliction rescue: the §3 conflicting-barrier deadlock fires
+     when the deconflict stage is skipped and is resolved when it runs;
+   - generator determinism: same seed and id, same program. *)
+
+module Oracle = Fuzz.Oracle
+module Pipeline = Fuzz.Pipeline
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let corpus_files () =
+  Sys.readdir "corpus" |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".simt")
+  |> List.sort compare
+  |> List.map (Filename.concat "corpus")
+
+let test_corpus_replay () =
+  let files = corpus_files () in
+  Alcotest.(check bool)
+    (Printf.sprintf "corpus holds at least 5 repros (found %d)" (List.length files))
+    true
+    (List.length files >= 5);
+  List.iter
+    (fun path ->
+      let ast = Front.Parser.parse_string (read_file path) in
+      match Oracle.check ast with
+      | Oracle.Ok_run -> ()
+      | v -> Alcotest.failf "%s: %a" path Oracle.pp_verdict v)
+    files
+
+let test_smoke_campaign () =
+  let report = Fuzz.Driver.run ~seed:42 ~count:200 () in
+  List.iter
+    (fun (f : Fuzz.Driver.finding) ->
+      Alcotest.failf "[%d] %s %s: %s" f.Fuzz.Driver.id
+        (Fuzz.Gen.shape_name f.Fuzz.Driver.shape)
+        (Oracle.kind_name f.Fuzz.Driver.violation.Oracle.kind)
+        f.Fuzz.Driver.violation.Oracle.detail)
+    report.Fuzz.Driver.findings;
+  Alcotest.(check int) "every program accounted for" 200
+    (report.Fuzz.Driver.passed + report.Fuzz.Driver.limited)
+
+let test_generator_deterministic () =
+  let a = Fuzz.Gen.generate ~seed:1729 3 and b = Fuzz.Gen.generate ~seed:1729 3 in
+  Alcotest.(check bool) "same seed and id give the same program" true
+    (Front.Pretty.equal_program a.Fuzz.Gen.ast b.Fuzz.Gen.ast)
+
+(* The §3 common-call conflict, as srfuzz minimized it (corpus id 18):
+   threads that call [fn0] block on the interprocedural barrier waiting
+   at the callee's entry, while the threads that skipped the call block
+   on the caller's PDOM join — complementary waiting sets, so neither
+   barrier can ever fire on its own. *)
+let conflicting_source =
+  {|
+func fn0(p0: float) -> float {
+}
+
+kernel k() {
+  var accf3: float = 0.0;
+  predict func fn0;
+  for i5 in 0 .. 1 {
+    if ((randint(3) == 0)) {
+      accf3 = (accf3 + fn0(fabs((rand() - rand()))));
+    }
+  }
+}
+|}
+
+let run_policy (staged : Pipeline.staged) policy =
+  let config = { Oracle.base_config with Simt.Config.policy } in
+  Simt.Interp.run config staged.Pipeline.linear ~args:[]
+    ~init_memory:(Oracle.init_memory staged.Pipeline.program)
+
+let test_deconflict_rescues_deadlock () =
+  let ast = Front.Parser.parse_string conflicting_source in
+  let raw = Pipeline.compile ~deconflict:false ~mode:Pipeline.Specrecon ast in
+  let deadlocked =
+    List.filter
+      (fun policy ->
+        match run_policy raw policy with
+        | _ -> false
+        | exception Simt.Interp.Deadlock _ -> true)
+      Oracle.policies
+  in
+  Alcotest.(check bool) "deadlocks under some policy without deconfliction" true
+    (deadlocked <> []);
+  let deconflicted = Pipeline.compile ~mode:Pipeline.Specrecon ast in
+  Alcotest.(check bool) "deconfliction resolved the conflict" true
+    (deconflicted.Pipeline.resolutions >= 1);
+  List.iter
+    (fun policy ->
+      match run_policy deconflicted policy with
+      | _ -> ()
+      | exception Simt.Interp.Deadlock msg -> Alcotest.failf "still deadlocks: %s" msg)
+    Oracle.policies;
+  match Oracle.check ast with
+  | Oracle.Ok_run -> ()
+  | v -> Alcotest.failf "full oracle matrix: %a" Oracle.pp_verdict v
+
+let tests =
+  [
+    ( "fuzz.oracles",
+      [
+        Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
+        Alcotest.test_case "deconfliction rescues common-call deadlock" `Quick
+          test_deconflict_rescues_deadlock;
+        Alcotest.test_case "corpus replay" `Slow test_corpus_replay;
+        Alcotest.test_case "smoke campaign (seed 42)" `Slow test_smoke_campaign;
+      ] );
+  ]

@@ -162,6 +162,57 @@ let prop_mask_compare_lex =
       let a = Mask.of_list la and b = Mask.of_list lb in
       compare (Mask.compare_lex a b) 0 = compare (compare (Mask.to_list a) (Mask.to_list b)) 0)
 
+(* ---- boundary warp widths ----
+
+   The SWAR fast paths must agree with a per-bit reference model at the
+   degenerate width 1, around the 32-lane warp boundary, and at the
+   representation limit. [max_width] is [Sys.int_size - 1] (62 on 64-bit
+   OCaml), so a 63- or 64-lane warp must be rejected with
+   [Invalid_argument], never silently truncated. *)
+
+let test_mask_boundary_widths () =
+  let rng = Splitmix.create 0x4d61736bL in
+  let random_model width = Array.init width (fun _ -> Splitmix.int rng 3 = 0) in
+  let mask_of_model model =
+    let m = ref Mask.empty in
+    Array.iteri (fun lane b -> if b then m := Mask.add lane !m) model;
+    !m
+  in
+  List.iter
+    (fun width ->
+      for _round = 1 to 50 do
+        let model = random_model width in
+        let m = mask_of_model model in
+        let expected = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 model in
+        check_int (Printf.sprintf "count at width %d" width) expected (Mask.count m);
+        Array.iteri
+          (fun lane b -> check_bool (Printf.sprintf "mem %d/%d" lane width) b (Mask.mem lane m))
+          model;
+        let lane = Splitmix.int rng width in
+        let cleared = Mask.remove lane m in
+        check_bool "cleared" false (Mask.mem lane cleared);
+        check_int "count after clear"
+          (expected - if model.(lane) then 1 else 0)
+          (Mask.count cleared);
+        let m2 = mask_of_model (random_model width) in
+        check_int
+          (Printf.sprintf "compare_lex sign at width %d" width)
+          (compare (compare (Mask.to_list m) (Mask.to_list m2)) 0)
+          (compare (Mask.compare_lex m m2) 0)
+      done)
+    [ 1; 31; 32; Mask.max_width ];
+  List.iter
+    (fun width ->
+      let raises f =
+        match f () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail (Printf.sprintf "width %d accepted" width)
+      in
+      raises (fun () -> Mask.full width);
+      raises (fun () -> Mask.singleton (width - 1));
+      raises (fun () -> Mask.add (width - 1) Mask.empty))
+    [ 63; 64 ]
+
 (* ---- Domain_pool ---- *)
 
 (* Exercise the genuinely parallel path even on single-core CI by
@@ -344,6 +395,7 @@ let tests =
         Alcotest.test_case "count matches naive" `Quick test_mask_count_matches_naive;
         Alcotest.test_case "lowest matches naive" `Quick test_mask_lowest_matches_naive;
         Alcotest.test_case "iter matches naive" `Quick test_mask_iter_matches_naive;
+        Alcotest.test_case "boundary widths" `Quick test_mask_boundary_widths;
         qtest prop_mask_union_count;
         qtest prop_mask_partition;
         qtest prop_mask_roundtrip;
