@@ -26,7 +26,7 @@ let mode_of_string = function
          })
   | other -> Error (Printf.sprintf "unknown mode %s" other)
 
-let run path mode coarsen threshold dumps =
+let run path mode coarsen threshold dumps lint_mode no_lint =
   match mode_of_string mode with
   | Error msg ->
     prerr_endline msg;
@@ -38,7 +38,12 @@ let run path mode coarsen threshold dumps =
       | Some k when k < 0 -> Core.Compile.Unset
       | Some k -> Core.Compile.Set k
     in
-    let options = { Core.Compile.mode; coarsen; threshold; cleanup = true } in
+    (* --lint collects findings itself (machine-readable, exit 1);
+       --no-lint demotes them to warnings. Either way compilation must
+       not abort on findings, so lint=false below. *)
+    let options =
+      { Core.Compile.mode; coarsen; threshold; cleanup = true; lint = not (lint_mode || no_lint) }
+    in
     let source = read_file path in
     (* --dump source prints the (possibly coarsened) program back as
        MiniSIMT text *)
@@ -62,6 +67,13 @@ let run path mode coarsen threshold dumps =
     | exception Front.Lower.Lower_error (pos, msg) ->
       Format.eprintf "%s:%a: error: %s@." path Front.Ast.pp_pos pos msg;
       exit 1
+    | compiled when lint_mode ->
+      let findings = compiled.Core.Compile.lint_findings in
+      List.iter
+        (fun f -> Format.printf "%a@." Analysis.Barrier_safety.pp_machine f)
+        findings;
+      Format.printf "srlint: %d finding(s) in %s@." (List.length findings) path;
+      if findings <> [] then exit 1
     | compiled ->
       let dump = function
         | Dump_ir -> Format.printf "%a@." Ir.Printer.pp_program compiled.Core.Compile.program
@@ -139,9 +151,25 @@ let dumps_arg =
   in
   Arg.(value & opt_all conv_dump [] & info [ "dump" ] ~doc:"What to print: ir|asm|hints|analysis|candidates|source")
 
+let lint_arg =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Run the static barrier-safety checker (srlint) and print machine-readable \
+           diagnostics; exit 1 if any finding")
+
+let no_lint_arg =
+  Arg.(
+    value & flag
+    & info [ "no-lint" ]
+        ~doc:"Demote barrier-safety findings from hard errors to warnings on stderr")
+
 let cmd =
   Cmd.v
     (Cmd.info "srcc" ~doc:"MiniSIMT compiler with Speculative Reconvergence")
-    Term.(const run $ path_arg $ mode_arg $ coarsen_arg $ threshold_arg $ dumps_arg)
+    Term.(
+      const run $ path_arg $ mode_arg $ coarsen_arg $ threshold_arg $ dumps_arg $ lint_arg
+      $ no_lint_arg)
 
 let () = exit (Cmd.eval cmd)

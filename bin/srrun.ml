@@ -50,7 +50,7 @@ let run path mode coarsen threshold warps warp_size policy seed args =
   let config =
     { Simt.Config.default with Simt.Config.n_warps = warps; warp_size; policy; seed }
   in
-  let options = { Core.Compile.mode; coarsen; threshold; cleanup = true } in
+  let options = { Core.Compile.mode; coarsen; threshold; cleanup = true; lint = true } in
   try
     let outcome =
       Core.Runner.run_source ~config options ~source:(read_file path) ~args:(parse_args args)

@@ -1,0 +1,508 @@
+(* srlint: static barrier-safety checker. See the .mli for the abstract
+   domain and the deadlock argument; DESIGN.md documents the transfer
+   functions.
+
+   Soundness hinges on one dynamic fact (lib/simt/barrier_unit.ml): a
+   barrier fires only when every current participant is blocked on it
+   (or the soft threshold is met). In a stalled machine state every
+   barrier that still has blocked lanes therefore has some participant
+   blocked on a *different* barrier, and with finitely many slots that
+   "waits-for" relation must contain a cycle. Contrapositive: if the
+   static over-approximation of waits-for is acyclic, no schedule can
+   deadlock on barriers. *)
+
+open Sets
+module T = Ir.Types
+
+type category =
+  | Bypassable_wait
+  | Double_arrive
+  | Unallocated_slot
+  | Unseparated_overlap
+  | Undominated_wait
+
+let category_name = function
+  | Bypassable_wait -> "bypassable-wait"
+  | Double_arrive -> "double-arrive"
+  | Unallocated_slot -> "unallocated-slot"
+  | Unseparated_overlap -> "unseparated-overlap"
+  | Undominated_wait -> "undominated-wait"
+
+let category_rank = function
+  | Bypassable_wait -> 0
+  | Unseparated_overlap -> 1
+  | Double_arrive -> 2
+  | Unallocated_slot -> 3
+  | Undominated_wait -> 4
+
+type site = { in_func : string; block : int; index : int; src_line : int option }
+
+type finding = {
+  category : category;
+  slot : T.barrier;
+  site : site;
+  message : string;
+  fix : string;
+}
+
+type speculative = { sfunc : string; slot : T.barrier; join_block : int }
+
+(* ------------------------------------------------------------------ *)
+(* May-held relational domain                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Pair_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+let ordered a b = if a <= b then (a, b) else (b, a)
+
+(* [singles] — slots some thread may hold here; [pairs] — unordered slot
+   pairs a single thread may hold simultaneously along some path. Pairs
+   are what survive CFG merges exactly: union over paths is the precise
+   answer for an existential path property. *)
+module Held = struct
+  type t = { singles : Int_set.t; pairs : Pair_set.t }
+
+  let bottom = { singles = Int_set.empty; pairs = Pair_set.empty }
+
+  let equal a b = Int_set.equal a.singles b.singles && Pair_set.equal a.pairs b.pairs
+
+  let join a b =
+    { singles = Int_set.union a.singles b.singles; pairs = Pair_set.union a.pairs b.pairs }
+end
+
+module Held_solver = Dataflow.Make (Held)
+
+let held_add b (s : Held.t) =
+  let pairs =
+    Int_set.fold
+      (fun c acc -> if c = b then acc else Pair_set.add (ordered b c) acc)
+      s.singles s.pairs
+  in
+  { Held.singles = Int_set.add b s.singles; pairs }
+
+let held_drop b (s : Held.t) =
+  {
+    Held.singles = Int_set.remove b s.singles;
+    pairs = Pair_set.filter (fun (x, y) -> x <> b && y <> b) s.pairs;
+  }
+
+(* Interprocedural summaries. [entry_waits f] — slots waited in [f]'s
+   entry block (a call is the wait event for them, §4.4). [may_block f]
+   — slots a thread may block on somewhere inside [f] or its callees,
+   beyond the entry waits. [escapes f] — slots possibly still held when
+   [f] returns. *)
+type summaries = {
+  entry_waits : string -> Int_set.t;
+  may_block : string -> Int_set.t;
+  escapes : string -> Int_set.t;
+}
+
+let held_step sums (s : Held.t) inst =
+  match inst with
+  | T.Join b | T.Rejoin b -> held_add b s
+  | T.Wait b | T.Wait_threshold (b, _) | T.Cancel b -> held_drop b s
+  | T.Call { callee; _ } ->
+    let s = Int_set.fold held_drop (sums.entry_waits callee) s in
+    Int_set.fold held_add (sums.escapes callee) s
+  | T.Bin _ | T.Un _ | T.Mov _ | T.Load _ | T.Store _ | T.Tid _ | T.Lane _ | T.Nthreads _
+  | T.Rand _ | T.Randint _ | T.Arrived _ -> s
+
+(* ------------------------------------------------------------------ *)
+(* Must-held domain (double-arrive check)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Intersection lattice: [Top] is "no path reached here yet", so it is
+   the solver's bottom and the identity of the (intersection) join. *)
+module Must = struct
+  type t = Top | Known of Int_set.t
+
+  let bottom = Top
+
+  let equal a b =
+    match (a, b) with
+    | Top, Top -> true
+    | Known x, Known y -> Int_set.equal x y
+    | Top, Known _ | Known _, Top -> false
+
+  let join a b =
+    match (a, b) with
+    | Top, x | x, Top -> x
+    | Known x, Known y -> Known (Int_set.inter x y)
+end
+
+module Must_solver = Dataflow.Make (Must)
+
+let must_step sums m inst =
+  match m with
+  | Must.Top -> Must.Top
+  | Must.Known s ->
+    Must.Known
+      (match inst with
+      | T.Join b | T.Rejoin b -> Int_set.add b s
+      | T.Wait b | T.Wait_threshold (b, _) | T.Cancel b -> Int_set.remove b s
+      | T.Call { callee; _ } -> Int_set.diff s (sums.entry_waits callee)
+      | T.Bin _ | T.Un _ | T.Mov _ | T.Load _ | T.Store _ | T.Tid _ | T.Lane _ | T.Nthreads _
+      | T.Rand _ | T.Randint _ | T.Arrived _ -> s)
+
+(* ------------------------------------------------------------------ *)
+(* Summary fixpoint                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_funcs (p : T.program) =
+  Hashtbl.fold (fun n _ acc -> n :: acc) p.funcs [] |> List.sort compare
+
+(* Iterates [escapes]/[may_block] (and the per-function held analyses
+   that depend on them) to a fixpoint. Returns the final summaries plus
+   the held-analysis result for every function, computed against the
+   stable summaries. *)
+let compute_summaries (p : T.program) =
+  let names = sorted_funcs p in
+  let cg = Callgraph.build p in
+  let ew_tbl = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      let f = Hashtbl.find p.T.funcs n in
+      let waits =
+        List.fold_left
+          (fun acc i ->
+            match i with T.Wait b | T.Wait_threshold (b, _) -> Int_set.add b acc | _ -> acc)
+          Int_set.empty (T.block f f.entry).insts
+      in
+      Hashtbl.replace ew_tbl n waits)
+    names;
+  let entry_waits n = Option.value (Hashtbl.find_opt ew_tbl n) ~default:Int_set.empty in
+  let mb_tbl : (string, Int_set.t) Hashtbl.t = Hashtbl.create 8 in
+  let esc_tbl : (string, Int_set.t) Hashtbl.t = Hashtbl.create 8 in
+  let get tbl n = Option.value (Hashtbl.find_opt tbl n) ~default:Int_set.empty in
+  let sums =
+    { entry_waits; may_block = (fun n -> get mb_tbl n); escapes = (fun n -> get esc_tbl n) }
+  in
+  let held_results : (string, Held_solver.result) Hashtbl.t = Hashtbl.create 8 in
+  (* Local waited slots never change across iterations; precompute. *)
+  let local_waits =
+    List.map
+      (fun n ->
+        let f = Hashtbl.find p.T.funcs n in
+        let acc = ref Int_set.empty in
+        T.iter_blocks f (fun b ->
+            List.iter
+              (fun i ->
+                match i with
+                | T.Wait x | T.Wait_threshold (x, _) -> acc := Int_set.add x !acc
+                | _ -> ())
+              b.insts);
+        (n, !acc))
+      names
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Bottom-up so summaries flow callee-to-caller within one sweep. *)
+    List.iter
+      (fun n ->
+        let f = Hashtbl.find p.T.funcs n in
+        let g = Cfg.of_func f in
+        let res =
+          Held_solver.solve g Dataflow.Forward ~boundary:Held.bottom ~transfer:(fun id st ->
+              List.fold_left (held_step sums) st (T.block f id).insts)
+        in
+        Hashtbl.replace held_results n res;
+        let esc =
+          List.fold_left
+            (fun acc id ->
+              match (T.block f id).term with
+              | T.Ret _ -> Int_set.union acc (Held_solver.after res id).Held.singles
+              | T.Jump _ | T.Br _ | T.Exit -> acc)
+            Int_set.empty (Cfg.nodes g)
+        in
+        let mb =
+          List.fold_left
+            (fun acc callee ->
+              Int_set.union acc (Int_set.union (entry_waits callee) (get mb_tbl callee)))
+            (List.assoc n local_waits) (Callgraph.callees cg n)
+        in
+        if not (Int_set.equal esc (get esc_tbl n)) then begin
+          Hashtbl.replace esc_tbl n esc;
+          changed := true
+        end;
+        if not (Int_set.equal mb (get mb_tbl n)) then begin
+          Hashtbl.replace mb_tbl n mb;
+          changed := true
+        end)
+      (Callgraph.bottom_up cg)
+  done;
+  (* One final sweep so every cached held result reflects the stable
+     summaries (the last loop iteration may have updated a callee after
+     its caller was analysed). *)
+  List.iter
+    (fun n ->
+      let f = Hashtbl.find p.T.funcs n in
+      let g = Cfg.of_func f in
+      let res =
+        Held_solver.solve g Dataflow.Forward ~boundary:Held.bottom ~transfer:(fun id st ->
+            List.fold_left (held_step sums) st (T.block f id).insts)
+      in
+      Hashtbl.replace held_results n res)
+    names;
+  (sums, fun n -> Hashtbl.find held_results n)
+
+(* ------------------------------------------------------------------ *)
+(* SCCs of the waits-for graph (Tarjan, iterative-enough for our sizes) *)
+(* ------------------------------------------------------------------ *)
+
+let sccs nodes succs =
+  let index = Hashtbl.create 16 and low = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] and counter = ref 0 and out = ref [] in
+  let rec strong v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace low v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strong w;
+          Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find low w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find index w)))
+      (succs v);
+    if Hashtbl.find low v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      out := pop [] :: !out
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strong v) nodes;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* The checker                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let pp_int_list ppf slots =
+  Format.fprintf ppf "{%s}" (String.concat ", " (List.map (Printf.sprintf "b%d") slots))
+
+let check ?(speculative = []) (p : T.program) =
+  let findings = ref [] in
+  let add category slot site message fix =
+    findings := { category; slot; site; message; fix } :: !findings
+  in
+  let sums, held_of = compute_summaries p in
+  let names = sorted_funcs p in
+  (* Directed waits-for edges: (holder, waited) -> first witnessing site. *)
+  let edges : (int * int, site) Hashtbl.t = Hashtbl.create 32 in
+  let add_edge src dst site =
+    if src <> dst && not (Hashtbl.mem edges (src, dst)) then Hashtbl.replace edges (src, dst) site
+  in
+  let arrive_slots = ref Int_set.empty in
+  (* slot -> first wait/cancel site, for the orphan-slot check *)
+  let release_sites : (int, site) Hashtbl.t = Hashtbl.create 16 in
+  let note_release slot site =
+    if not (Hashtbl.mem release_sites slot) then Hashtbl.replace release_sites slot site
+  in
+  List.iter
+    (fun n ->
+      let f = Hashtbl.find p.T.funcs n in
+      let g = Cfg.of_func f in
+      let held_res = held_of n in
+      let must_res =
+        Must_solver.solve g Dataflow.Forward ~boundary:(Must.Known Int_set.empty)
+          ~transfer:(fun id st -> List.fold_left (must_step sums) st (T.block f id).insts)
+      in
+      T.iter_blocks f (fun b ->
+          let reachable = Cfg.mem g b.id in
+          let held = ref (Held_solver.before held_res b.id) in
+          let must = ref (Must_solver.before must_res b.id) in
+          List.iteri
+            (fun index inst ->
+              let site = { in_func = n; block = b.id; index; src_line = b.src_line } in
+              (* Slot-range check applies even to unreachable blocks. *)
+              (match T.barrier_of inst with
+              | Some slot when slot < 0 || slot >= p.next_barrier ->
+                add Unallocated_slot slot site
+                  (Printf.sprintf "slot b%d is outside the allocated range [0, %d)" slot
+                     p.next_barrier)
+                  "allocate the slot with Builder.fresh_barrier before referencing it"
+              | Some _ | None -> ());
+              (match inst with
+              | T.Join slot ->
+                arrive_slots := Int_set.add slot !arrive_slots;
+                (match !must with
+                | Must.Known s when reachable && Int_set.mem slot s ->
+                  add Double_arrive slot site
+                    (Printf.sprintf
+                       "arrive-after-arrive: every path to this join already holds b%d" slot)
+                    "remove the redundant join, or use rejoin.barrier after the wait"
+                | Must.Known _ | Must.Top -> ())
+              | T.Rejoin slot -> arrive_slots := Int_set.add slot !arrive_slots
+              | T.Wait slot | T.Wait_threshold (slot, _) ->
+                note_release slot site;
+                if reachable && Int_set.mem slot (!held).Held.singles then
+                  Pair_set.iter
+                    (fun (x, y) ->
+                      if x = slot then add_edge y slot site
+                      else if y = slot then add_edge x slot site)
+                    (!held).Held.pairs
+              | T.Cancel slot -> note_release slot site
+              | T.Call { callee; _ } when reachable ->
+                (* The call is the wait event for the callee's entry
+                   waits (pair-precise); deeper blocking points see the
+                   caller's held slots minus those entry waits. *)
+                let ew = sums.entry_waits callee in
+                Int_set.iter
+                  (fun w ->
+                    if Int_set.mem w (!held).Held.singles then
+                      Pair_set.iter
+                        (fun (x, y) ->
+                          if x = w then add_edge y w site
+                          else if y = w then add_edge x w site)
+                        (!held).Held.pairs)
+                  ew;
+                let deeper = Int_set.diff (sums.may_block callee) ew in
+                let srcs = Int_set.diff (!held).Held.singles ew in
+                Int_set.iter
+                  (fun m -> Int_set.iter (fun c -> if c <> m then add_edge c m site) srcs)
+                  deeper
+              | T.Call _ | T.Arrived _ | T.Bin _ | T.Un _ | T.Mov _ | T.Load _ | T.Store _
+              | T.Tid _ | T.Lane _ | T.Nthreads _ | T.Rand _ | T.Randint _ -> ());
+              held := held_step sums !held inst;
+              must := must_step sums !must inst)
+            b.insts))
+    names;
+  (* Rule 3b: wait/cancel on a slot with no arrive site anywhere. *)
+  Hashtbl.fold (fun slot site acc -> (slot, site) :: acc) release_sites []
+  |> List.sort compare
+  |> List.iter (fun (slot, site) ->
+         if slot >= 0 && slot < p.next_barrier && not (Int_set.mem slot !arrive_slots) then
+           add Unallocated_slot slot site
+             (Printf.sprintf "wait/cancel on b%d, but no join/rejoin arrives on it anywhere" slot)
+             "insert join.barrier on every participating path, or delete the orphan primitive");
+  (* Rule 4: partially-overlapping live ranges with mutual blocking. *)
+  List.iter
+    (fun n ->
+      let f = Hashtbl.find p.T.funcs n in
+      let ba = Barrier_analysis.run ~call_waits:sums.entry_waits f in
+      List.iter
+        (fun (x, y) ->
+          match (Hashtbl.find_opt edges (x, y), Hashtbl.find_opt edges (y, x)) with
+          | Some site, Some _ ->
+            add Unseparated_overlap x site
+              (Printf.sprintf
+                 "slots b%d and b%d overlap partially and can each block a holder of the \
+                  other; Deconflict should have separated them"
+                 x y)
+              "re-run deconfliction on this pair, or cancel the held slot before the wait"
+          | _ -> ())
+        (Barrier_analysis.conflicts ba))
+    names;
+  (* Rule 1: cycles in the waits-for relation. *)
+  let edge_nodes =
+    Hashtbl.fold (fun (a, b) _ acc -> Int_set.add a (Int_set.add b acc)) edges Int_set.empty
+  in
+  let succs v =
+    Hashtbl.fold (fun (a, b) _ acc -> if a = v then b :: acc else acc) edges []
+    |> List.sort compare
+  in
+  List.iter
+    (fun scc ->
+      match List.sort compare scc with
+      | [] | [ _ ] -> ()
+      | rep :: _ as cycle ->
+        (* Witness site: the lexically first edge inside the cycle. *)
+        let in_cycle x = List.mem x cycle in
+        let site =
+          Hashtbl.fold
+            (fun (a, b) s acc ->
+              if in_cycle a && in_cycle b then
+                match acc with
+                | Some (k, _) when k <= (a, b) -> acc
+                | _ -> Some ((a, b), s)
+              else acc)
+            edges None
+        in
+        let site = match site with Some (_, s) -> s | None -> assert false in
+        add Bypassable_wait rep site
+          (Format.asprintf
+             "wait can be bypassed: slots %a form a waits-for cycle (each may block a holder \
+              of the next), so no schedule can fire them"
+             pp_int_list cycle)
+          "break the cycle: cancel or deconflict one of the slots before its conflicting wait")
+    (sccs (Int_set.elements edge_nodes) succs);
+  (* Rule 5: speculative waits must be dominated by their BSSY. *)
+  List.iter
+    (fun sp ->
+      match Hashtbl.find_opt p.T.funcs sp.sfunc with
+      | None -> ()
+      | Some f ->
+        let g = Cfg.of_func f in
+        let jb = if Cfg.mem g sp.join_block then Some (T.block f sp.join_block) else None in
+        let joins_here bl =
+          List.exists
+            (fun i -> match i with T.Join x | T.Rejoin x -> x = sp.slot | _ -> false)
+            bl.T.insts
+        in
+        (match jb with
+        | Some bl when joins_here bl ->
+          let dom = Dom.compute g in
+          T.iter_blocks f (fun b ->
+              if Cfg.mem g b.id then
+                List.iteri
+                  (fun index inst ->
+                    let waits_slot =
+                      match inst with
+                      | T.Wait x | T.Wait_threshold (x, _) -> x = sp.slot
+                      | T.Call { callee; _ } -> Int_set.mem sp.slot (sums.entry_waits callee)
+                      | _ -> false
+                    in
+                    if waits_slot && not (Dom.dominates dom sp.join_block b.id) then
+                      add Undominated_wait sp.slot
+                        { in_func = sp.sfunc; block = b.id; index; src_line = b.src_line }
+                        (Printf.sprintf
+                           "speculative wait on b%d at bb%d is not dominated by its join \
+                            block bb%d: some participant can reach the wait region without \
+                            arriving"
+                           sp.slot b.id sp.join_block)
+                        "move the predict hint so the join dominates the wait, or drop the \
+                         hint")
+                  b.insts)
+        | Some _ | None -> (* slot was deconflicted/cleaned away: nothing to prove *) ()))
+    (List.sort compare speculative);
+  List.sort_uniq
+    (fun a b ->
+      compare
+        (a.site.in_func, a.site.block, a.site.index, category_rank a.category, a.slot)
+        (b.site.in_func, b.site.block, b.site.index, category_rank b.category, b.slot))
+    !findings
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_line ppf = function
+  | Some l -> Format.fprintf ppf "%d" l
+  | None -> Format.fprintf ppf "?"
+
+let pp_finding ppf f =
+  Format.fprintf ppf "srlint [%s] %s/bb%d (line %a) slot b%d: %s; fix: %s"
+    (category_name f.category) f.site.in_func f.site.block pp_line f.site.src_line f.slot
+    f.message f.fix
+
+let pp_machine ppf f =
+  Format.fprintf ppf "srlint: category=%s func=%s block=bb%d line=%a slot=b%d msg=%s fix=%s"
+    (category_name f.category) f.site.in_func f.site.block pp_line f.site.src_line f.slot
+    f.message f.fix
+
+let render fs = String.concat "\n" (List.map (Format.asprintf "%a" pp_machine) fs)

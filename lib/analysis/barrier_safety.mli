@@ -1,0 +1,85 @@
+(** srlint: static barrier-safety checker for post-pass IR (the paper's
+    §4 deconfliction rules as compile-time proof obligations).
+
+    The checker runs an abstract interpretation over every function's
+    CFG. The abstract state at a program point is the pair
+
+    - [singles]: slots some thread {e may} hold (arrived via
+      [Join]/[Rejoin] and not yet released by [Wait]/[Cancel]/fire) when
+      reaching the point, and
+    - [pairs]: unordered slot pairs a {e single} thread may hold
+      simultaneously along some path — the relational refinement that
+      keeps CFG merges from manufacturing spurious overlaps.
+
+    Both are propagated with the {!Dataflow} solver; a companion
+    must-hold analysis (set intersection at merges) supports the
+    double-arrive check. Calls are made interprocedural with
+    {!Callgraph} summaries: a call to a function that waits at entry is
+    the wait event in the caller (mirroring §4.4 and the Deconflict
+    call-as-wait modeling), a call into a function that may block deeper
+    inside is a blocking point for the caller's held slots, and slots
+    still held at a callee's returns escape into the caller's state.
+
+    From the abstract states the checker builds the {e waits-for}
+    relation: slot [c] waits for slot [b] when some thread may block at
+    a wait on [b] while still holding [c] — so [c] cannot fire until [b]
+    does. A deadlock reachable by any scheduler requires a cycle in this
+    relation (in a stalled state every barrier with blocked lanes has a
+    participant blocked on some other barrier), so an acyclic relation
+    proves the placement deadlock-free. *)
+
+type category =
+  | Bypassable_wait
+      (** A cycle in the waits-for relation: each wait in the cycle can
+          be bypassed by a participating thread blocked on the next
+          slot, so none of them can fire — deadlock (rule 1). *)
+  | Double_arrive
+      (** [Join] on a slot every path has already joined and not yet
+          released (arrive-after-arrive on a live slot, rule 2). *)
+  | Unallocated_slot
+      (** Barrier primitive on a slot id outside the program's
+          allocated range, or a wait/cancel on a slot with no arrive
+          site anywhere in the program (rule 3). *)
+  | Unseparated_overlap
+      (** Two slots whose live ranges partially overlap and that can
+          each block a holder of the other — the conflict shape
+          Deconflict is required to separate (rule 4). *)
+  | Undominated_wait
+      (** A speculative wait (or predicted call site) not dominated by
+          its [BSSY] join block (rule 5). *)
+
+val category_name : category -> string
+(** Stable kebab-case name used in machine-readable diagnostics. *)
+
+(** Where a finding anchors: function, block, instruction index, and the
+    source line recorded at lowering (when provenance survived). *)
+type site = { in_func : string; block : int; index : int; src_line : int option }
+
+type finding = {
+  category : category;
+  slot : Ir.Types.barrier; (* primary offending slot *)
+  site : site;
+  message : string;
+  fix : string; (* actionable fix hint *)
+}
+
+(** A speculative barrier's provenance, used for the dominance rule:
+    the slot, the function holding its [BSSY], and the join block. The
+    synchronization passes report these via their [applied] records. *)
+type speculative = { sfunc : string; slot : Ir.Types.barrier; join_block : int }
+
+val check : ?speculative:speculative list -> Ir.Types.program -> finding list
+(** [check p] returns all findings, sorted by function, block,
+    instruction index and category. An empty list is a proof (up to the
+    abstraction) that no barrier placement can deadlock. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+(** Human-readable, multi-line-free rendering. *)
+
+val pp_machine : Format.formatter -> finding -> unit
+(** Machine-readable one-liner:
+    [srlint: category=<c> func=<f> block=bb<n> line=<l|?> slot=b<id>
+    msg=<message> fix=<hint>]. *)
+
+val render : finding list -> string
+(** All findings, one machine-readable line each. *)

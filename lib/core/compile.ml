@@ -17,12 +17,19 @@ type options = {
   coarsen : int option;
   threshold : threshold_override;
   cleanup : bool;
+  lint : bool;
 }
 
-let baseline = { mode = Baseline; coarsen = None; threshold = Keep; cleanup = true }
+let baseline = { mode = Baseline; coarsen = None; threshold = Keep; cleanup = true; lint = true }
 
 let speculative =
-  { mode = Speculative Passes.Deconflict.Dynamic; coarsen = None; threshold = Keep; cleanup = true }
+  {
+    mode = Speculative Passes.Deconflict.Dynamic;
+    coarsen = None;
+    threshold = Keep;
+    cleanup = true;
+    lint = true;
+  }
 
 let automatic =
   {
@@ -36,6 +43,7 @@ let automatic =
     coarsen = None;
     threshold = Keep;
     cleanup = true;
+    lint = true;
   }
 
 type compiled = {
@@ -47,7 +55,24 @@ type compiled = {
   interproc_applied : Passes.Interproc.applied list;
   deconflict_report : Passes.Deconflict.report option;
   candidates : Passes.Auto_detect.candidate list;
+  lint_findings : Analysis.Barrier_safety.finding list;
 }
+
+(* Provenance for srlint's dominance rule: every speculative barrier the
+   passes placed, with the block holding its join (BSSY). *)
+let speculative_meta ~applied ~interproc =
+  List.map
+    (fun (a : Passes.Specrecon.applied) ->
+      {
+        Analysis.Barrier_safety.sfunc = a.in_func;
+        slot = a.user_barrier;
+        join_block = a.region_start;
+      })
+    applied
+  @ List.map
+      (fun (a : Passes.Interproc.applied) ->
+        { Analysis.Barrier_safety.sfunc = a.in_func; slot = a.barrier; join_block = a.region_start })
+      interproc
 
 let override_thresholds threshold (p : T.program) =
   match threshold with
@@ -124,6 +149,23 @@ let compile_ast options ast =
   in
   if options.cleanup then ignore (Passes.Cleanup.run program);
   Ir.Verifier.check_program_exn program;
+  (* Mandatory barrier-safety stage: a finding is a compiler bug (a
+     placement the deconfliction rules should have ruled out), so it is a
+     hard error unless the caller opted into warnings with lint=false
+     (srcc --no-lint). *)
+  let lint_findings =
+    Analysis.Barrier_safety.check
+      ~speculative:(speculative_meta ~applied ~interproc:interproc_applied)
+      program
+  in
+  (match lint_findings with
+  | [] -> ()
+  | fs when options.lint ->
+    failwith
+      (Printf.sprintf "srlint: %d barrier-safety finding(s):\n%s" (List.length fs)
+         (Analysis.Barrier_safety.render fs))
+  | fs ->
+    List.iter (fun f -> Format.eprintf "warning: %a@." Analysis.Barrier_safety.pp_machine f) fs);
   let linear = Ir.Linear.linearize program in
   {
     options;
@@ -134,6 +176,7 @@ let compile_ast options ast =
     interproc_applied;
     deconflict_report;
     candidates;
+    lint_findings;
   }
 
 let compile options ~source = compile_ast options (Front.Parser.parse_string source)

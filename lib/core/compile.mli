@@ -37,6 +37,11 @@ type options = {
   cleanup : bool;
       (** run {!Passes.Cleanup} (DCE + dead-barrier removal) after the
           synchronization passes; on by default *)
+  lint : bool;
+      (** treat {!Analysis.Barrier_safety} findings as a hard error
+          ([Failure]); when false they are demoted to stderr warnings
+          (srcc's [--no-lint]). The checker always runs; findings are
+          reported in {!compiled.lint_findings} either way. *)
 }
 
 val baseline : options
@@ -52,6 +57,8 @@ type compiled = {
   interproc_applied : Passes.Interproc.applied list;
   deconflict_report : Passes.Deconflict.report option;
   candidates : Passes.Auto_detect.candidate list; (* automatic mode only *)
+  lint_findings : Analysis.Barrier_safety.finding list;
+      (* barrier-safety findings ([] unless lint=false let them through) *)
 }
 
 (** [compile options ~source] runs parse → (coarsen) → lower → threshold

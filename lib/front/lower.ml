@@ -27,6 +27,13 @@ type ctx = {
 let emit ctx i = B.append ctx.func ctx.cur i
 let terminate ctx t = B.set_term ctx.func ctx.cur t
 
+(* Record the source line of the first statement lowered into the current
+   block, so post-pass diagnostics (srlint) can point back at the source.
+   First writer wins: a block keeps the line that opened it. *)
+let note ctx (pos : pos) =
+  let b = T.block ctx.func ctx.cur in
+  if b.src_line = None && pos.line > 0 then b.src_line <- Some pos.line
+
 let new_block ctx = B.add_block ctx.func
 
 let fresh ctx = B.fresh_reg ctx.func
@@ -239,6 +246,7 @@ let rec lower_stmts ctx env stmts =
   loop env stmts
 
 and lower_stmt ctx env declared_here s : (string * binding) list * bool =
+  note ctx s.spos;
   match s.sdesc with
   | Decl { name; ty = annot; init; mutable_ } ->
     if Hashtbl.mem declared_here name then err s.spos "redeclaration of '%s' in the same scope" name;
@@ -318,6 +326,7 @@ and lower_stmt ctx env declared_here s : (string * binding) list * bool =
     let header = new_block ctx in
     terminate ctx (T.Jump header);
     ctx.cur <- header;
+    note ctx s.spos;
     let opc, tc = lower_expr ctx env cond in
     if tc <> Tint then err s.spos "loop condition must be an integer";
     let body_b = new_block ctx in
@@ -344,6 +353,7 @@ and lower_stmt ctx env declared_here s : (string * binding) list * bool =
     let header = new_block ctx in
     terminate ctx (T.Jump header);
     ctx.cur <- header;
+    note ctx s.spos;
     let cond = fresh ctx in
     emit ctx (T.Bin (T.Lt, cond, T.Reg i_reg, T.Reg bound));
     let body_b = new_block ctx in
@@ -407,12 +417,14 @@ and lower_stmt ctx env declared_here s : (string * binding) list * bool =
     let b = new_block ctx in
     terminate ctx (T.Jump b);
     ctx.cur <- b;
+    note ctx s.spos;
     B.add_label ctx.func name b;
     (env, true)
   | Predict { target; threshold } ->
     let b = new_block ctx in
     terminate ctx (T.Jump b);
     ctx.cur <- b;
+    note ctx s.spos;
     let hint_target =
       match target with
       | Tlabel l -> T.Label_target l

@@ -409,7 +409,11 @@ let common_call_body st env callee =
     stmt (Assign (accf, bin Badd (evar accf) (if scale then bin Bmul c (float_literal st) else c)))
   in
   decls
-  @ (if hinted then [ stmt (Predict { target = Tfunc callee; threshold = None }) ] else [])
+  (* func hints carry thresholds too (§4.6 soft barriers at a callee
+     entry), so the checker and Deconflict see threshold-gated
+     interprocedural waits *)
+  @ (if hinted then [ stmt (Predict { target = Tfunc callee; threshold = maybe_threshold st }) ]
+     else [])
   @ [ stmt
         (For
            { var = i;

@@ -1,7 +1,14 @@
 module T = Ir.Types
 module Sm = Support.Splitmix
 
-type kind = Round_trip | Stage_failure | Deadlock | Runtime_error | Result_divergence
+type kind =
+  | Round_trip
+  | Stage_failure
+  | Deadlock
+  | Runtime_error
+  | Result_divergence
+  | Lint_unsound
+  | Lint_spurious
 
 let kind_name = function
   | Round_trip -> "round-trip"
@@ -9,6 +16,8 @@ let kind_name = function
   | Deadlock -> "deadlock"
   | Runtime_error -> "runtime-error"
   | Result_divergence -> "result-divergence"
+  | Lint_unsound -> "lint-unsound"
+  | Lint_spurious -> "lint-spurious"
 
 type violation = { kind : kind; detail : string }
 
@@ -117,10 +126,17 @@ let check ?(max_issues = 1_500_000) ast =
                       ~init_memory:(init_memory s.program)
                   with
                   | Simt.Interp.Deadlock msg ->
+                    (* Any deadlock is a violation; one srlint failed to
+                       predict is also a soundness hole in the checker. *)
+                    let kind, msg =
+                      if s.Pipeline.lint = [] then
+                        ( Lint_unsound,
+                          Printf.sprintf "simulator deadlocked but srlint was clean: %s" msg )
+                      else (Deadlock, msg)
+                    in
                     raise
                       (Stop
-                         (Violation
-                            { kind = Deadlock; detail = Printf.sprintf "%s: %s" where msg }))
+                         (Violation { kind; detail = Printf.sprintf "%s: %s" where msg }))
                   | Simt.Interp.Runtime_error msg ->
                     raise
                       (Stop
@@ -154,5 +170,21 @@ let check ?(max_issues = 1_500_000) ast =
                                   ref_where where addr }))))
               policies)
           staged;
-        Ok_run
+        (* Precision side of the soundness oracle: the whole matrix
+           completed without deadlock under every scheduler, so any
+           remaining finding is a false alarm. *)
+        (match
+           List.find_opt (fun (_, (s : Pipeline.staged)) -> s.Pipeline.lint <> []) staged
+         with
+        | Some (mode, s) ->
+          let f = List.hd s.Pipeline.lint in
+          Violation
+            {
+              kind = Lint_spurious;
+              detail =
+                Printf.sprintf "%s ran deadlock-free everywhere, yet: %s"
+                  (Pipeline.mode_name mode)
+                  (Format.asprintf "%a" Analysis.Barrier_safety.pp_machine f);
+            }
+        | None -> Ok_run)
       with Stop v -> v))

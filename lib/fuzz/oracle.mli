@@ -17,6 +17,12 @@
     + {b No deadlock, no runtime error} — a deconflicted program must
       never raise {!Simt.Interp.Deadlock}, and a generated program never
       {!Simt.Interp.Runtime_error}.
+    + {b srlint soundness} — {!Analysis.Barrier_safety} must agree with
+      the simulator: a deadlock on a checker-clean program is
+      {!Lint_unsound} (a hole in the static abstraction); a finding on a
+      program that completes under both modes and all three schedulers
+      is {!Lint_spurious} (a false alarm that would break clean builds,
+      since the checker is a mandatory {!Core.Compile} stage).
 
     {!Simt.Interp.Runaway} (the [max_issues] budget) is {e not} a
     violation: it is the fuzzer's liveness cap, reported as {!Limit} so a
@@ -25,9 +31,11 @@
 type kind =
   | Round_trip  (** pretty-printed source re-parses differently (or not at all) *)
   | Stage_failure  (** a pass raised, or left the IR verifier-unclean *)
-  | Deadlock  (** conflicting barriers stalled the machine *)
+  | Deadlock  (** conflicting barriers stalled the machine (srlint saw it too) *)
   | Runtime_error  (** type error, out-of-bounds access, division by zero *)
   | Result_divergence  (** memory images differ across modes/policies *)
+  | Lint_unsound  (** simulator deadlocked on a program srlint passed as clean *)
+  | Lint_spurious  (** srlint flagged a program that runs deadlock-free everywhere *)
 
 val kind_name : kind -> string
 

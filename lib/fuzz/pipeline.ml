@@ -6,7 +6,12 @@ let mode_name = function Baseline -> "baseline" | Specrecon -> "specrecon"
 
 exception Stage_error of string * string
 
-type staged = { program : T.program; linear : Ir.Linear.t; resolutions : int }
+type staged = {
+  program : T.program;
+  linear : Ir.Linear.t;
+  resolutions : int;
+  lint : Analysis.Barrier_safety.finding list;
+}
 
 let stage name f =
   match f () with
@@ -43,17 +48,33 @@ let make_priority ~applied ~interproc ~pdom =
   List.iter (fun (fname, _, b) -> Hashtbl.replace rank (fname, b) 1) pdom;
   fun fname b -> Option.value (Hashtbl.find_opt rank (fname, b)) ~default:1
 
-let compile ?(deconflict = true) ~mode ast =
+(* Speculative-barrier provenance for srlint's dominance rule, as
+   Core.Compile collects it. *)
+let speculative_meta ~applied ~interproc =
+  List.map
+    (fun (a : Passes.Specrecon.applied) ->
+      {
+        Analysis.Barrier_safety.sfunc = a.in_func;
+        slot = a.user_barrier;
+        join_block = a.region_start;
+      })
+    applied
+  @ List.map
+      (fun (a : Passes.Interproc.applied) ->
+        { Analysis.Barrier_safety.sfunc = a.in_func; slot = a.barrier; join_block = a.region_start })
+      interproc
+
+let compile ?(deconflict = true) ?(deconflict_call_waits = true) ~mode ast =
   let program = stage "lower" (fun () -> Front.Lower.lower ast) in
   verify "lower" program;
-  let resolutions =
+  let resolutions, speculative =
     match mode with
     | Baseline ->
       strip_hints program;
       let divergence = Analysis.Divergence.run program in
       ignore (stage "pdom_sync" (fun () -> Passes.Pdom_sync.run program divergence));
       verify "pdom_sync" program;
-      0
+      (0, [])
     | Specrecon ->
       let applied = stage "specrecon" (fun () -> Passes.Specrecon.run program) in
       verify "specrecon" program;
@@ -62,18 +83,23 @@ let compile ?(deconflict = true) ~mode ast =
       let divergence = Analysis.Divergence.run program in
       let pdom = stage "pdom_sync" (fun () -> Passes.Pdom_sync.run program divergence) in
       verify "pdom_sync" program;
+      let speculative = speculative_meta ~applied ~interproc in
       if deconflict then begin
         let priority = make_priority ~applied ~interproc ~pdom in
         let report =
           stage "deconflict" (fun () ->
-              Passes.Deconflict.run program ~strategy:Passes.Deconflict.Dynamic ~priority)
+              Passes.Deconflict.run ~model_call_waits:deconflict_call_waits program
+                ~strategy:Passes.Deconflict.Dynamic ~priority)
         in
         verify "deconflict" program;
-        List.length report.Passes.Deconflict.resolutions
+        (List.length report.Passes.Deconflict.resolutions, speculative)
       end
-      else 0
+      else (0, speculative)
   in
   ignore (stage "cleanup" (fun () -> Passes.Cleanup.run program));
   verify "cleanup" program;
+  (* srlint runs as its own stage but never raises: the oracles need the
+     findings as data, to compare against what the simulator does. *)
+  let lint = stage "srlint" (fun () -> Analysis.Barrier_safety.check ~speculative program) in
   let linear = stage "linearize" (fun () -> Ir.Linear.linearize program) in
-  { program; linear; resolutions }
+  { program; linear; resolutions; lint }

@@ -18,14 +18,23 @@ val mode_name : mode -> string
 exception Stage_error of string * string
 (** [(stage, message)]: the pass raised, or the verifier found structural
     errors after it. Stages: ["lower"], ["specrecon"], ["interproc"],
-    ["pdom_sync"], ["deconflict"], ["cleanup"], ["linearize"]. *)
+    ["pdom_sync"], ["deconflict"], ["cleanup"], ["srlint"],
+    ["linearize"]. *)
 
 type staged = {
   program : Ir.Types.program;
   linear : Ir.Linear.t;
   resolutions : int;  (** deconfliction resolutions applied (0 for baseline) *)
+  lint : Analysis.Barrier_safety.finding list;
+      (** static barrier-safety findings on the final program; reported
+          as data (never raised) so the oracles can check them against
+          the simulator's verdict *)
 }
 
 (** [compile ~mode ast] lowers and runs the mode's synchronization passes,
-    verifying after each stage. @raise Stage_error as documented. *)
-val compile : ?deconflict:bool -> mode:mode -> Front.Ast.program -> staged
+    verifying after each stage. [~deconflict:false] skips deconfliction
+    entirely; [~deconflict_call_waits:false] keeps the pass but ablates
+    its call-as-wait modeling (the PR 2 blindness).
+    @raise Stage_error as documented. *)
+val compile :
+  ?deconflict:bool -> ?deconflict_call_waits:bool -> mode:mode -> Front.Ast.program -> staged

@@ -14,7 +14,7 @@ let create_func program name ~params =
   if Hashtbl.mem program.funcs name then
     invalid_arg (Printf.sprintf "Builder.create_func: duplicate function %s" name);
   if params < 0 then invalid_arg "Builder.create_func: negative parameter count";
-  let entry_block = { id = 0; insts = []; term = Exit } in
+  let entry_block = { id = 0; insts = []; term = Exit; src_line = None } in
   let blocks = Hashtbl.create 16 in
   Hashtbl.replace blocks 0 entry_block;
   let f =
@@ -65,7 +65,7 @@ let fresh_barrier program =
 let add_block f =
   let id = f.next_block in
   f.next_block <- id + 1;
-  Hashtbl.replace f.blocks id { id; insts = []; term = Exit };
+  Hashtbl.replace f.blocks id { id; insts = []; term = Exit; src_line = None };
   id
 
 let append f bid inst =

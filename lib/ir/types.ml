@@ -106,7 +106,14 @@ type terminator =
   | Ret of operand option (* return from a device function *)
   | Exit (* thread finishes the kernel *)
 
-type block = { id : block_id; mutable insts : inst list; mutable term : terminator }
+type block = {
+  id : block_id;
+  mutable insts : inst list;
+  mutable term : terminator;
+  mutable src_line : int option;
+      (* source line of the statement that opened this block, for
+         diagnostics; [None] for synthesized blocks *)
+}
 
 (* A user (or auto-detector) reconvergence hint, §4.1: the predicted
    reconvergence location plus the region where the prediction applies. *)

@@ -50,8 +50,10 @@ let dynamic_cancel (f : T.func) ~call_waits ~kept ~demoted =
       in
       b.insts <- rebuild [] b.insts)
 
-let run (p : T.program) ~strategy ~priority =
-  let call_waits = entry_waits p in
+let run ?(model_call_waits = true) (p : T.program) ~strategy ~priority =
+  let call_waits =
+    if model_call_waits then entry_waits p else fun _ -> Analysis.Sets.Int_set.empty
+  in
   let resolutions = ref [] in
   let unresolved = ref [] in
   let names = List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) p.funcs []) in

@@ -35,6 +35,17 @@ type report = {
 
 (** [run program ~strategy ~priority] detects and resolves conflicts.
     [priority func barrier] ranks barriers (higher wins). Same-rank
-    conflicts are reported unresolved and left untouched. *)
+    conflicts are reported unresolved and left untouched.
+
+    [~model_call_waits:false] is an ablation knob: it turns off the
+    call-as-wait modeling of §4.4 (a call to a function that waits at
+    entry counts as the wait event), reverting the pass to the
+    pre-fuzzer behavior that was blind to interprocedural conflicts and
+    deadlocked on [predict func] regions. Kept so tests can prove the
+    static checker ({!Analysis.Barrier_safety}) flags that shape. *)
 val run :
-  Ir.Types.program -> strategy:strategy -> priority:(string -> Ir.Types.barrier -> int) -> report
+  ?model_call_waits:bool ->
+  Ir.Types.program ->
+  strategy:strategy ->
+  priority:(string -> Ir.Types.barrier -> int) ->
+  report

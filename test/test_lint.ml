@@ -1,0 +1,267 @@
+(* srlint (Analysis.Barrier_safety) regression gates:
+
+   - expect-tests: hand-built IR triggering each finding category must
+     render byte-for-byte stable machine diagnostics (category, function,
+     block, source line from provenance, slot, fix hint);
+   - ablation: with Deconflict's call-as-wait modeling disabled (the
+     pre-PR 2 blindness), srlint statically flags the interprocedural
+     deadlock shape the fuzzer once had to find dynamically — and the
+     simulator confirms the flag;
+   - clean sweep: every example kernel and every corpus repro compiles
+     with zero findings in every mode (the checker is a mandatory
+     Core.Compile stage, so examples/workloads depend on this);
+   - generator reach: the fuzzer emits threshold-gated label and func
+     hints, so campaigns exercise the checker on soft barriers. *)
+
+module T = Ir.Types
+module B = Ir.Builder
+module BS = Analysis.Barrier_safety
+module Pipeline = Fuzz.Pipeline
+
+let render = BS.render
+
+let check_render name program ~speculative expected =
+  Alcotest.(check string) name expected (render (BS.check ~speculative program))
+
+(* ---- expect-tests: one crafted program per category ---- *)
+
+(* Three barriers in rock-paper-scissors: each divergent arm cancels one
+   slot and waits on another while still holding the third, so the
+   waits-for relation is the 3-cycle b1->b0, b2->b1, b0->b2 with no
+   mutual pair (hence no overlap finding, only the cycle). *)
+let test_bypassable_wait () =
+  let p = B.create_program () in
+  let f = B.create_func p "k" ~params:0 in
+  B.set_kernel p "k";
+  let b0 = B.fresh_barrier p and b1 = B.fresh_barrier p and b2 = B.fresh_barrier p in
+  let arm1 = B.add_block f and arm2 = B.add_block f and arm3 = B.add_block f in
+  let mid = B.add_block f in
+  List.iter (B.append f f.T.entry) [ T.Join b0; T.Join b1; T.Join b2 ];
+  B.set_term f f.T.entry (T.Br { cond = T.Imm (T.I 0); if_true = arm1; if_false = mid });
+  B.set_term f mid (T.Br { cond = T.Imm (T.I 0); if_true = arm2; if_false = arm3 });
+  List.iter (B.append f arm1) [ T.Cancel b2; T.Wait b0 ];
+  List.iter (B.append f arm2) [ T.Cancel b0; T.Wait b1 ];
+  List.iter (B.append f arm3) [ T.Cancel b1; T.Wait b2 ];
+  check_render "3-cycle is one bypassable-wait finding" p ~speculative:[]
+    "srlint: category=bypassable-wait func=k block=bb3 line=? slot=b0 msg=wait can be \
+     bypassed: slots {b0, b1, b2} form a waits-for cycle (each may block a holder of the \
+     next), so no schedule can fire them fix=break the cycle: cancel or deconflict one of \
+     the slots before its conflicting wait"
+
+(* Two barriers held across complementary waits in divergent arms: the
+   2-cycle is also the exact partial-overlap shape Deconflict must
+   separate, so both detectors report it. *)
+let test_unseparated_overlap () =
+  let p = B.create_program () in
+  let f = B.create_func p "k" ~params:0 in
+  B.set_kernel p "k";
+  let b0 = B.fresh_barrier p and b1 = B.fresh_barrier p in
+  let arm1 = B.add_block f and arm2 = B.add_block f in
+  List.iter (B.append f f.T.entry) [ T.Join b0; T.Join b1 ];
+  B.set_term f f.T.entry (T.Br { cond = T.Imm (T.I 0); if_true = arm1; if_false = arm2 });
+  List.iter (B.append f arm1) [ T.Wait b0; T.Cancel b1 ];
+  List.iter (B.append f arm2) [ T.Wait b1; T.Cancel b0 ];
+  check_render "mutual partial overlap reports cycle and overlap" p ~speculative:[]
+    "srlint: category=bypassable-wait func=k block=bb2 line=? slot=b0 msg=wait can be \
+     bypassed: slots {b0, b1} form a waits-for cycle (each may block a holder of the next), \
+     so no schedule can fire them fix=break the cycle: cancel or deconflict one of the \
+     slots before its conflicting wait\n\
+     srlint: category=unseparated-overlap func=k block=bb2 line=? slot=b0 msg=slots b0 and \
+     b1 overlap partially and can each block a holder of the other; Deconflict should have \
+     separated them fix=re-run deconfliction on this pair, or cancel the held slot before \
+     the wait"
+
+let test_double_arrive () =
+  let p = B.create_program () in
+  let f = B.create_func p "k" ~params:0 in
+  B.set_kernel p "k";
+  let b0 = B.fresh_barrier p in
+  List.iter (B.append f f.T.entry) [ T.Join b0; T.Join b0; T.Wait b0 ];
+  check_render "join twice on a live slot" p ~speculative:[]
+    "srlint: category=double-arrive func=k block=bb0 line=? slot=b0 msg=arrive-after-arrive: \
+     every path to this join already holds b0 fix=remove the redundant join, or use \
+     rejoin.barrier after the wait"
+
+let test_unallocated_slot () =
+  let p = B.create_program () in
+  let f = B.create_func p "k" ~params:0 in
+  B.set_kernel p "k";
+  let b0 = B.fresh_barrier p in
+  List.iter (B.append f f.T.entry) [ T.Join b0; T.Wait b0; T.Cancel 3 ];
+  check_render "slot id beyond next_barrier" p ~speculative:[]
+    "srlint: category=unallocated-slot func=k block=bb0 line=? slot=b3 msg=slot b3 is \
+     outside the allocated range [0, 1) fix=allocate the slot with Builder.fresh_barrier \
+     before referencing it"
+
+let test_orphan_wait () =
+  let p = B.create_program () in
+  let f = B.create_func p "k" ~params:0 in
+  B.set_kernel p "k";
+  let b0 = B.fresh_barrier p in
+  B.append f f.T.entry (T.Wait b0);
+  check_render "wait with no arrive site anywhere" p ~speculative:[]
+    "srlint: category=unallocated-slot func=k block=bb0 line=? slot=b0 msg=wait/cancel on \
+     b0, but no join/rejoin arrives on it anywhere fix=insert join.barrier on every \
+     participating path, or delete the orphan primitive"
+
+(* Join in one arm only, wait at the merge: a speculative placement whose
+   BSSY does not dominate its BSYNC, the paper's rule 5. *)
+let test_undominated_wait () =
+  let p = B.create_program () in
+  let f = B.create_func p "k" ~params:0 in
+  B.set_kernel p "k";
+  let b0 = B.fresh_barrier p in
+  let arm = B.add_block f and skip = B.add_block f and merge = B.add_block f in
+  B.set_term f f.T.entry (T.Br { cond = T.Imm (T.I 0); if_true = arm; if_false = skip });
+  B.append f arm (T.Join b0);
+  B.set_term f arm (T.Jump merge);
+  B.set_term f skip (T.Jump merge);
+  B.append f merge (T.Wait b0);
+  check_render "wait not dominated by its join block" p
+    ~speculative:[ { BS.sfunc = "k"; slot = b0; join_block = arm } ]
+    "srlint: category=undominated-wait func=k block=bb3 line=? slot=b0 msg=speculative wait \
+     on b0 at bb3 is not dominated by its join block bb1: some participant can reach the \
+     wait region without arriving fix=move the predict hint so the join dominates the \
+     wait, or drop the hint"
+
+(* Source-line provenance: lower a real kernel so blocks carry src_line,
+   then inject a bad primitive and check the line shows up. *)
+let test_provenance_line () =
+  let src = "kernel k() {\n  var x: int = 1;\n  outi[0] = x;\n}\n" in
+  let src = "global outi: int[4];\n" ^ src in
+  let p = Front.Lower.compile_source src in
+  let f = Hashtbl.find p.T.funcs "k" in
+  B.append f f.T.entry (T.Wait 0);
+  check_render "diagnostic carries the source line of the block" p ~speculative:[]
+    "srlint: category=unallocated-slot func=k block=bb0 line=3 slot=b0 msg=slot b0 is \
+     outside the allocated range [0, 0) fix=allocate the slot with Builder.fresh_barrier \
+     before referencing it"
+
+(* ---- ablation: srlint flags the PR 2 interprocedural deadlock ---- *)
+
+(* The §3 common-call conflict as srfuzz minimized it (same shape as
+   test_fuzz.conflicting_source): callers block on the interprocedural
+   barrier waiting at fn0's entry while non-callers block on the PDOM
+   join — complementary waiting sets. *)
+let conflicting_source =
+  {|
+func fn0(p0: float) -> float {
+}
+
+kernel k() {
+  var accf3: float = 0.0;
+  predict func fn0;
+  for i5 in 0 .. 1 {
+    if ((randint(3) == 0)) {
+      accf3 = (accf3 + fn0(fabs((rand() - rand()))));
+    }
+  }
+}
+|}
+
+let is_deadlock_category c = c = BS.Bypassable_wait || c = BS.Unseparated_overlap
+
+let test_ablation_flags_interproc_deadlock () =
+  let ast = Front.Parser.parse_string conflicting_source in
+  let ablated =
+    Pipeline.compile ~deconflict_call_waits:false ~mode:Pipeline.Specrecon ast
+  in
+  Alcotest.(check bool)
+    "srlint statically flags the shape under the ablation" true
+    (List.exists (fun (f : BS.finding) -> is_deadlock_category f.BS.category)
+       ablated.Pipeline.lint);
+  (* The static flag is truthful: the ablated binary really deadlocks. *)
+  let deadlocked =
+    List.exists
+      (fun policy ->
+        let config = { Fuzz.Oracle.base_config with Simt.Config.policy } in
+        match
+          Simt.Interp.run config ablated.Pipeline.linear ~args:[]
+            ~init_memory:(Fuzz.Oracle.init_memory ablated.Pipeline.program)
+        with
+        | _ -> false
+        | exception Simt.Interp.Deadlock _ -> true)
+      Fuzz.Oracle.policies
+  in
+  Alcotest.(check bool) "ablated compilation deadlocks in the simulator" true deadlocked;
+  (* With call-as-wait modeling restored, both the pass and the checker
+     agree the program is safe. *)
+  let fixed = Pipeline.compile ~mode:Pipeline.Specrecon ast in
+  Alcotest.(check int) "no findings with modeling on" 0 (List.length fixed.Pipeline.lint)
+
+(* ---- clean sweep over examples and corpus ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let simt_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".simt")
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+let test_clean_sweep () =
+  let files = simt_files "../examples/kernels" @ simt_files "corpus" in
+  Alcotest.(check bool)
+    (Printf.sprintf "sweep covers examples and corpus (found %d)" (List.length files))
+    true
+    (List.length files >= 10);
+  List.iter
+    (fun path ->
+      let ast = Front.Parser.parse_string (read_file path) in
+      List.iter
+        (fun mode ->
+          let staged = Pipeline.compile ~mode ast in
+          match staged.Pipeline.lint with
+          | [] -> ()
+          | fs -> Alcotest.failf "%s (%s): %s" path (Pipeline.mode_name mode) (render fs))
+        [ Pipeline.Baseline; Pipeline.Specrecon ];
+      (* The Core.Compile presets run srlint as a mandatory hard-error
+         stage, so compiling at all asserts zero findings. *)
+      List.iter
+        (fun options -> ignore (Core.Compile.compile_ast options ast))
+        [ Core.Compile.baseline; Core.Compile.speculative; Core.Compile.automatic ])
+    files
+
+(* ---- generator reach: threshold-gated hints ---- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_generator_threshold_hints () =
+  let sources = List.init 120 (fun id -> Front.Pretty.to_string (Fuzz.Gen.generate ~seed:7 id).Fuzz.Gen.ast) in
+  let label_threshold =
+    List.exists (fun s -> contains s " threshold " && not (contains s "predict func")) sources
+  in
+  let func_threshold = List.exists (fun s -> contains s "predict func fn0 threshold ") sources in
+  Alcotest.(check bool) "label hints with thresholds are generated" true label_threshold;
+  Alcotest.(check bool) "func hints with thresholds are generated" true func_threshold
+
+let tests =
+  [
+    ( "lint.diagnostics",
+      [
+        Alcotest.test_case "bypassable-wait (3-cycle)" `Quick test_bypassable_wait;
+        Alcotest.test_case "unseparated-overlap (mutual 2-cycle)" `Quick
+          test_unseparated_overlap;
+        Alcotest.test_case "double-arrive" `Quick test_double_arrive;
+        Alcotest.test_case "unallocated slot id" `Quick test_unallocated_slot;
+        Alcotest.test_case "orphan wait" `Quick test_orphan_wait;
+        Alcotest.test_case "undominated speculative wait" `Quick test_undominated_wait;
+        Alcotest.test_case "source-line provenance" `Quick test_provenance_line;
+      ] );
+    ( "lint.soundness",
+      [
+        Alcotest.test_case "ablated deconflict: flagged statically, deadlocks dynamically"
+          `Quick test_ablation_flags_interproc_deadlock;
+        Alcotest.test_case "examples and corpus lint clean in all modes" `Slow
+          test_clean_sweep;
+        Alcotest.test_case "generator emits threshold-gated hints" `Quick
+          test_generator_threshold_hints;
+      ] );
+  ]
