@@ -1,7 +1,10 @@
 (* srcc: the MiniSIMT compiler driver.
 
    Parses a .simt file, runs the selected synchronization pipeline, and
-   dumps the result (IR, disassembly, applied hints, analyses). *)
+   dumps the result (IR, disassembly, applied hints, analyses).
+
+   Failure modes map to distinct exit codes via Core.Cli: 1 lint
+   findings, 2 usage, 3 i/o, 4 lex/parse, 5 compile. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -12,26 +15,22 @@ let read_file path =
 type dump = Dump_ir | Dump_asm | Dump_hints | Dump_analysis | Dump_candidates | Dump_source
 
 let mode_of_string = function
-  | "baseline" -> Ok Core.Compile.Baseline
-  | "none" -> Ok Core.Compile.No_sync
-  | "specrecon" -> Ok (Core.Compile.Speculative Passes.Deconflict.Dynamic)
-  | "specrecon-static" -> Ok (Core.Compile.Speculative Passes.Deconflict.Static)
+  | "baseline" -> Core.Compile.Baseline
+  | "none" -> Core.Compile.No_sync
+  | "specrecon" -> Core.Compile.Speculative Passes.Deconflict.Dynamic
+  | "specrecon-static" -> Core.Compile.Speculative Passes.Deconflict.Static
   | "auto" ->
-    Ok
-      (Core.Compile.Automatic
-         {
-           params = Passes.Auto_detect.default_params;
-           strategy = Passes.Deconflict.Dynamic;
-           profile = None;
-         })
-  | other -> Error (Printf.sprintf "unknown mode %s" other)
+    Core.Compile.Automatic
+      {
+        params = Passes.Auto_detect.default_params;
+        strategy = Passes.Deconflict.Dynamic;
+        profile = None;
+      }
+  | other -> raise (Core.Cli.Error (Core.Cli.Usage ("unknown mode " ^ other)))
 
-let run path mode coarsen threshold dumps lint_mode no_lint =
-  match mode_of_string mode with
-  | Error msg ->
-    prerr_endline msg;
-    exit 2
-  | Ok mode -> (
+let run path mode coarsen threshold dumps lint_mode no_lint no_deconflict =
+  let mode = mode_of_string mode in
+  (
     let threshold =
       match threshold with
       | None -> Core.Compile.Keep
@@ -42,7 +41,12 @@ let run path mode coarsen threshold dumps lint_mode no_lint =
        --no-lint demotes them to warnings. Either way compilation must
        not abort on findings, so lint=false below. *)
     let options =
-      { Core.Compile.mode; coarsen; threshold; cleanup = true; lint = not (lint_mode || no_lint) }
+      { Core.Compile.mode;
+        coarsen;
+        threshold;
+        cleanup = true;
+        lint = not (lint_mode || no_lint);
+        deconflict = not no_deconflict }
     in
     let source = read_file path in
     (* --dump source prints the (possibly coarsened) program back as
@@ -58,22 +62,13 @@ let run path mode coarsen threshold dumps lint_mode no_lint =
         end)
       dumps;
     match Core.Compile.compile options ~source with
-    | exception Front.Parser.Parse_error (pos, msg) ->
-      Format.eprintf "%s:%a: parse error: %s@." path Front.Ast.pp_pos pos msg;
-      exit 1
-    | exception Front.Lexer.Lex_error (pos, msg) ->
-      Format.eprintf "%s:%a: lex error: %s@." path Front.Ast.pp_pos pos msg;
-      exit 1
-    | exception Front.Lower.Lower_error (pos, msg) ->
-      Format.eprintf "%s:%a: error: %s@." path Front.Ast.pp_pos pos msg;
-      exit 1
     | compiled when lint_mode ->
       let findings = compiled.Core.Compile.lint_findings in
       List.iter
         (fun f -> Format.printf "%a@." Analysis.Barrier_safety.pp_machine f)
         findings;
       Format.printf "srlint: %d finding(s) in %s@." (List.length findings) path;
-      if findings <> [] then exit 1
+      if findings <> [] then raise (Core.Cli.Error Core.Cli.Findings)
     | compiled ->
       let dump = function
         | Dump_ir -> Format.printf "%a@." Ir.Printer.pp_program compiled.Core.Compile.program
@@ -115,8 +110,10 @@ let run path mode coarsen threshold dumps lint_mode no_lint =
 
 open Cmdliner
 
+(* Arg.string, not Arg.file: a missing path should surface as the i/o
+   outcome (exit 3), not cmdliner's usage error. *)
 let path_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniSIMT source file")
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"MiniSIMT source file")
 
 let mode_arg =
   Arg.(
@@ -165,11 +162,21 @@ let no_lint_arg =
     & info [ "no-lint" ]
         ~doc:"Demote barrier-safety findings from hard errors to warnings on stderr")
 
+let no_deconflict_arg =
+  Arg.(
+    value & flag
+    & info [ "no-deconflict" ]
+        ~doc:
+          "Skip barrier deconfliction, shipping conflicting placements as-is (for the \
+           fault-injection harness; run with srrun --yield)")
+
 let cmd =
   Cmd.v
     (Cmd.info "srcc" ~doc:"MiniSIMT compiler with Speculative Reconvergence")
     Term.(
       const run $ path_arg $ mode_arg $ coarsen_arg $ threshold_arg $ dumps_arg $ lint_arg
-      $ no_lint_arg)
+      $ no_lint_arg $ no_deconflict_arg)
 
-let () = exit (Cmd.eval cmd)
+let () =
+  let code = Core.Cli.handle (fun () -> Cmd.eval ~catch:false cmd) in
+  exit (if code = Cmd.Exit.cli_error then Core.Cli.exit_code (Core.Cli.Usage "") else code)

@@ -3,12 +3,15 @@
    Generates typed random kernels (biased toward the paper's divergence
    shapes), runs every differential oracle — parse/pretty round trip,
    per-stage IR verification, baseline-vs-specrecon memory equivalence
-   across scheduler policies, deadlock/runtime-error classification —
+   across scheduler policies, deadlock/runtime-error classification, and
+   (with --chaos N) N seeded fault-injection plans per clean program —
    shrinks any failure, and optionally writes the minimized repro into a
    regression corpus directory. Exit status 1 when violations remain. *)
 
-let main seed count save max_issues shrink_budget verbose =
-  let report = Fuzz.Driver.run ~max_issues ~shrink_budget ~seed ~count () in
+let main seed count save max_issues chaos chaos_seed shrink_budget verbose =
+  let report =
+    Fuzz.Driver.run ~max_issues ~chaos ?chaos_seed ~shrink_budget ~seed ~count ()
+  in
   Format.printf "%a" Fuzz.Driver.pp_report report;
   (match save with
   | None -> ()
@@ -24,7 +27,7 @@ let main seed count save max_issues shrink_budget verbose =
         Format.printf "---- shrunk repro [%d] ----@.%s@." f.Fuzz.Driver.id
           (Front.Pretty.to_string f.Fuzz.Driver.shrunk))
       report.Fuzz.Driver.findings;
-  if report.Fuzz.Driver.findings <> [] then exit 1
+  if report.Fuzz.Driver.findings <> [] then raise (Core.Cli.Error Core.Cli.Findings)
 
 open Cmdliner
 
@@ -34,7 +37,8 @@ let cmd =
        ~doc:
          "Differential fuzzing of the MiniSIMT compiler and SIMT simulator: every generated \
           kernel must produce byte-identical memory under PDOM-only and speculative-reconvergence \
-          compilation, across scheduler policies, with no deadlock and no runtime error")
+          compilation, across scheduler policies, with no deadlock and no runtime error — and, \
+          under --chaos fault plans, survive injected faults with yield recovery enabled")
     Term.(
       const main
       $ Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed")
@@ -46,7 +50,17 @@ let cmd =
       $ Arg.(
           value & opt int 1_500_000
           & info [ "max-issues" ] ~doc:"Per-run issue budget (Runaway cap)")
+      $ Arg.(
+          value & opt int 0
+          & info [ "chaos" ] ~docv:"N"
+              ~doc:"Fault-injection plans per clean program (0 disables the chaos tier)")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "chaos-seed" ] ~doc:"Root seed for the fault plans")
       $ Arg.(value & opt int 300 & info [ "shrink-budget" ] ~doc:"Oracle evaluations per shrink")
       $ Arg.(value & flag & info [ "verbose" ] ~doc:"Print shrunk repro sources"))
 
-let () = exit (Cmd.eval cmd)
+let () =
+  let code = Core.Cli.handle (fun () -> Cmd.eval ~catch:false cmd) in
+  exit (if code = Cmd.Exit.cli_error then Core.Cli.exit_code (Core.Cli.Usage "") else code)

@@ -1,5 +1,11 @@
 (* srrun: compile a MiniSIMT file and execute it on the SIMT simulator,
-   reporting nvprof-style metrics. *)
+   reporting nvprof-style metrics.
+
+   Failure modes map to distinct exit codes via Core.Cli: 2 usage,
+   3 i/o, 4 lex/parse, 5 compile, 6 deadlock, 7 runtime/runaway,
+   8 baseline mismatch. *)
+
+let usage msg = raise (Core.Cli.Error (Core.Cli.Usage msg))
 
 let read_file path =
   let ic = open_in_bin path in
@@ -10,72 +16,124 @@ let read_file path =
 let parse_args args =
   List.map
     (fun s ->
-      if String.contains s '.' then Ir.Types.F (float_of_string s)
-      else Ir.Types.I (int_of_string s))
+      match int_of_string_opt s with
+      | Some i -> Ir.Types.I i
+      | None -> (
+        match float_of_string_opt s with
+        | Some f -> Ir.Types.F f
+        | None -> usage (Printf.sprintf "bad kernel argument %S (expected int or float)" s)))
     args
 
-let run path mode coarsen threshold warps warp_size policy seed args =
-  let mode =
-    match mode with
-    | "baseline" -> Core.Compile.Baseline
-    | "none" -> Core.Compile.No_sync
-    | "specrecon" -> Core.Compile.Speculative Passes.Deconflict.Dynamic
-    | "specrecon-static" -> Core.Compile.Speculative Passes.Deconflict.Static
-    | "auto" ->
-      Core.Compile.Automatic
-        {
-          params = Passes.Auto_detect.default_params;
-          strategy = Passes.Deconflict.Dynamic;
-          profile = None;
-        }
-    | other ->
-      prerr_endline ("unknown mode " ^ other);
-      exit 2
-  in
+let mode_of_string = function
+  | "baseline" -> Core.Compile.Baseline
+  | "none" -> Core.Compile.No_sync
+  | "specrecon" -> Core.Compile.Speculative Passes.Deconflict.Dynamic
+  | "specrecon-static" -> Core.Compile.Speculative Passes.Deconflict.Static
+  | "auto" ->
+    Core.Compile.Automatic
+      {
+        params = Passes.Auto_detect.default_params;
+        strategy = Passes.Deconflict.Dynamic;
+        profile = None;
+      }
+  | other -> usage ("unknown mode " ^ other)
+
+let policy_of_string = function
+  | "most-threads" -> Simt.Config.Most_threads
+  | "lowest-pc" -> Simt.Config.Lowest_pc
+  | "round-robin" -> Simt.Config.Round_robin
+  | other -> usage ("unknown policy " ^ other)
+
+let yield_policy_of_string = function
+  | "oldest-arrival" -> Simt.Config.Oldest_arrival
+  | "most-waiters" -> Simt.Config.Most_waiters
+  | "lowest-slot" -> Simt.Config.Lowest_slot
+  | other -> usage ("unknown yield policy " ^ other)
+
+let run path mode coarsen threshold warps warp_size policy seed yield yield_policy chaos replay
+    fault_trace no_deconflict no_lint digest check_baseline entry args =
+  let mode = mode_of_string mode in
   let threshold =
     match threshold with
     | None -> Core.Compile.Keep
     | Some k when k < 0 -> Core.Compile.Unset
     | Some k -> Core.Compile.Set k
   in
-  let policy =
-    match policy with
-    | "most-threads" -> Simt.Config.Most_threads
-    | "lowest-pc" -> Simt.Config.Lowest_pc
-    | "round-robin" -> Simt.Config.Round_robin
-    | other ->
-      prerr_endline ("unknown policy " ^ other);
-      exit 2
-  in
   let config =
-    { Simt.Config.default with Simt.Config.n_warps = warps; warp_size; policy; seed }
+    { Simt.Config.default with
+      Simt.Config.n_warps = warps;
+      warp_size;
+      policy = policy_of_string policy;
+      seed;
+      yield_on_stall = yield;
+      yield_policy = yield_policy_of_string yield_policy }
   in
-  let options = { Core.Compile.mode; coarsen; threshold; cleanup = true; lint = true } in
-  try
-    let outcome =
-      Core.Runner.run_source ~config options ~source:(read_file path) ~args:(parse_args args)
+  let options =
+    { Core.Compile.mode;
+      coarsen;
+      threshold;
+      cleanup = true;
+      lint = not no_lint;
+      deconflict = not no_deconflict }
+  in
+  let source = read_file path in
+  let args = parse_args args in
+  let faults =
+    match (chaos, replay) with
+    | Some _, Some _ -> usage "--chaos and --replay are mutually exclusive"
+    | Some fault_seed, None -> Some (Simt.Faults.create ~seed:fault_seed ())
+    | None, Some file -> (
+      match Simt.Faults.parse_trace (read_file file) with
+      | events -> Some (Simt.Faults.replay events)
+      | exception Failure msg -> usage (Printf.sprintf "bad fault trace %s: %s" file msg))
+    | None, None -> None
+  in
+  if fault_trace <> None && faults = None then
+    usage "--fault-trace requires a fault source (--chaos or --replay)";
+  let outcome = Core.Runner.run_source ~config ?faults ?entry options ~source ~args in
+  Format.printf "%a@." Simt.Metrics.pp outcome.Core.Runner.metrics;
+  Format.printf "simt efficiency: %.2f%%@." (100.0 *. Core.Runner.efficiency outcome);
+  if digest then
+    Format.printf "memory digest: %016x@." (Simt.Memsys.digest outcome.Core.Runner.memory);
+  (match (fault_trace, faults) with
+  | Some file, Some f ->
+    let events = Simt.Faults.events f in
+    let oc = open_out file in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Simt.Faults.trace_to_string events));
+    Format.printf "fault trace: %d event(s) written to %s@." (List.length events) file
+  | _ -> ());
+  if check_baseline then begin
+    (* The ground truth: PDOM-only compilation, no faults, no yields.
+       The main run — whatever was injected or yielded — must land on
+       the same memory image. *)
+    let base_options =
+      { Core.Compile.mode = Core.Compile.Baseline;
+        coarsen;
+        threshold;
+        cleanup = true;
+        lint = false;
+        deconflict = true }
     in
-    Format.printf "%a@." Simt.Metrics.pp outcome.Core.Runner.metrics;
-    Format.printf "simt efficiency: %.2f%%@."
-      (100.0 *. Core.Runner.efficiency outcome)
-  with
-  | Front.Parser.Parse_error (pos, msg) ->
-    Format.eprintf "%s:%a: parse error: %s@." path Front.Ast.pp_pos pos msg;
-    exit 1
-  | Front.Lower.Lower_error (pos, msg) ->
-    Format.eprintf "%s:%a: error: %s@." path Front.Ast.pp_pos pos msg;
-    exit 1
-  | Simt.Interp.Deadlock msg ->
-    Format.eprintf "DEADLOCK: %s@." msg;
-    exit 3
-  | Simt.Interp.Runtime_error msg ->
-    Format.eprintf "runtime error: %s@." msg;
-    exit 4
+    let base_config = { config with Simt.Config.yield_on_stall = false } in
+    let base = Core.Runner.run_source ~config:base_config ?entry base_options ~source ~args in
+    let got = Simt.Memsys.digest outcome.Core.Runner.memory in
+    let want = Simt.Memsys.digest base.Core.Runner.memory in
+    if got <> want then
+      raise
+        (Core.Cli.Error
+           (Core.Cli.Baseline_mismatch
+              (Printf.sprintf "memory digest %016x, unfaulted PDOM baseline %016x" got want)))
+    else Format.printf "baseline check: ok (digest %016x)@." got
+  end
 
 open Cmdliner
 
 let cmd =
-  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  (* Arg.string, not Arg.file: a missing path should surface as the
+     i/o outcome (exit 3), not cmdliner's usage error. *)
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let mode = Arg.(value & opt string "specrecon" & info [ "mode" ]) in
   let coarsen = Arg.(value & opt (some int) None & info [ "coarsen" ]) in
   let threshold = Arg.(value & opt (some int) None & info [ "threshold" ]) in
@@ -85,10 +143,74 @@ let cmd =
   in
   let policy = Arg.(value & opt string "most-threads" & info [ "policy" ]) in
   let seed = Arg.(value & opt int Simt.Config.default.Simt.Config.seed & info [ "seed" ]) in
+  let yield =
+    Arg.(
+      value & flag
+      & info [ "yield" ]
+          ~doc:
+            "Enable yield recovery: when every runnable group of a warp is blocked on \
+             convergence barriers, force-release a victim barrier instead of deadlocking")
+  in
+  let yield_policy =
+    Arg.(
+      value
+      & opt string "oldest-arrival"
+      & info [ "yield-policy" ] ~doc:"Victim selection: oldest-arrival|most-waiters|lowest-slot")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos" ] ~docv:"SEED" ~doc:"Inject seeded faults during execution")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"TRACE" ~doc:"Replay a recorded fault trace file")
+  in
+  let fault_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-trace" ] ~docv:"FILE" ~doc:"Write the applied fault trace to $(docv)")
+  in
+  let no_deconflict =
+    Arg.(
+      value & flag
+      & info [ "no-deconflict" ]
+          ~doc:"Skip barrier deconfliction (ships conflicting placements; pair with --yield)")
+  in
+  let no_lint =
+    Arg.(
+      value & flag
+      & info [ "no-lint" ] ~doc:"Demote barrier-safety findings to warnings on stderr")
+  in
+  let digest =
+    Arg.(value & flag & info [ "digest" ] ~doc:"Print the final memory digest")
+  in
+  let check_baseline =
+    Arg.(
+      value & flag
+      & info [ "check-baseline" ]
+          ~doc:
+            "Also run the unfaulted PDOM baseline and require bit-identical memory (exit 8 on \
+             mismatch)")
+  in
+  let entry =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "entry" ] ~docv:"KERNEL" ~doc:"Launch this kernel instead of the program default")
+  in
   let kargs = Arg.(value & opt_all string [] & info [ "arg" ] ~doc:"Kernel argument (repeatable)") in
   Cmd.v
     (Cmd.info "srrun" ~doc:"Run a MiniSIMT kernel on the SIMT simulator")
     Term.(
-      const run $ path $ mode $ coarsen $ threshold $ warps $ warp_size $ policy $ seed $ kargs)
+      const run $ path $ mode $ coarsen $ threshold $ warps $ warp_size $ policy $ seed $ yield
+      $ yield_policy $ chaos $ replay $ fault_trace $ no_deconflict $ no_lint $ digest
+      $ check_baseline $ entry $ kargs)
 
-let () = exit (Cmd.eval cmd)
+let () =
+  let code = Core.Cli.handle (fun () -> Cmd.eval ~catch:false cmd) in
+  exit (if code = Cmd.Exit.cli_error then Core.Cli.exit_code (Core.Cli.Usage "") else code)

@@ -106,7 +106,7 @@ let run (p : Ir.Types.program) =
   List.iter
     (fun name ->
       let f = Hashtbl.find p.funcs name in
-      let is_kernel = String.equal name p.kernel in
+      let is_kernel = List.mem name p.kernels || String.equal name p.kernel in
       (* Kernel parameters come uniformly from the launch; device-function
          parameters are conservatively thread-varying. *)
       let info = analyze_func ~callee_div f ~params_divergent:(not is_kernel) in

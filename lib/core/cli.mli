@@ -1,0 +1,48 @@
+(** Structured failure handling for the command-line tools.
+
+    Every tool failure mode has a distinct outcome with a stable exit
+    code and a one-line diagnostic, so scripts (and the chaos-smoke
+    gates) can tell a syntax error from a deadlock from an I/O problem
+    without scraping messages:
+
+    {v
+    0  success
+    1  findings / violations reported (srcc --lint, srfuzz)
+    2  usage error (bad flags, bad kernel arguments)
+    3  i/o error (unreadable input, unwritable trace file)
+    4  lex / parse error
+    5  compile error (lowering, srlint hard failure)
+    6  simulator deadlock (conflicting barriers, no --yield)
+    7  simulator runtime error or runaway
+    8  faulted/yield run disagrees with the unfaulted PDOM baseline
+    v} *)
+
+type outcome =
+  | Ok_exit
+  | Findings
+  | Usage of string
+  | Io_error of string
+  | Syntax_error of string
+  | Compile_error of string
+  | Deadlock of string
+  | Runtime_failure of string
+  | Baseline_mismatch of string
+
+exception Error of outcome
+(** Tools raise this for outcomes no exception carries naturally (e.g. a
+    baseline digest mismatch); {!handle} maps it like any other. *)
+
+val exit_code : outcome -> int
+
+(** Human-readable diagnostic. One line for everything except
+    {!Deadlock}, whose waits-for-cycle report keeps its lines. *)
+val describe : outcome -> string
+
+(** Map a raised exception to its outcome; [None] for unrecognized
+    exceptions (which should crash loudly, they are tool bugs). *)
+val classify : exn -> outcome option
+
+(** [handle f] runs [f] (typically [Cmdliner.Cmd.eval ~catch:false]);
+    on a recognized exception prints the diagnostic to stderr and
+    returns the exit code, otherwise re-raises. *)
+val handle : (unit -> int) -> int

@@ -17,10 +17,13 @@ type options = {
   coarsen : int option;
   threshold : threshold_override;
   cleanup : bool;
+  deconflict : bool;
   lint : bool;
 }
 
-let baseline = { mode = Baseline; coarsen = None; threshold = Keep; cleanup = true; lint = true }
+let baseline =
+  { mode = Baseline; coarsen = None; threshold = Keep; cleanup = true; deconflict = true;
+    lint = true }
 
 let speculative =
   {
@@ -28,6 +31,7 @@ let speculative =
     coarsen = None;
     threshold = Keep;
     cleanup = true;
+    deconflict = true;
     lint = true;
   }
 
@@ -43,6 +47,7 @@ let automatic =
     coarsen = None;
     threshold = Keep;
     cleanup = true;
+    deconflict = true;
     lint = true;
   }
 
@@ -132,9 +137,14 @@ let compile_ast options ast =
       let interproc = Passes.Interproc.run program in
       let divergence = Analysis.Divergence.run program in
       let pdom = Passes.Pdom_sync.run program divergence in
-      let priority = make_priority ~applied ~interproc ~pdom in
-      let report = Passes.Deconflict.run program ~strategy ~priority in
-      (pdom, applied, interproc, Some report, [])
+      let report =
+        if options.deconflict then begin
+          let priority = make_priority ~applied ~interproc ~pdom in
+          Some (Passes.Deconflict.run program ~strategy ~priority)
+        end
+        else None
+      in
+      (pdom, applied, interproc, report, [])
     | Automatic { params; strategy; profile } ->
       strip_hints program;
       let candidates = Passes.Auto_detect.detect ?profile params program in
@@ -143,9 +153,14 @@ let compile_ast options ast =
       let interproc = Passes.Interproc.run program in
       let divergence = Analysis.Divergence.run program in
       let pdom = Passes.Pdom_sync.run program divergence in
-      let priority = make_priority ~applied ~interproc ~pdom in
-      let report = Passes.Deconflict.run program ~strategy ~priority in
-      (pdom, applied, interproc, Some report, candidates)
+      let report =
+        if options.deconflict then begin
+          let priority = make_priority ~applied ~interproc ~pdom in
+          Some (Passes.Deconflict.run program ~strategy ~priority)
+        end
+        else None
+      in
+      (pdom, applied, interproc, report, candidates)
   in
   if options.cleanup then ignore (Passes.Cleanup.run program);
   Ir.Verifier.check_program_exn program;

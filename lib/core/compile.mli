@@ -37,6 +37,12 @@ type options = {
   cleanup : bool;
       (** run {!Passes.Cleanup} (DCE + dead-barrier removal) after the
           synchronization passes; on by default *)
+  deconflict : bool;
+      (** run {!Passes.Deconflict} in the speculative/automatic modes; on
+          by default. Turning it off (srcc/srrun [--no-deconflict])
+          deliberately ships conflicting barrier placements — the
+          fault-injection and yield-recovery harness uses this to
+          exercise the simulator's degraded-mode behaviour. *)
   lint : bool;
       (** treat {!Analysis.Barrier_safety} findings as a hard error
           ([Failure]); when false they are demoted to stderr warnings

@@ -9,7 +9,7 @@ type outcome = {
 let efficiency o = Simt.Metrics.simt_efficiency o.metrics
 let cycles o = o.metrics.Simt.Metrics.cycles
 
-let run_spec ?(config = Simt.Config.default) options (spec : Workloads.Spec.t) =
+let run_spec ?(config = Simt.Config.default) ?faults options (spec : Workloads.Spec.t) =
   let config = spec.tweak_config config in
   let options =
     match options.Compile.coarsen with
@@ -18,7 +18,7 @@ let run_spec ?(config = Simt.Config.default) options (spec : Workloads.Spec.t) =
   in
   let compiled = Compile.compile options ~source:spec.source in
   let result =
-    Simt.Interp.run config compiled.linear ~args:spec.args
+    Simt.Interp.run ?faults config compiled.linear ~args:spec.args
       ~init_memory:(fun mem -> spec.init compiled.program mem)
   in
   {
@@ -29,10 +29,11 @@ let run_spec ?(config = Simt.Config.default) options (spec : Workloads.Spec.t) =
     check = spec.check compiled.program result.Simt.Interp.memory;
   }
 
-let run_source ?(config = Simt.Config.default) ?(init = fun _ _ -> ()) options ~source ~args =
+let run_source ?(config = Simt.Config.default) ?(init = fun _ _ -> ()) ?faults ?entry options
+    ~source ~args =
   let compiled = Compile.compile options ~source in
   let result =
-    Simt.Interp.run config compiled.linear ~args
+    Simt.Interp.run ?faults ?entry config compiled.linear ~args
       ~init_memory:(fun mem -> init compiled.program mem)
   in
   {

@@ -18,14 +18,19 @@ val cycles : outcome -> int
     [options] (with [spec.coarsen] applied unless [options] already
     requests coarsening) and executes it on [config] adjusted by
     [spec.tweak_config]. *)
-val run_spec : ?config:Simt.Config.t -> Compile.options -> Workloads.Spec.t -> outcome
+val run_spec :
+  ?config:Simt.Config.t -> ?faults:Simt.Faults.t -> Compile.options -> Workloads.Spec.t -> outcome
 
 (** [run_source ?config ?init options ~source ~args] for ad-hoc programs
     (no output check). [init] fills global memory before launch; by
-    default memory is zero-initialised with integer zeros. *)
+    default memory is zero-initialised with integer zeros. [faults]
+    injects chaos faults during execution; [entry] launches the named
+    kernel instead of the program default. *)
 val run_source :
   ?config:Simt.Config.t ->
   ?init:(Ir.Types.program -> Simt.Memsys.t -> unit) ->
+  ?faults:Simt.Faults.t ->
+  ?entry:string ->
   Compile.options ->
   source:string ->
   args:Ir.Types.value list ->

@@ -457,14 +457,15 @@ let lower (ast : program) =
         err f.fpos "'%s' shadows a builtin intrinsic" f.name;
       Hashtbl.replace sigs f.name (List.map snd f.params, f.ret))
     ast.funcs;
+  (* At least one kernel; the first declared becomes the default entry,
+     the rest stay launchable by name (multi-kernel programs). *)
   (match List.filter (fun (f : func_decl) -> f.is_kernel) ast.funcs with
-  | [ _ ] -> ()
-  | [] -> err { line = 0; col = 0 } "no kernel declared"
-  | _ :: extra :: _ -> err extra.fpos "multiple kernels declared (exactly one expected)");
+  | _ :: _ -> ()
+  | [] -> err { line = 0; col = 0 } "no kernel declared");
   List.iter
     (fun (fd : func_decl) ->
       let f = B.create_func p fd.name ~params:(List.length fd.params) in
-      if fd.is_kernel then B.set_kernel p fd.name;
+      if fd.is_kernel then B.add_kernel p fd.name;
       let env =
         List.mapi
           (fun i (name, ty) -> (name, { reg = i; vty = ty; is_mutable = true }))

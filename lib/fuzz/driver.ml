@@ -13,16 +13,17 @@ type report = {
   findings : finding list;
 }
 
-let run ?(params = Gen.default_params) ?max_issues ?shrink_budget ~seed ~count () =
+let run ?(params = Gen.default_params) ?max_issues ?chaos ?chaos_seed ?shrink_budget ~seed
+    ~count () =
   let passed = ref 0 and limited = ref 0 and findings = ref [] in
   for id = 0 to count - 1 do
     let case = Gen.generate ~params ~seed id in
-    match Oracle.check ?max_issues case.Gen.ast with
+    match Oracle.check ?max_issues ?chaos ?chaos_seed case.Gen.ast with
     | Oracle.Ok_run -> incr passed
     | Oracle.Limit _ -> incr limited
     | Oracle.Violation violation ->
       let same_kind ast =
-        match Oracle.check ?max_issues ast with
+        match Oracle.check ?max_issues ?chaos ?chaos_seed ast with
         | Oracle.Violation v -> v.Oracle.kind = violation.Oracle.kind
         | Oracle.Ok_run | Oracle.Limit _ -> false
       in

@@ -21,8 +21,11 @@ type report = {
   findings : finding list;
 }
 
+(** [chaos]/[chaos_seed] are passed through to {!Oracle.check}: each
+    clean program additionally survives that many seeded fault plans. *)
 val run :
-  ?params:Gen.params -> ?max_issues:int -> ?shrink_budget:int -> seed:int -> count:int -> unit ->
+  ?params:Gen.params -> ?max_issues:int -> ?chaos:int -> ?chaos_seed:int ->
+  ?shrink_budget:int -> seed:int -> count:int -> unit ->
   report
 
 (** The corpus serialization: a header comment naming the campaign

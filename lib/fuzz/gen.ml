@@ -483,4 +483,28 @@ let generate ?(params = default_params) ~seed id =
     | Mixed -> mixed_body st env
   in
   let kernel = { name = "k"; params = []; ret = None; body; is_kernel = true; fpos = pos } in
-  { id; shape; ast = { globals; funcs = dfuncs @ [ kernel ] } }
+  (* Sometimes a second, smaller kernel sharing the device functions:
+     exercises multi-kernel lowering and the per-kernel oracle matrix
+     (cross-kernel interprocedural barrier state included). *)
+  let extra =
+    if chance st 0.2 then begin
+      let shape2 =
+        match pick_shape st with
+        | Common_call when dfuncs = [] -> Mixed
+        | s2 -> s2
+      in
+      let st2 =
+        { st with params = { st.params with stmt_budget = max 4 (st.params.stmt_budget / 2) } }
+      in
+      let body2 =
+        match shape2 with
+        | If_in_loop -> if_in_loop_body st2 env
+        | Trip_loop -> trip_loop_body st2 env
+        | Common_call -> common_call_body st2 env (List.hd dfuncs).name
+        | Mixed -> mixed_body st2 env
+      in
+      [ { name = "k2"; params = []; ret = None; body = body2; is_kernel = true; fpos = pos } ]
+    end
+    else []
+  in
+  { id; shape; ast = { globals; funcs = dfuncs @ [ kernel ] @ extra } }

@@ -9,6 +9,8 @@ type kind =
   | Result_divergence
   | Lint_unsound
   | Lint_spurious
+  | Chaos_divergence
+  | Spurious_yield
 
 let kind_name = function
   | Round_trip -> "round-trip"
@@ -18,6 +20,8 @@ let kind_name = function
   | Result_divergence -> "result-divergence"
   | Lint_unsound -> "lint-unsound"
   | Lint_spurious -> "lint-spurious"
+  | Chaos_divergence -> "chaos-divergence"
+  | Spurious_yield -> "spurious-yield"
 
 type violation = { kind : kind; detail : string }
 
@@ -94,7 +98,118 @@ let round_trip ast =
 
 exception Stop of verdict
 
-let check ?(max_issues = 1_500_000) ast =
+(* Only parameterless kernels can run under the matrix (there is nothing
+   to pass for the others); the generator emits exactly those. *)
+let runnable_kernels (linear : Ir.Linear.t) =
+  List.filter (fun (kf : Ir.Linear.finfo) -> kf.Ir.Linear.arity = 0) linear.Ir.Linear.kernels
+
+(* Chaos tier: a lint-clean program already proven mode- and
+   schedule-independent by the main matrix must ALSO survive fault
+   injection — scheduler perturbations, memory-latency spikes, spurious
+   releases, forced stalls — with yield recovery on, and still produce
+   memory bit-identical to the unfaulted PDOM baseline. Generated
+   programs are schedule-independent by construction and spurious
+   releases only shrink participation, so any divergence is a simulator
+   bug; and a checker-clean program can never truly stall, so any yield
+   the watchdog fires is a false stall detection ({!Spurious_yield}) —
+   the runtime-side cross-validation of srlint. *)
+let chaos_matrix ~max_issues ~chaos ~chaos_seed (staged : (Pipeline.mode * Pipeline.staged) list)
+    =
+  let _, specrecon = List.find (fun (m, _) -> m = Pipeline.Specrecon) staged in
+  let _, baseline = List.find (fun (m, _) -> m = Pipeline.Baseline) staged in
+  List.iteri
+    (fun ki (kf : Ir.Linear.finfo) ->
+      let run_baseline () =
+        let config = { base_config with Simt.Config.max_issues } in
+        Simt.Interp.run config baseline.Pipeline.linear ~entry:kf.Ir.Linear.fname ~args:[]
+          ~init_memory:(init_memory baseline.Pipeline.program)
+      in
+      let reference =
+        try
+          let r = run_baseline () in
+          (snapshot r.Simt.Interp.memory, r.Simt.Interp.metrics.Simt.Metrics.threads_finished)
+        with Simt.Interp.Runaway msg ->
+          raise (Stop (Limit (Printf.sprintf "chaos baseline/%s: %s" kf.Ir.Linear.fname msg)))
+      in
+      for plan = 0 to chaos - 1 do
+        let policy = List.nth policies (plan mod List.length policies) in
+        let where =
+          Printf.sprintf "chaos plan %d (%s) kernel %s" plan (policy_name policy)
+            kf.Ir.Linear.fname
+        in
+        let fault_seed =
+          let rng = Sm.of_ints chaos_seed plan ki in
+          Sm.int rng 0x3fffffff
+        in
+        let faults = Simt.Faults.create ~seed:fault_seed () in
+        let config =
+          { base_config with
+            Simt.Config.policy;
+            max_issues;
+            yield_on_stall = true;
+            yield_policy = Simt.Config.Oldest_arrival }
+        in
+        let result =
+          try
+            Simt.Interp.run ~faults config specrecon.Pipeline.linear
+              ~entry:kf.Ir.Linear.fname ~args:[]
+              ~init_memory:(init_memory specrecon.Pipeline.program)
+          with
+          | Simt.Interp.Deadlock msg ->
+            raise
+              (Stop
+                 (Violation
+                    { kind = Chaos_divergence;
+                      detail =
+                        Printf.sprintf "%s: deadlock despite yield recovery: %s" where msg }))
+          | Simt.Interp.Runtime_error msg ->
+            raise
+              (Stop
+                 (Violation
+                    { kind = Chaos_divergence;
+                      detail = Printf.sprintf "%s: runtime error under faults: %s" where msg }))
+          | Simt.Interp.Runaway msg -> raise (Stop (Limit (Printf.sprintf "%s: %s" where msg)))
+        in
+        let yields = result.Simt.Interp.metrics.Simt.Metrics.yields in
+        if yields > 0 then
+          raise
+            (Stop
+               (Violation
+                  { kind = Spurious_yield;
+                    detail =
+                      Printf.sprintf
+                        "%s: %d yield(s) on a checker-clean program (fault seed %d, trace:\n%s)"
+                        where yields fault_seed
+                        (Simt.Faults.trace_to_string (Simt.Faults.events faults)) }));
+        let ref_snap, ref_finished = reference in
+        let finished = result.Simt.Interp.metrics.Simt.Metrics.threads_finished in
+        if finished <> ref_finished then
+          raise
+            (Stop
+               (Violation
+                  { kind = Chaos_divergence;
+                    detail =
+                      Printf.sprintf
+                        "%s: finished %d threads, unfaulted baseline finished %d (fault seed \
+                         %d)"
+                        where finished ref_finished fault_seed }));
+        match first_diff ref_snap (snapshot result.Simt.Interp.memory) with
+        | None -> ()
+        | Some addr ->
+          raise
+            (Stop
+               (Violation
+                  { kind = Chaos_divergence;
+                    detail =
+                      Printf.sprintf
+                        "%s: memory differs from unfaulted baseline at address %d (fault seed \
+                         %d, trace:\n%s)"
+                        where addr fault_seed
+                        (Simt.Faults.trace_to_string (Simt.Faults.events faults)) }))
+      done)
+    (runnable_kernels specrecon.Pipeline.linear)
+
+let check ?(max_issues = 1_500_000) ?(chaos = 0) ?(chaos_seed = 0xc4a05) ast =
   match round_trip ast with
   | Some v -> Violation v
   | None -> (
@@ -110,72 +225,85 @@ let check ?(max_issues = 1_500_000) ast =
     match compiled with
     | Error v -> Violation v
     | Ok staged -> (
-      let reference = ref None in
+      (* Per-kernel reference row: every (mode, policy) cell must match
+         the first run of the same kernel. *)
+      let reference = Hashtbl.create 4 in
       try
         List.iter
           (fun (mode, (s : Pipeline.staged)) ->
             List.iter
               (fun policy ->
-                let where =
-                  Printf.sprintf "%s/%s" (Pipeline.mode_name mode) (policy_name policy)
-                in
-                let config = { base_config with Simt.Config.policy; max_issues } in
-                let result =
-                  try
-                    Simt.Interp.run config s.linear ~args:[]
-                      ~init_memory:(init_memory s.program)
-                  with
-                  | Simt.Interp.Deadlock msg ->
-                    (* Any deadlock is a violation; one srlint failed to
-                       predict is also a soundness hole in the checker. *)
-                    let kind, msg =
-                      if s.Pipeline.lint = [] then
-                        ( Lint_unsound,
-                          Printf.sprintf "simulator deadlocked but srlint was clean: %s" msg )
-                      else (Deadlock, msg)
+                List.iter
+                  (fun (kf : Ir.Linear.finfo) ->
+                    let kname = kf.Ir.Linear.fname in
+                    let where =
+                      Printf.sprintf "%s/%s/%s" (Pipeline.mode_name mode) (policy_name policy)
+                        kname
                     in
-                    raise
-                      (Stop
-                         (Violation { kind; detail = Printf.sprintf "%s: %s" where msg }))
-                  | Simt.Interp.Runtime_error msg ->
-                    raise
-                      (Stop
-                         (Violation
-                            { kind = Runtime_error; detail = Printf.sprintf "%s: %s" where msg }))
-                  | Simt.Interp.Runaway msg ->
-                    raise (Stop (Limit (Printf.sprintf "%s: %s" where msg)))
-                in
-                let snap = snapshot result.Simt.Interp.memory in
-                let finished = result.Simt.Interp.metrics.Simt.Metrics.threads_finished in
-                match !reference with
-                | None -> reference := Some (where, snap, finished)
-                | Some (ref_where, ref_snap, ref_finished) ->
-                  if finished <> ref_finished then
-                    raise
-                      (Stop
-                         (Violation
-                            { kind = Result_divergence;
-                              detail =
-                                Printf.sprintf "%s finished %d threads, %s finished %d" ref_where
-                                  ref_finished where finished }));
-                  (match first_diff ref_snap snap with
-                  | None -> ()
-                  | Some addr ->
-                    raise
-                      (Stop
-                         (Violation
-                            { kind = Result_divergence;
-                              detail =
-                                Printf.sprintf "memory differs between %s and %s at address %d"
-                                  ref_where where addr }))))
+                    let config = { base_config with Simt.Config.policy; max_issues } in
+                    let result =
+                      try
+                        Simt.Interp.run config s.linear ~entry:kname ~args:[]
+                          ~init_memory:(init_memory s.program)
+                      with
+                      | Simt.Interp.Deadlock msg ->
+                        (* Any deadlock is a violation; one srlint failed
+                           to predict is also a soundness hole in the
+                           checker. *)
+                        let kind, msg =
+                          if s.Pipeline.lint = [] then
+                            ( Lint_unsound,
+                              Printf.sprintf "simulator deadlocked but srlint was clean: %s" msg
+                            )
+                          else (Deadlock, msg)
+                        in
+                        raise
+                          (Stop
+                             (Violation { kind; detail = Printf.sprintf "%s: %s" where msg }))
+                      | Simt.Interp.Runtime_error msg ->
+                        raise
+                          (Stop
+                             (Violation
+                                { kind = Runtime_error;
+                                  detail = Printf.sprintf "%s: %s" where msg }))
+                      | Simt.Interp.Runaway msg ->
+                        raise (Stop (Limit (Printf.sprintf "%s: %s" where msg)))
+                    in
+                    let snap = snapshot result.Simt.Interp.memory in
+                    let finished =
+                      result.Simt.Interp.metrics.Simt.Metrics.threads_finished
+                    in
+                    match Hashtbl.find_opt reference kname with
+                    | None -> Hashtbl.replace reference kname (where, snap, finished)
+                    | Some (ref_where, ref_snap, ref_finished) ->
+                      if finished <> ref_finished then
+                        raise
+                          (Stop
+                             (Violation
+                                { kind = Result_divergence;
+                                  detail =
+                                    Printf.sprintf "%s finished %d threads, %s finished %d"
+                                      ref_where ref_finished where finished }));
+                      (match first_diff ref_snap snap with
+                      | None -> ()
+                      | Some addr ->
+                        raise
+                          (Stop
+                             (Violation
+                                { kind = Result_divergence;
+                                  detail =
+                                    Printf.sprintf
+                                      "memory differs between %s and %s at address %d" ref_where
+                                      where addr }))))
+                  (runnable_kernels s.linear))
               policies)
           staged;
         (* Precision side of the soundness oracle: the whole matrix
            completed without deadlock under every scheduler, so any
            remaining finding is a false alarm. *)
-        (match
-           List.find_opt (fun (_, (s : Pipeline.staged)) -> s.Pipeline.lint <> []) staged
-         with
+        match
+          List.find_opt (fun (_, (s : Pipeline.staged)) -> s.Pipeline.lint <> []) staged
+        with
         | Some (mode, s) ->
           let f = List.hd s.Pipeline.lint in
           Violation
@@ -186,5 +314,9 @@ let check ?(max_issues = 1_500_000) ast =
                   (Pipeline.mode_name mode)
                   (Format.asprintf "%a" Analysis.Barrier_safety.pp_machine f);
             }
-        | None -> Ok_run)
+        | None ->
+          (* Only lint-clean programs reach the chaos tier, so the
+             zero-yields contract applies unconditionally. *)
+          if chaos > 0 then chaos_matrix ~max_issues ~chaos ~chaos_seed staged;
+          Ok_run
       with Stop v -> v))

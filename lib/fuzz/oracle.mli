@@ -24,6 +24,22 @@
       is {!Lint_spurious} (a false alarm that would break clean builds,
       since the checker is a mandatory {!Core.Compile} stage).
 
+    With [~chaos:n > 0], a program that passes everything above also
+    enters the {b chaos tier}: [n] seeded fault-injection plans
+    ({!Simt.Faults} — scheduler perturbations, memory-latency spikes,
+    spurious barrier releases, forced stalls) run against the
+    speculative build with yield recovery enabled. Each faulted run must
+    produce memory bit-identical to the unfaulted PDOM baseline
+    ({!Chaos_divergence} otherwise), and — because only lint-clean
+    programs reach this tier — must complete with {e zero} yields: a
+    checker-clean program can never truly stall, so a yield is the
+    watchdog misfiring ({!Spurious_yield}).
+
+    Every parameterless kernel of a multi-kernel program goes through
+    the full matrix (and chaos tier) independently, as its own entry
+    point (kernels with parameters are skipped — the oracle has no
+    arguments to pass them).
+
     {!Simt.Interp.Runaway} (the [max_issues] budget) is {e not} a
     violation: it is the fuzzer's liveness cap, reported as {!Limit} so a
     campaign can account for skipped programs honestly. *)
@@ -36,6 +52,11 @@ type kind =
   | Result_divergence  (** memory images differ across modes/policies *)
   | Lint_unsound  (** simulator deadlocked on a program srlint passed as clean *)
   | Lint_spurious  (** srlint flagged a program that runs deadlock-free everywhere *)
+  | Chaos_divergence
+      (** a faulted yield-enabled run deadlocked, errored, or produced
+          memory differing from the unfaulted PDOM baseline *)
+  | Spurious_yield
+      (** yield recovery fired on a checker-clean program under faults *)
 
 val kind_name : kind -> string
 
@@ -59,5 +80,8 @@ val base_config : Simt.Config.t
 val init_memory : Ir.Types.program -> Simt.Memsys.t -> unit
 
 (** [check ast] runs every oracle and returns the first violation found
-    (round trip, then staging, then the run matrix). *)
-val check : ?max_issues:int -> Front.Ast.program -> verdict
+    (round trip, then staging, then the run matrix, then — for clean
+    programs when [chaos > 0] — the fault-injection tier). [chaos_seed]
+    (default [0xc4a05]) roots the per-plan fault seeds, so a campaign is
+    replayed exactly by its [(seed, chaos, chaos_seed)] coordinates. *)
+val check : ?max_issues:int -> ?chaos:int -> ?chaos_seed:int -> Front.Ast.program -> verdict

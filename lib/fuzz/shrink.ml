@@ -43,9 +43,11 @@ let zero_of = function Tint -> { desc = Int_lit 0; pos = { line = 0; col = 0 } }
 (* All single-step reductions of [prog], coarsest first. *)
 let candidates prog =
   let drop_funcs =
+    (* any device function; a kernel only while another kernel remains *)
+    let n_kernels = List.length (List.filter (fun f -> f.is_kernel) prog.funcs) in
     List.filter_map
       (fun fn ->
-        if fn.is_kernel then None
+        if fn.is_kernel && n_kernels <= 1 then None
         else Some (fun () -> { prog with funcs = List.filter (fun f -> f.name <> fn.name) prog.funcs }))
       prog.funcs
   in

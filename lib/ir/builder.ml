@@ -4,6 +4,7 @@ let create_program () =
   {
     funcs = Hashtbl.create 8;
     kernel = "";
+    kernels = [];
     next_barrier = 0;
     globals = Hashtbl.create 8;
     mem_size = 0;
@@ -32,10 +33,17 @@ let create_func program name ~params =
   Hashtbl.replace program.funcs name f;
   f
 
+let add_kernel program name =
+  if not (Hashtbl.mem program.funcs name) then
+    invalid_arg (Printf.sprintf "Builder.add_kernel: unknown function %s" name);
+  if not (List.mem name program.kernels) then program.kernels <- program.kernels @ [ name ];
+  if String.equal program.kernel "" then program.kernel <- name
+
 let set_kernel program name =
   if not (Hashtbl.mem program.funcs name) then
     invalid_arg (Printf.sprintf "Builder.set_kernel: unknown function %s" name);
-  program.kernel <- name
+  program.kernel <- name;
+  if not (List.mem name program.kernels) then program.kernels <- program.kernels @ [ name ]
 
 let alloc_global ?(float = false) program name size =
   if size <= 0 then invalid_arg "Builder.alloc_global: size must be positive";

@@ -16,9 +16,16 @@ val create_program : unit -> program
     @raise Invalid_argument if a function with this name already exists. *)
 val create_func : program -> string -> params:int -> func
 
-(** [set_kernel program name] designates the kernel entry function.
+(** [set_kernel program name] designates the default (entry) kernel and
+    marks it launchable.
     @raise Invalid_argument if [name] is not a registered function. *)
 val set_kernel : program -> string -> unit
+
+(** [add_kernel program name] marks a function launchable without making
+    it the default entry (multi-kernel programs); the first kernel added
+    to a program with no entry becomes the entry.
+    @raise Invalid_argument if [name] is not a registered function. *)
+val add_kernel : program -> string -> unit
 
 (** [alloc_global ?float program name size] reserves [size] consecutive
     memory cells and returns the base address. [~float:true] marks the

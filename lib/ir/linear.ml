@@ -16,6 +16,7 @@ type t = {
   locs : location array;
   funcs : finfo list;
   kernel : finfo;
+  kernels : finfo list;
   n_barriers : int;
   mem_size : int;
   float_regions : (int * int) list;
@@ -140,6 +141,9 @@ let linearize (p : program) =
     locs;
     funcs;
     kernel = finfo_of p.kernel;
+    kernels =
+      List.map finfo_of
+        (if List.mem p.kernel p.kernels then p.kernels else p.kernel :: p.kernels);
     n_barriers = p.next_barrier;
     mem_size = p.mem_size;
     float_regions = p.float_regions;

@@ -26,7 +26,9 @@ type t = {
   code : linst array;
   locs : location array;  (** source block of each pc, for profiles *)
   funcs : finfo list;
-  kernel : finfo;
+  kernel : finfo;  (** the default (entry) kernel *)
+  kernels : finfo list;
+      (** every launchable kernel, declaration order, entry included *)
   n_barriers : int;
   mem_size : int;
   float_regions : (int * int) list;  (** float-typed globals: launch as [F 0.0] *)

@@ -123,7 +123,8 @@ let pp_program ppf p =
   let rest = List.filter (fun n -> not (String.equal p.kernel n)) names in
   List.iter
     (fun n ->
-      if String.equal n p.kernel then Format.fprintf ppf "; kernel@.";
+      if String.equal n p.kernel then Format.fprintf ppf "; kernel@."
+      else if List.mem n p.kernels then Format.fprintf ppf "; kernel (secondary)@.";
       pp_func ppf (Hashtbl.find p.funcs n))
     (kernel_first @ rest)
 

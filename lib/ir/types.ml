@@ -138,7 +138,10 @@ type func = {
 
 type program = {
   funcs : (string, func) Hashtbl.t;
-  mutable kernel : string; (* name of the kernel entry function *)
+  mutable kernel : string; (* name of the default (entry) kernel *)
+  mutable kernels : string list;
+      (* every launchable kernel, in declaration order; contains [kernel].
+         Hosts may launch any of them ([Interp.run ?entry]). *)
   mutable next_barrier : int;
   globals : (string, int * int) Hashtbl.t; (* name -> (base, size) *)
   mutable mem_size : int;

@@ -87,11 +87,23 @@ let check_program p =
      errors :=
        { where = "program"; message = Printf.sprintf "kernel %s is not defined" p.kernel }
        :: !errors);
+  (if (not (String.equal p.kernel "")) && not (List.mem p.kernel p.kernels) then
+     errors :=
+       { where = "program";
+         message = Printf.sprintf "entry kernel %s missing from kernel list" p.kernel }
+       :: !errors);
+  List.iter
+    (fun k ->
+      if not (Hashtbl.mem p.funcs k) then
+        errors :=
+          { where = "program"; message = Printf.sprintf "kernel %s is not defined" k }
+          :: !errors)
+    p.kernels;
   let names = List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) p.funcs []) in
   List.iter
     (fun name ->
       let f = Hashtbl.find p.funcs name in
-      let is_kernel = String.equal name p.kernel in
+      let is_kernel = List.mem name p.kernels || String.equal name p.kernel in
       errors := check_func p ~is_kernel f @ !errors)
     names;
   List.rev !errors

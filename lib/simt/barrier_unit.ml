@@ -4,9 +4,10 @@ type t = {
   warp_size : int;
   participants : Mask.t array;
   waiting : Mask.t array;
-  (* threshold.(b).(lane) is meaningful while lane is in waiting.(b);
-     -1 encodes "no threshold" (a hard wait). *)
+  (* threshold.(b).(lane) and arrival.(b).(lane) are meaningful while
+     lane is in waiting.(b); -1 encodes "no threshold" (a hard wait). *)
   threshold : int array array;
+  arrival : int array array;
 }
 
 let create ~n_barriers ~warp_size =
@@ -16,6 +17,7 @@ let create ~n_barriers ~warp_size =
     participants = Array.make (max n_barriers 1) Mask.empty;
     waiting = Array.make (max n_barriers 1) Mask.empty;
     threshold = Array.init (max n_barriers 1) (fun _ -> Array.make warp_size (-1));
+    arrival = Array.init (max n_barriers 1) (fun _ -> Array.make warp_size 0);
   }
 
 let check t b lane =
@@ -33,12 +35,13 @@ let cancel t b lane =
   t.participants.(b) <- Mask.remove lane t.participants.(b);
   t.waiting.(b) <- Mask.remove lane t.waiting.(b)
 
-let block t b lane ~threshold =
+let block ?(now = 0) t b lane ~threshold =
   check t b lane;
   if not (Mask.mem lane t.participants.(b)) then
     invalid_arg (Printf.sprintf "Barrier_unit.block: lane %d not participating in b%d" lane b);
   t.waiting.(b) <- Mask.add lane t.waiting.(b);
-  t.threshold.(b).(lane) <- Option.value threshold ~default:(-1)
+  t.threshold.(b).(lane) <- Option.value threshold ~default:(-1);
+  t.arrival.(b).(lane) <- now
 
 let withdraw_lane t lane =
   let affected = ref [] in
@@ -75,15 +78,26 @@ let fire_condition t b =
         acc || (k >= 0 && arrived >= k))
       w false
 
-let fired t b =
-  if fire_condition t b then begin
-    let released = t.waiting.(b) in
-    t.participants.(b) <- Mask.diff t.participants.(b) released;
-    t.waiting.(b) <- Mask.empty;
-    Mask.iter (fun lane -> t.threshold.(b).(lane) <- -1) released;
-    Some released
-  end
-  else None
+let release t b =
+  let released = t.waiting.(b) in
+  t.participants.(b) <- Mask.diff t.participants.(b) released;
+  t.waiting.(b) <- Mask.empty;
+  Mask.iter (fun lane -> t.threshold.(b).(lane) <- -1) released;
+  released
+
+let fired t b = if fire_condition t b then Some (release t b) else None
+
+let force_release t b =
+  if Mask.is_empty t.waiting.(b) then None else Some (release t b)
+
+let oldest_arrival t b =
+  let w = t.waiting.(b) in
+  if Mask.is_empty w then None
+  else
+    Some
+      (Mask.fold
+         (fun lane acc -> min acc t.arrival.(b).(lane))
+         w max_int)
 
 let blocked_anywhere t lane =
   let result = ref None in

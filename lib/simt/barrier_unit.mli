@@ -28,10 +28,11 @@ val join : t -> int -> int -> unit
     {!fired} afterwards. *)
 val cancel : t -> int -> int -> unit
 
-(** [block t b lane ~threshold] — record the lane blocked at a wait on
-    [b]. Callers must only block participant lanes. Check {!fired}
-    afterwards. *)
-val block : t -> int -> int -> threshold:int option -> unit
+(** [block ?now t b lane ~threshold] — record the lane blocked at a wait
+    on [b], stamping its arrival cycle [now] (for the oldest-arrival
+    yield-victim policy). Callers must only block participant lanes.
+    Check {!fired} afterwards. *)
+val block : ?now:int -> t -> int -> int -> threshold:int option -> unit
 
 (** [withdraw_lane t lane] — remove a lane from every barrier (kernel
     exit); returns the barriers it participated in. Check {!fired}. *)
@@ -49,6 +50,17 @@ val waiting : t -> int -> Support.Mask.t
 (** [fired t b] — if the fire condition holds, release and return the
     blocked lanes (updating all state); [None] otherwise. *)
 val fired : t -> int -> Support.Mask.t option
+
+(** [force_release t b] — release the blocked lanes of [b] regardless of
+    the fire condition (yield recovery and spurious-release fault
+    injection), with the same state updates as a threshold fire: the
+    released lanes leave the participation mask, the rest stay. [None]
+    when nothing is waiting. *)
+val force_release : t -> int -> Support.Mask.t option
+
+(** [oldest_arrival t b] — the earliest arrival stamp among the lanes
+    currently blocked on [b] ([None] when nothing is waiting). *)
+val oldest_arrival : t -> int -> int option
 
 (** [blocked_anywhere t lane] — the barrier this lane is blocked on, if
     any. *)

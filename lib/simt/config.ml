@@ -1,5 +1,7 @@
 type policy = Most_threads | Lowest_pc | Round_robin
 
+type yield_policy = Oldest_arrival | Most_waiters | Lowest_slot
+
 type latencies = {
   alu : int;
   float_op : int;
@@ -26,6 +28,7 @@ type t = {
   latencies : latencies;
   memory : memory;
   yield_on_stall : bool;
+  yield_policy : yield_policy;
   seed : int;
   max_issues : int;
 }
@@ -43,6 +46,7 @@ let default =
       { alu = 1; float_op = 2; special = 6; branch = 1; barrier = 1; call = 2; rand = 3 };
     memory = { line_words = 16; base_latency = 36; per_transaction = 6; cache = None };
     yield_on_stall = false;
+    yield_policy = Oldest_arrival;
     seed = 42;
     max_issues = 200_000_000;
   }

@@ -12,6 +12,17 @@ type policy =
   | Lowest_pc  (** lowest pc first — lets lagging threads catch up *)
   | Round_robin  (** rotate over groups — fairness baseline *)
 
+(** How yield recovery picks the victim barrier when every live group of
+    a warp is blocked on convergence barriers (the forward-progress
+    watchdog). All three are deterministic; ties break toward the lowest
+    slot id. *)
+type yield_policy =
+  | Oldest_arrival  (** the barrier whose longest-blocked lane arrived
+                        first — Volta-faithful: the wait that has starved
+                        longest is released first *)
+  | Most_waiters  (** the barrier releasing the most blocked lanes *)
+  | Lowest_slot  (** the lowest slot id with blocked lanes *)
+
 type latencies = {
   alu : int;
   float_op : int;
@@ -42,9 +53,14 @@ type t = {
   latencies : latencies;
   memory : memory;
   yield_on_stall : bool;
-      (** Volta-style forward progress: instead of reporting deadlock,
-          forcibly release one blocked thread. Off by default so that
-          missing deconfliction is a detectable compiler bug. *)
+      (** Volta-style forward progress: when a warp's every live group is
+          blocked on convergence barriers, forcibly release a victim
+          barrier (chosen by [yield_policy]) instead of reporting
+          deadlock. The run completes with correct memory but degraded
+          SIMT efficiency; {!Metrics.t} attributes the loss. Off by
+          default so that missing deconfliction is a detectable compiler
+          bug. *)
+  yield_policy : yield_policy;
   seed : int;
   max_issues : int; (** safety net against runaway programs *)
 }

@@ -1,0 +1,176 @@
+module Sm = Support.Splitmix
+
+type event =
+  | Pick of { step : int; warp : int; index : int }
+  | Mem_spike of { step : int; warp : int; extra : int }
+  | Release of { step : int; warp : int; slot : int }
+  | Stall of { step : int; warp : int; cycles : int }
+
+type disturbance = D_release of int | D_stall of int
+
+type rates = {
+  pick_rate : float;
+  mem_rate : float;
+  mem_spike_max : int;
+  release_rate : float;
+  stall_rate : float;
+  stall_max : int;
+}
+
+let default_rates =
+  {
+    pick_rate = 0.05;
+    mem_rate = 0.02;
+    mem_spike_max = 200;
+    release_rate = 0.004;
+    stall_rate = 0.004;
+    stall_max = 64;
+  }
+
+(* Replay lookup is keyed by (channel, per-channel consultation index):
+   the simulator is deterministic between consultations, so applying the
+   recorded event at the same index reproduces the faulted run exactly. *)
+type channel = Pick_ch | Mem_ch | Disturb_ch
+
+type mode = Generate of Sm.t * rates | Replay of (channel * int, event) Hashtbl.t
+
+type t = {
+  mode : mode;
+  mutable pick_step : int;
+  mutable mem_step : int;
+  mutable disturb_step : int;
+  mutable applied_rev : event list;
+}
+
+let create ?(rates = default_rates) ~seed () =
+  {
+    mode = Generate (Sm.of_ints seed 0xfa17 0x1417, rates);
+    pick_step = 0;
+    mem_step = 0;
+    disturb_step = 0;
+    applied_rev = [];
+  }
+
+let channel_of = function
+  | Pick _ -> Pick_ch
+  | Mem_spike _ -> Mem_ch
+  | Release _ | Stall _ -> Disturb_ch
+
+let step_of = function
+  | Pick { step; _ } | Mem_spike { step; _ } | Release { step; _ } | Stall { step; _ } -> step
+
+let replay events =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun ev -> Hashtbl.replace tbl (channel_of ev, step_of ev) ev) events;
+  { mode = Replay tbl; pick_step = 0; mem_step = 0; disturb_step = 0; applied_rev = [] }
+
+let events t = List.rev t.applied_rev
+
+let record t ev = t.applied_rev <- ev :: t.applied_rev
+
+let pick t ~warp ~k ~chosen =
+  let step = t.pick_step in
+  t.pick_step <- step + 1;
+  match t.mode with
+  | Generate (rng, r) ->
+    if k >= 2 && Sm.float rng < r.pick_rate then begin
+      let index = Sm.int rng k in
+      if index <> chosen then record t (Pick { step; warp; index });
+      index
+    end
+    else chosen
+  | Replay tbl -> (
+    match Hashtbl.find_opt tbl (Pick_ch, step) with
+    | Some (Pick { index; _ }) when index < k ->
+      record t (Pick { step; warp; index });
+      index
+    | _ -> chosen)
+
+let mem_spike t ~warp =
+  let step = t.mem_step in
+  t.mem_step <- step + 1;
+  match t.mode with
+  | Generate (rng, r) ->
+    if Sm.float rng < r.mem_rate then begin
+      let extra = 1 + Sm.int rng r.mem_spike_max in
+      record t (Mem_spike { step; warp; extra });
+      extra
+    end
+    else 0
+  | Replay tbl -> (
+    match Hashtbl.find_opt tbl (Mem_ch, step) with
+    | Some (Mem_spike { extra; _ }) ->
+      record t (Mem_spike { step; warp; extra });
+      extra
+    | _ -> 0)
+
+let disturb t ~warp ~waiting_slots =
+  let step = t.disturb_step in
+  t.disturb_step <- step + 1;
+  match t.mode with
+  | Generate (rng, r) ->
+    let x = Sm.float rng in
+    if x < r.release_rate then (
+      match waiting_slots with
+      | [] -> None
+      | slots ->
+        let slot = List.nth slots (Sm.int rng (List.length slots)) in
+        record t (Release { step; warp; slot });
+        Some (D_release slot))
+    else if x < r.release_rate +. r.stall_rate then begin
+      let cycles = 1 + Sm.int rng r.stall_max in
+      record t (Stall { step; warp; cycles });
+      Some (D_stall cycles)
+    end
+    else None
+  | Replay tbl -> (
+    match Hashtbl.find_opt tbl (Disturb_ch, step) with
+    | Some (Release { slot; _ }) when List.mem slot waiting_slots ->
+      record t (Release { step; warp; slot });
+      Some (D_release slot)
+    | Some (Stall { cycles; _ }) ->
+      record t (Stall { step; warp; cycles });
+      Some (D_stall cycles)
+    | _ -> None)
+
+(* ---- trace printing and parsing (deterministic replay format) ---- *)
+
+let pp_event ppf = function
+  | Pick { step; warp; index } -> Format.fprintf ppf "fault pick step=%d warp=%d index=%d" step warp index
+  | Mem_spike { step; warp; extra } ->
+    Format.fprintf ppf "fault mem step=%d warp=%d extra=%d" step warp extra
+  | Release { step; warp; slot } ->
+    Format.fprintf ppf "fault release step=%d warp=%d slot=%d" step warp slot
+  | Stall { step; warp; cycles } ->
+    Format.fprintf ppf "fault stall step=%d warp=%d cycles=%d" step warp cycles
+
+let pp_trace ppf events =
+  List.iter (fun ev -> Format.fprintf ppf "%a@." pp_event ev) events
+
+let trace_to_string events = Format.asprintf "%a" pp_trace events
+
+let parse_event line =
+  let fail () = failwith (Printf.sprintf "Faults.parse_trace: malformed line %S" line) in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "fault"; kind; s; w; x ] -> (
+    let field name kv =
+      match String.split_on_char '=' kv with
+      | [ k; v ] when String.equal k name -> (
+        match int_of_string_opt v with Some n -> n | None -> fail ())
+      | _ -> fail ()
+    in
+    let step = field "step" s and warp = field "warp" w in
+    match kind with
+    | "pick" -> Pick { step; warp; index = field "index" x }
+    | "mem" -> Mem_spike { step; warp; extra = field "extra" x }
+    | "release" -> Release { step; warp; slot = field "slot" x }
+    | "stall" -> Stall { step; warp; cycles = field "cycles" x }
+    | _ -> fail ())
+  | _ -> fail ()
+
+let parse_trace text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l ->
+         let l = String.trim l in
+         String.length l > 0 && not (String.length l >= 1 && l.[0] = '#'))
+  |> List.map parse_event

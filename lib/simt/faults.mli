@@ -1,0 +1,75 @@
+(** Seeded fault injection for the SIMT simulator (the chaos harness).
+
+    An injector is consulted by the interpreter at three kinds of
+    decision points, each with its own consultation counter:
+
+    - {e pick}: a scheduler decision among [k >= 2] runnable convergence
+      groups of a warp may be overridden with a different candidate
+      index (the "chaos scheduler" perturbation);
+    - {e mem}: a warp-level memory access may be charged extra latency
+      (a memory spike);
+    - {e disturb}: once per issued instruction the warp may suffer a
+      spurious release (a convergence barrier with blocked lanes fires
+      early, exactly like a threshold fire) or a forced stall (every
+      ready lane's wake-up time is pushed back).
+
+    Faults are drawn from a SplitMix-seeded plan, so a run is
+    reproducible from its seed alone. Every {e applied} fault is
+    recorded as an {!event} carrying its consultation index; the
+    resulting trace can be printed, parsed back, and replayed with
+    {!replay}, which re-applies exactly the recorded faults at the same
+    decision points (the simulator is deterministic in between). *)
+
+type event =
+  | Pick of { step : int; warp : int; index : int }
+  | Mem_spike of { step : int; warp : int; extra : int }
+  | Release of { step : int; warp : int; slot : int }
+  | Stall of { step : int; warp : int; cycles : int }
+
+(** What {!disturb} asks the interpreter to do. *)
+type disturbance = D_release of int  (** force-release this barrier slot *)
+                 | D_stall of int  (** push ready lanes back this many cycles *)
+
+type rates = {
+  pick_rate : float;  (** P(override) per multi-candidate pick *)
+  mem_rate : float;  (** P(spike) per warp memory access *)
+  mem_spike_max : int;  (** spike size drawn from [1, max] *)
+  release_rate : float;  (** P(spurious release) per issue *)
+  stall_rate : float;  (** P(forced stall) per issue *)
+  stall_max : int;  (** stall length drawn from [1, max] *)
+}
+
+val default_rates : rates
+
+type t
+
+(** [create ?rates ~seed ()] — a generative injector; same seed, same
+    fault plan. *)
+val create : ?rates:rates -> seed:int -> unit -> t
+
+(** [replay events] — an injector that re-applies exactly [events]. *)
+val replay : event list -> t
+
+(** Faults applied so far, in application order. *)
+val events : t -> event list
+
+(** [pick t ~warp ~k ~chosen] — final candidate index (defaults to
+    [chosen]). *)
+val pick : t -> warp:int -> k:int -> chosen:int -> int
+
+(** [mem_spike t ~warp] — extra latency cycles for this access (0 when
+    the access is left alone). *)
+val mem_spike : t -> warp:int -> int
+
+(** [disturb t ~warp ~waiting_slots] — per-issue disturbance;
+    [waiting_slots] lists the warp's barrier slots that currently have
+    blocked lanes (candidates for a spurious release). *)
+val disturb : t -> warp:int -> waiting_slots:int list -> disturbance option
+
+val pp_event : Format.formatter -> event -> unit
+val pp_trace : Format.formatter -> event list -> unit
+val trace_to_string : event list -> string
+
+(** Inverse of {!pp_trace}; blank lines and [#] comments are skipped.
+    @raise Failure on a malformed line. *)
+val parse_trace : string -> event list

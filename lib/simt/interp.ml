@@ -6,7 +6,20 @@ exception Deadlock of string
 exception Runtime_error of string
 exception Runaway of string
 
-type result = { metrics : Metrics.t; memory : Memsys.t; profile : Analysis.Profile.t }
+type yield_event = {
+  at_cycle : int;
+  warp : int;
+  slot : int;
+  released : int list;
+  abandoned : int list;
+}
+
+type result = {
+  metrics : Metrics.t;
+  memory : Memsys.t;
+  profile : Analysis.Profile.t;
+  yield_log : yield_event list;
+}
 
 type issue_event = {
   at_cycle : int;
@@ -69,12 +82,20 @@ let eval th = function T.Reg r -> (frame_of th).regs.(r) | T.Imm v -> v
 
 let set_reg th r v = (frame_of th).regs.(r) <- v
 
-let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
+let run ?tracer ?faults ?entry (config : Config.t) (lprog : L.t) ~args ~init_memory =
   Config.validate config;
-  if List.length args <> lprog.kernel.arity then
+  let entry_info =
+    match entry with
+    | None -> lprog.kernel
+    | Some name -> (
+      match List.find_opt (fun (f : L.finfo) -> String.equal f.fname name) lprog.funcs with
+      | Some f -> f
+      | None -> invalid_arg (Printf.sprintf "Interp.run: no function named %s" name))
+  in
+  if List.length args <> entry_info.arity then
     invalid_arg
-      (Printf.sprintf "Interp.run: kernel %s expects %d args, got %d" lprog.kernel.fname
-         lprog.kernel.arity (List.length args));
+      (Printf.sprintf "Interp.run: kernel %s expects %d args, got %d" entry_info.fname
+         entry_info.arity (List.length args));
   let lat = config.latencies in
   let memory = Memsys.create config.memory ~size:(max lprog.mem_size 1) in
   List.iter
@@ -86,6 +107,7 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
   init_memory memory;
   let metrics = Metrics.create ~warp_size:config.warp_size in
   let profile = Analysis.Profile.empty () in
+  let yield_log = ref [] in
   (* Precompute which pcs start a basic block, for profile recording. *)
   let n_code = Array.length lprog.code in
   let is_block_entry =
@@ -95,14 +117,14 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
         || lprog.locs.(pc).L.in_block <> lprog.locs.(pc - 1).L.in_block)
   in
   let make_thread wid lane =
-    let regs = Array.make (max lprog.kernel.n_regs 1) (T.I 0) in
+    let regs = Array.make (max entry_info.n_regs 1) (T.I 0) in
     List.iteri (fun i v -> regs.(i) <- v) args;
     {
       lane;
       tid = (wid * config.warp_size) + lane;
       rng = Support.Splitmix.of_ints config.seed wid lane;
       frames = [ { regs; ret_pc = -1; ret_reg = None } ];
-      pc = lprog.kernel.entry_pc;
+      pc = entry_info.entry_pc;
       status = Ready;
       ready_at = 0;
       group = 0;
@@ -183,22 +205,28 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
         end)
       moved
   in
+  (* Wake a set of lanes released from a barrier: the shared tail of an
+     organic fire, a yield-recovery release and a fault-injected spurious
+     release. Only organic fires count as [barrier_fires]. *)
+  let apply_release w released =
+    Mask.iter
+      (fun lane ->
+        let th = w.threads.(lane) in
+        th.status <- Ready;
+        th.pc <- th.pc + 1;
+        th.ready_at <- !cycle + lat.barrier)
+      released;
+    (* The release is the one place where diverged threads reconverge:
+       everyone released at the same point joins one fresh group. *)
+    regroup w released
+  in
   (* Release every lane the barrier fire condition allows. *)
   let release_fired w b =
     match Barrier_unit.fired w.barriers b with
     | None -> ()
     | Some released ->
       metrics.barrier_fires <- metrics.barrier_fires + 1;
-      Mask.iter
-        (fun lane ->
-          let th = w.threads.(lane) in
-          th.status <- Ready;
-          th.pc <- th.pc + 1;
-          th.ready_at <- !cycle + lat.barrier)
-        released;
-      (* The fire is the one place where diverged threads reconverge:
-         everyone released at the same point joins one fresh group. *)
-      regroup w released
+      apply_release w released
   in
   let finish_thread w th =
     th.status <- Done;
@@ -207,6 +235,154 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
     metrics.threads_finished <- metrics.threads_finished + 1;
     let affected = Barrier_unit.withdraw_lane w.barriers th.lane in
     List.iter (release_fired w) affected
+  in
+  (* ---- stall handling: yield recovery or deadlock diagnosis ---- *)
+  let waiting_slots w =
+    let acc = ref [] in
+    for b = lprog.n_barriers - 1 downto 0 do
+      if not (Mask.is_empty (Barrier_unit.waiting w.barriers b)) then acc := b :: !acc
+    done;
+    !acc
+  in
+  (* A warp whose every live group is Blocked can never progress again:
+     barrier state is warp-local, so no other warp can release it. *)
+  let warp_stalled w =
+    w.n_groups > 0
+    &&
+    let ok = ref true in
+    for s = 0 to w.n_groups - 1 do
+      if w.threads.(Mask.lowest w.gmask.(s)).status <> Blocked then ok := false
+    done;
+    !ok
+  in
+  (* The dynamic waits-for relation among this warp's barriers: barrier
+     [c] waits for [b] when a lane [c] still expects (a participant not
+     yet arrived) is itself blocked on [b]. A cycle in this relation is
+     the concrete deadlock witness — the runtime counterpart of the
+     static cycle srlint reports. *)
+  let waits_for_cycle w =
+    let succ c =
+      let expected =
+        Mask.diff (Barrier_unit.participants w.barriers c) (Barrier_unit.waiting w.barriers c)
+      in
+      Mask.fold
+        (fun lane acc ->
+          match Barrier_unit.blocked_anywhere w.barriers lane with
+          | Some b -> ( match acc with Some b' when b' <= b -> acc | _ -> Some b)
+          | None -> acc)
+        expected None
+    in
+    let rec drop_until c = function
+      | [] -> []
+      | x :: rest -> if x = c then x :: rest else drop_until c rest
+    in
+    let rec walk seen c =
+      if List.mem c seen then Some (drop_until c (List.rev seen))
+      else match succ c with None -> None | Some b -> walk (c :: seen) b
+    in
+    List.find_map (fun s -> walk [] s) (waiting_slots w)
+  in
+  let lanes_str m = "{" ^ String.concat "," (List.map string_of_int (Mask.to_list m)) ^ "}" in
+  let sites_str w m =
+    let sites =
+      Mask.fold
+        (fun lane acc ->
+          let loc = lprog.locs.(w.threads.(lane).pc) in
+          let s = Printf.sprintf "%s/bb%d" loc.L.in_func loc.L.in_block in
+          if List.mem s acc then acc else acc @ [ s ])
+        m []
+    in
+    String.concat "," sites
+  in
+  let deadlock_report w =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "all live threads of warp %d blocked on convergence barriers (conflicting \
+          barriers?)\n"
+         w.wid);
+    (match waits_for_cycle w with
+    | Some cycle_slots ->
+      let names = List.map (fun b -> Printf.sprintf "b%d" b) cycle_slots in
+      Buffer.add_string buf
+        (Printf.sprintf "waits-for cycle: %s -> %s\n"
+           (String.concat " -> " names)
+           (List.hd names));
+      List.iter
+        (fun b ->
+          let waiting = Barrier_unit.waiting w.barriers b in
+          let expected = Mask.diff (Barrier_unit.participants w.barriers b) waiting in
+          Buffer.add_string buf
+            (Printf.sprintf "  b%d: lanes %s blocked at %s; still expects lanes %s (%s)\n" b
+               (lanes_str waiting) (sites_str w waiting) (lanes_str expected)
+               (sites_str w expected)))
+        cycle_slots
+    | None -> ());
+    Buffer.add_string buf (Format.asprintf "%a" Barrier_unit.pp w.barriers);
+    Buffer.add_string buf
+      "hint: deconfliction (the compiler default) prevents this; yield recovery (srrun \
+       --yield) trades lost convergence for forward progress\n";
+    Buffer.contents buf
+  in
+  (* Every live group of [w] is blocked: release a victim barrier chosen
+     by the configured policy (Volta-style forward progress) or report
+     the deadlock with its waits-for cycle. *)
+  let recover_or_deadlock w =
+    let slots = waiting_slots w in
+    if slots = [] then
+      raise
+        (Deadlock
+           (Printf.sprintf "warp %d: all groups blocked but no barrier has waiters" w.wid));
+    if not config.yield_on_stall then raise (Deadlock (deadlock_report w));
+    let victim =
+      match config.yield_policy with
+      | Config.Lowest_slot -> List.hd slots
+      | Config.Oldest_arrival ->
+        (* [slots] ascends, so keeping the incumbent on ties breaks
+           toward the lowest slot id. *)
+        List.fold_left
+          (fun best b ->
+            let a =
+              match Barrier_unit.oldest_arrival w.barriers b with
+              | Some a -> a
+              | None -> max_int
+            in
+            match best with Some (ba, _) when ba <= a -> best | _ -> Some (a, b))
+          None slots
+        |> Option.get |> snd
+      | Config.Most_waiters ->
+        List.fold_left
+          (fun best b ->
+            let n = Mask.count (Barrier_unit.waiting w.barriers b) in
+            let a =
+              match Barrier_unit.oldest_arrival w.barriers b with
+              | Some a -> a
+              | None -> max_int
+            in
+            match best with
+            | Some (bn, ba, _) when bn > n || (bn = n && ba <= a) -> best
+            | _ -> Some (n, a, b))
+          None slots
+        |> Option.get
+        |> fun (_, _, b) -> b
+    in
+    match Barrier_unit.force_release w.barriers victim with
+    | None -> assert false (* victim came from waiting_slots *)
+    | Some released ->
+      let abandoned = Barrier_unit.participants w.barriers victim in
+      metrics.yields <- metrics.yields + 1;
+      metrics.yield_released <- metrics.yield_released + Mask.count released;
+      metrics.yield_abandoned <- metrics.yield_abandoned + Mask.count abandoned;
+      yield_log :=
+        {
+          at_cycle = !cycle;
+          warp = w.wid;
+          slot = victim;
+          released = Mask.to_list released;
+          abandoned = Mask.to_list abandoned;
+        }
+        :: !yield_log;
+      apply_release w released
   in
   (* Execute one issued group: all lanes of [active] sit at [pc]. *)
   let execute w pc active =
@@ -217,6 +393,14 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
           th.pc <- pc + 1;
           th.ready_at <- !cycle + latency)
     in
+    let mem_cost cost =
+      match faults with Some f -> cost + Faults.mem_spike f ~warp:w.wid | None -> cost
+    in
+    (* Blocking and thread exit are the only transitions that can leave a
+       warp with every live group blocked — check right here, so a doomed
+       warp is caught at the faulting instruction while other warps keep
+       running. *)
+    let watchdog () = if warp_stalled w then recover_or_deadlock w in
     match lprog.code.(pc) with
     | L.Op op -> (
       match op with
@@ -235,7 +419,7 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
         each (fun th ->
             addr_buf.(!n) <- Valops.to_int (eval th a);
             incr n);
-        let cost = Memsys.access_costn memory ~addrs:addr_buf ~n:!n in
+        let cost = mem_cost (Memsys.access_costn memory ~addrs:addr_buf ~n:!n) in
         let i = ref 0 in
         each (fun th ->
             set_reg th d (Memsys.read memory addr_buf.(!i));
@@ -247,7 +431,7 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
         each (fun th ->
             addr_buf.(!n) <- Valops.to_int (eval th a);
             incr n);
-        let cost = Memsys.access_costn memory ~addrs:addr_buf ~n:!n in
+        let cost = mem_cost (Memsys.access_costn memory ~addrs:addr_buf ~n:!n) in
         (* Lane order resolves write conflicts: the highest lane wins,
            matching CUDA's unspecified-but-single-winner semantics
            deterministically. *)
@@ -291,7 +475,7 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
         each (fun th ->
             if Barrier_unit.is_participant w.barriers b th.lane then begin
               th.status <- Blocked;
-              Barrier_unit.block w.barriers b th.lane ~threshold:None
+              Barrier_unit.block ~now:!cycle w.barriers b th.lane ~threshold:None
             end
             else begin
               th.pc <- pc + 1;
@@ -299,20 +483,22 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
             end);
         (* blockers and pass-through threads part ways *)
         regroup w active;
-        release_fired w b
+        release_fired w b;
+        watchdog ()
       | T.Wait_threshold (b, k) ->
         metrics.barrier_waits <- metrics.barrier_waits + 1;
         each (fun th ->
             if Barrier_unit.is_participant w.barriers b th.lane then begin
               th.status <- Blocked;
-              Barrier_unit.block w.barriers b th.lane ~threshold:(Some k)
+              Barrier_unit.block ~now:!cycle w.barriers b th.lane ~threshold:(Some k)
             end
             else begin
               th.pc <- pc + 1;
               th.ready_at <- !cycle + lat.barrier
             end);
         regroup w active;
-        release_fired w b
+        release_fired w b;
+        watchdog ()
       | T.Arrived (d, b) ->
         each (fun th -> set_reg th d (T.I (Barrier_unit.arrived w.barriers b)));
         advance_all lat.barrier
@@ -352,7 +538,9 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
       each (fun th ->
           th.pc <- target;
           th.ready_at <- !cycle + lat.branch)
-    | L.Lexit -> each (fun th -> finish_thread w th)
+    | L.Lexit ->
+      each (fun th -> finish_thread w th);
+      if metrics.threads_finished < n_threads then watchdog ()
   in
   (* Pick the next (warp, pc, lanes) to issue, rotating over warps.
      Candidates are convergence groups, read straight off the warp's
@@ -419,6 +607,13 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
           w.rr_pc <- cand_pc.(!found);
           !found
       in
+      (* Chaos scheduler: the injector may override a multi-candidate
+         pick with any other legal candidate. *)
+      let chosen =
+        match faults with
+        | Some f when k >= 2 -> Faults.pick f ~warp:w.wid ~k ~chosen
+        | _ -> chosen
+      in
       Some (cand_pc.(chosen), cand_mask.(chosen))
     end
   in
@@ -436,55 +631,24 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
     done;
     !found
   in
-  let yield_or_deadlock () =
-    (* Every live thread is blocked. Either emulate Volta's forward
-       progress by forcing the lowest blocked thread out of its barrier,
-       or report the deadlock that conflicting barriers cause. *)
-    let victim = ref None in
-    Array.iter
-      (fun w ->
+  (* Once per issue the injector may disturb the issuing warp: fire a
+     spurious release (a barrier with waiters releases early, with
+     threshold-fire semantics) or push every ready lane's wake-up back. *)
+  let disturb w =
+    match faults with
+    | None -> ()
+    | Some f -> (
+      match Faults.disturb f ~warp:w.wid ~waiting_slots:(waiting_slots w) with
+      | None -> ()
+      | Some (Faults.D_release b) -> (
+        match Barrier_unit.force_release w.barriers b with
+        | Some released -> apply_release w released
+        | None -> ())
+      | Some (Faults.D_stall n) ->
         Array.iter
-          (fun th -> if !victim = None && th.status = Blocked then victim := Some (w, th))
-          w.threads)
-      warps;
-    match !victim with
-    | None -> raise (Deadlock "no blocked thread found in stalled state")
-    | Some (w, th) ->
-      if config.yield_on_stall then begin
-        match Barrier_unit.blocked_anywhere w.barriers th.lane with
-        | Some b ->
-          metrics.yields <- metrics.yields + 1;
-          Barrier_unit.cancel w.barriers b th.lane;
-          th.status <- Ready;
-          th.pc <- th.pc + 1;
-          th.ready_at <- !cycle + lat.barrier;
-          w.ready_stale <- true;
-          detach w th;
-          let s = w.n_groups in
-          w.gmask.(s) <- Mask.singleton th.lane;
-          w.n_groups <- s + 1;
-          th.group <- s;
-          release_fired w b
-        | None -> raise (Deadlock "blocked thread not waiting on any barrier")
-      end
-      else begin
-        let buf = Buffer.create 256 in
-        Array.iter
-          (fun w ->
-            Buffer.add_string buf (Printf.sprintf "warp %d:\n" w.wid);
-            Buffer.add_string buf (Format.asprintf "%a" Barrier_unit.pp w.barriers);
-            Array.iter
-              (fun th ->
-                if th.status = Blocked then
-                  Buffer.add_string buf (Printf.sprintf "  lane %d blocked at pc %d\n" th.lane th.pc))
-              w.threads)
-          warps;
-        raise
-          (Deadlock
-             (Printf.sprintf
-                "all live threads blocked on convergence barriers (conflicting barriers?)\n%s"
-                (Buffer.contents buf)))
-      end
+          (fun th -> if th.status = Ready then th.ready_at <- max th.ready_at !cycle + n)
+          w.threads;
+        w.ready_stale <- true)
   in
   let running = ref true in
   while !running do
@@ -512,6 +676,7 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
         raise (Runtime_error (Printf.sprintf "division by zero at pc %d (warp %d)" pc w.wid))
       | Invalid_argument msg ->
         raise (Runtime_error (Printf.sprintf "fault at pc %d (warp %d): %s" pc w.wid msg)));
+      disturb w;
       incr cycle
     | None ->
       (* Nothing issuable this cycle: advance time to the next ready
@@ -534,8 +699,21 @@ let run ?tracer (config : Config.t) (lprog : L.t) ~args ~init_memory =
             end;
             if w.ready_min < !next then next := w.ready_min)
           warps;
-        if !next < max_int then cycle := max !next (!cycle + 1) else yield_or_deadlock ()
+        if !next < max_int then cycle := max !next (!cycle + 1)
+        else begin
+          (* Backstop only: the in-execute watchdog catches a doomed warp
+             at its blocking instruction, so reaching here means every
+             warp with live threads stalled some other way. *)
+          let stalled = ref None in
+          Array.iter (fun w -> if !stalled = None && warp_stalled w then stalled := Some w) warps;
+          match !stalled with
+          | Some w -> recover_or_deadlock w
+          | None -> raise (Deadlock "machine idle with no runnable or blocked group")
+        end
       end
   done;
   metrics.cycles <- !cycle;
-  { metrics; memory; profile }
+  (match faults with
+  | Some f -> metrics.faults_injected <- List.length (Faults.events f)
+  | None -> ());
+  { metrics; memory; profile; yield_log = List.rev !yield_log }

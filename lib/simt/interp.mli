@@ -16,12 +16,23 @@
     Determinism: per-thread PRNG streams are seeded from
     [(config.seed, warp, lane)], so kernel results are identical across
     scheduler policies and compilation modes — the key property the
-    correctness tests check. *)
+    correctness tests check.
+
+    Forward progress: barrier state is warp-local, so a warp whose every
+    live group is blocked on convergence barriers can never run again. A
+    per-warp watchdog detects this at the blocking instruction; with
+    [config.yield_on_stall] it releases a victim barrier (chosen by
+    [config.yield_policy]) and the run completes with correct memory but
+    lost convergence, otherwise it raises {!Deadlock} with the dynamic
+    waits-for cycle. *)
 
 exception Deadlock of string
-(** Raised (unless [yield_on_stall]) when every live thread is blocked on
-    a convergence barrier that can never fire — the concrete failure mode
-    of conflicting barriers that §4.3's deconfliction exists to prevent. *)
+(** Raised (unless [yield_on_stall]) when every live group of some warp
+    is blocked on convergence barriers that can never fire — the concrete
+    failure mode of conflicting barriers that §4.3's deconfliction exists
+    to prevent. The message includes the waits-for cycle among the warp's
+    barriers, each barrier's blocked lanes with their func/block sites,
+    and the lanes it still expects. *)
 
 exception Runtime_error of string
 (** Type errors, out-of-bounds accesses, division by zero — annotated
@@ -30,10 +41,23 @@ exception Runtime_error of string
 exception Runaway of string
 (** The configured [max_issues] budget was exhausted. *)
 
+(** One yield-recovery release, for determinism tests and lost-convergence
+    attribution: [released] lanes were forced past the wait at [slot];
+    [abandoned] lanes remain participants whose reconvergence with the
+    released group is forfeited. *)
+type yield_event = {
+  at_cycle : int;
+  warp : int;
+  slot : int;
+  released : int list;
+  abandoned : int list;
+}
+
 type result = {
   metrics : Metrics.t;
   memory : Memsys.t;
   profile : Analysis.Profile.t; (* lane-executions per basic block *)
+  yield_log : yield_event list; (* chronological; [] unless yields fired *)
 }
 
 (** One issued warp instruction, as seen by a tracer: which warp issued,
@@ -53,12 +77,19 @@ type issue_event = {
 
     [args] are the kernel parameters (uniform across threads);
     [init_memory] fills global tables before the launch;
-    [tracer], when given, observes every issued warp instruction.
+    [tracer], when given, observes every issued warp instruction;
+    [faults], when given, injects scheduler, memory-latency and barrier
+    faults at the injector's decision points ({!Faults});
+    [entry] launches the named function instead of the program's default
+    kernel (multi-kernel programs; the function must be launchable).
 
-    @raise Invalid_argument if [args] does not match the kernel arity.
+    @raise Invalid_argument if [args] does not match the entry arity or
+    [entry] names no function.
     @raise Deadlock / Runtime_error / Runaway as documented above. *)
 val run :
   ?tracer:(issue_event -> unit) ->
+  ?faults:Faults.t ->
+  ?entry:string ->
   Config.t ->
   Ir.Linear.t ->
   args:Ir.Types.value list ->

@@ -141,3 +141,24 @@ let dump t ~base ~len =
   if base < 0 || len < 0 || base + len > Array.length t.data then
     invalid_arg "Memsys.dump: region out of bounds";
   Array.sub t.data base len
+
+let digest t =
+  (* FNV-1a over the type-tagged bit patterns of every word, so two
+     memories are digest-equal iff they are value-for-value identical
+     (including int/float tags and float payload bits). *)
+  let h = ref 0x1465_0fb0_739d_0383 in
+  let mix x =
+    h := !h lxor x;
+    h := !h * 0x100000001b3
+  in
+  Array.iter
+    (fun v ->
+      match v with
+      | Ir.Types.I n ->
+        mix 1;
+        mix n
+      | Ir.Types.F f ->
+        mix 2;
+        mix (Int64.to_int (Int64.bits_of_float f)))
+    t.data;
+  !h land max_int

@@ -42,3 +42,9 @@ val stats : t -> stats
 
 (** [dump t ~base ~len] — snapshot of a memory region. *)
 val dump : t -> base:int -> len:int -> Ir.Types.value array
+
+(** [digest t] — a non-negative FNV-style hash of the entire store over
+    type-tagged bit patterns: equal iff the memories are value-for-value
+    identical (int/float tags and exact float bits included). Used by the
+    baseline-equivalence oracle and [srrun --digest]. *)
+val digest : t -> int

@@ -9,6 +9,9 @@ type t = {
   mutable barrier_fires : int;
   mutable barrier_cancels : int;
   mutable yields : int;
+  mutable yield_released : int;
+  mutable yield_abandoned : int;
+  mutable faults_injected : int;
   mutable threads_finished : int;
 }
 
@@ -24,6 +27,9 @@ let create ~warp_size =
     barrier_fires = 0;
     barrier_cancels = 0;
     yields = 0;
+    yield_released = 0;
+    yield_abandoned = 0;
+    faults_injected = 0;
     threads_finished = 0;
   }
 
@@ -43,4 +49,7 @@ let pp ppf t =
     t.issues t.cycles
     (100.0 *. simt_efficiency t)
     (avg_active t) (ipc t) t.mem_accesses t.barrier_joins t.barrier_waits t.barrier_fires
-    t.barrier_cancels t.yields t.threads_finished
+    t.barrier_cancels t.yields t.threads_finished;
+  if t.yields > 0 then
+    Format.fprintf ppf " yield_released=%d yield_abandoned=%d" t.yield_released t.yield_abandoned;
+  if t.faults_injected > 0 then Format.fprintf ppf " faults=%d" t.faults_injected

@@ -13,7 +13,15 @@ type t = {
   mutable barrier_waits : int;
   mutable barrier_fires : int;
   mutable barrier_cancels : int;
-  mutable yields : int; (* forced releases under [yield_on_stall] *)
+  mutable yields : int; (* forced victim releases under [yield_on_stall] *)
+  mutable yield_released : int;
+      (* lanes released early by yields: each proceeded without the
+         convergence the barrier promised *)
+  mutable yield_abandoned : int;
+      (* participant lanes left behind at yields: each lost its chance
+         to converge with the released group (the paper's benefit,
+         forfeited to preserve forward progress) *)
+  mutable faults_injected : int; (* faults an injector applied to this run *)
   mutable threads_finished : int;
 }
 

@@ -1,0 +1,93 @@
+(* Structured CLI failure handling (Core.Cli): one expectation per
+   failure mode — the exception each tool can hit, the outcome it
+   classifies to, its stable exit code, and its one-line diagnostic. *)
+
+module Cli = Core.Cli
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let pos = { Front.Ast.line = 3; col = 7 }
+
+let test_exit_codes () =
+  let expect code outcome = check_int (Cli.describe outcome) code (Cli.exit_code outcome) in
+  expect 0 Cli.Ok_exit;
+  expect 1 Cli.Findings;
+  expect 2 (Cli.Usage "bad flag");
+  expect 3 (Cli.Io_error "gone");
+  expect 4 (Cli.Syntax_error "3:7: unexpected token");
+  expect 5 (Cli.Compile_error "no kernel declared");
+  expect 6 (Cli.Deadlock "all live threads blocked");
+  expect 7 (Cli.Runtime_failure "division by zero");
+  expect 8 (Cli.Baseline_mismatch "digest a, baseline b")
+
+let test_classify_per_failure_mode () =
+  let expect name exn outcome = check_bool name true (Cli.classify exn = Some outcome) in
+  expect "missing file -> i/o (3)" (Sys_error "nope.simt: No such file or directory")
+    (Cli.Io_error "nope.simt: No such file or directory");
+  expect "lex error -> syntax (4)"
+    (Front.Lexer.Lex_error (pos, "stray '@'"))
+    (Cli.Syntax_error "3:7: stray '@'");
+  expect "parse error -> syntax (4)"
+    (Front.Parser.Parse_error (pos, "expected ')'"))
+    (Cli.Syntax_error "3:7: expected ')'");
+  expect "lowering error -> compile (5)"
+    (Front.Lower.Lower_error (pos, "unknown variable x"))
+    (Cli.Compile_error "3:7: unknown variable x");
+  expect "bad kernel args -> usage (2)"
+    (Invalid_argument "Interp.run: kernel k expects 1 args, got 0")
+    (Cli.Usage "Interp.run: kernel k expects 1 args, got 0");
+  expect "deadlock -> deadlock (6)" (Simt.Interp.Deadlock "stuck") (Cli.Deadlock "stuck");
+  expect "runtime error -> runtime (7)"
+    (Simt.Interp.Runtime_error "out of bounds")
+    (Cli.Runtime_failure "out of bounds");
+  expect "runaway -> runtime (7)" (Simt.Interp.Runaway "issue budget")
+    (Cli.Runtime_failure "runaway: issue budget");
+  expect "tool-raised outcome passes through" (Cli.Error (Cli.Baseline_mismatch "x"))
+    (Cli.Baseline_mismatch "x");
+  (* Failure diagnostics are truncated to their first line. *)
+  expect "failure -> compile (5), one line"
+    (Failure "bad fault trace\nline 2\nline 3")
+    (Cli.Compile_error "bad fault trace [...]");
+  check_bool "unrecognized exceptions are not swallowed" true (Cli.classify Exit = None)
+
+let test_describe_one_line () =
+  (* Everything is a one-liner except the deadlock report, whose
+     waits-for cycle is the point of the diagnostic. *)
+  List.iter
+    (fun outcome ->
+      check_bool (Cli.describe outcome) false (String.contains (Cli.describe outcome) '\n'))
+    [
+      Cli.Ok_exit;
+      Cli.Findings;
+      Cli.Usage "u";
+      Cli.Io_error "i";
+      Cli.Syntax_error "s";
+      Cli.Compile_error "c";
+      Cli.Runtime_failure "r";
+      Cli.Baseline_mismatch "b";
+    ];
+  check_bool "deadlock keeps its report lines" true
+    (String.contains (Cli.describe (Cli.Deadlock "cycle:\nb0 -> b1")) '\n')
+
+let test_handle () =
+  check_int "passes through the inner exit code" 0 (Cli.handle (fun () -> 0));
+  check_int "maps a recognized exception" 6
+    (Cli.handle (fun () -> raise (Simt.Interp.Deadlock "stuck")));
+  check_int "maps a tool-raised outcome" 8
+    (Cli.handle (fun () -> raise (Cli.Error (Cli.Baseline_mismatch "x"))));
+  match Cli.handle (fun () -> raise Exit) with
+  | exception Exit -> ()
+  | code -> Alcotest.failf "tool bugs must crash loudly, got exit %d" code
+
+let tests =
+  [
+    ( "core.cli",
+      [
+        Alcotest.test_case "exit codes stable" `Quick test_exit_codes;
+        Alcotest.test_case "classification per failure mode" `Quick
+          test_classify_per_failure_mode;
+        Alcotest.test_case "diagnostics are one line (except deadlock)" `Quick
+          test_describe_one_line;
+        Alcotest.test_case "handle" `Quick test_handle;
+      ] );
+  ]

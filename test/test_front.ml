@@ -156,7 +156,11 @@ let test_lower_structure_errors () =
   lower_fails ~expect:"continue" "kernel k() { continue; }";
   lower_fails ~expect:"kernels cannot return" "kernel k() { return 1; }";
   lower_fails ~expect:"no kernel" "func f() { }";
-  lower_fails ~expect:"multiple kernels" "kernel a() { } kernel b() { }";
+  (* multiple kernels are legal: the first declared is the entry, the
+     rest stay launchable by name *)
+  (let p = Low.compile_source "kernel a() { } kernel b() { }" in
+   Alcotest.(check string) "first kernel is the entry" "a" p.Ir.Types.kernel;
+   Alcotest.(check (list string)) "all kernels launchable" [ "a"; "b" ] p.Ir.Types.kernels);
   lower_fails ~expect:"expects 1 argument" "func f(x: int) { } kernel k() { f(); }";
   lower_fails ~expect:"argument" "func f(x: int) { } kernel k() { f(1.0); }";
   lower_fails ~expect:"no value" "func f() { } kernel k() { let x = f(); }";

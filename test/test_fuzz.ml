@@ -107,6 +107,191 @@ let test_deconflict_rescues_deadlock () =
   | Oracle.Ok_run -> ()
   | v -> Alcotest.failf "full oracle matrix: %a" Oracle.pp_verdict v
 
+(* ---- Yield recovery (the fault-tolerance tentpole) ---- *)
+
+let digest (r : Simt.Interp.result) = Simt.Memsys.digest r.Simt.Interp.memory
+
+let run_yield (staged : Pipeline.staged) policy yield_policy =
+  let config =
+    { Oracle.base_config with
+      Simt.Config.policy;
+      yield_on_stall = true;
+      yield_policy }
+  in
+  Simt.Interp.run config staged.Pipeline.linear ~args:[]
+    ~init_memory:(Oracle.init_memory staged.Pipeline.program)
+
+let test_yield_recovers_conflict () =
+  (* The same checker-rejected conflicting placement that deadlocks in
+     test_deconflict_rescues_deadlock must, with yield recovery on,
+     complete under every (scheduler, victim-policy) pair with memory
+     bit-identical to the PDOM baseline — graceful degradation instead
+     of a stuck machine. *)
+  let ast = Front.Parser.parse_string conflicting_source in
+  let raw = Pipeline.compile ~deconflict:false ~mode:Pipeline.Specrecon ast in
+  Alcotest.(check bool) "the placement is checker-rejected" true (raw.Pipeline.lint <> []);
+  let baseline = Pipeline.compile ~mode:Pipeline.Baseline ast in
+  let want = digest (run_policy baseline Simt.Config.Most_threads) in
+  let yielded = ref 0 in
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun yield_policy ->
+          match run_yield raw policy yield_policy with
+          | r ->
+            yielded := !yielded + r.Simt.Interp.metrics.Simt.Metrics.yields;
+            Alcotest.(check int)
+              "all threads finish under yield recovery" (Fuzz.Gen.n_threads)
+              r.Simt.Interp.metrics.Simt.Metrics.threads_finished;
+            Alcotest.(check bool) "memory matches the PDOM baseline" true (digest r = want)
+          | exception Simt.Interp.Deadlock msg ->
+            Alcotest.failf "deadlocked despite yield recovery: %s" msg)
+        [ Simt.Config.Oldest_arrival; Simt.Config.Most_waiters; Simt.Config.Lowest_slot ])
+    Oracle.policies;
+  Alcotest.(check bool) "recovery actually fired somewhere" true (!yielded > 0)
+
+let test_yield_log_deterministic () =
+  (* Victim selection is part of the deterministic machine: same config,
+     same yield log (cycle, warp, slot, released lanes), for each victim
+     policy. *)
+  let ast = Front.Parser.parse_string conflicting_source in
+  let raw = Pipeline.compile ~deconflict:false ~mode:Pipeline.Specrecon ast in
+  List.iter
+    (fun yield_policy ->
+      let a = run_yield raw Simt.Config.Most_threads yield_policy in
+      let b = run_yield raw Simt.Config.Most_threads yield_policy in
+      Alcotest.(check bool) "identical yield logs across reruns" true
+        (a.Simt.Interp.yield_log = b.Simt.Interp.yield_log);
+      Alcotest.(check bool) "identical issue counts across reruns" true
+        (a.Simt.Interp.metrics.Simt.Metrics.issues = b.Simt.Interp.metrics.Simt.Metrics.issues))
+    [ Simt.Config.Oldest_arrival; Simt.Config.Most_waiters; Simt.Config.Lowest_slot ]
+
+let test_deadlock_report_names_cycle () =
+  (* Satellite of the yield unit: the no-yield diagnostic must name the
+     waits-for cycle so the report is actionable. *)
+  let ast = Front.Parser.parse_string conflicting_source in
+  let raw = Pipeline.compile ~deconflict:false ~mode:Pipeline.Specrecon ast in
+  let saw_deadlock =
+    List.exists
+      (fun policy ->
+        match run_policy raw policy with
+        | _ -> false
+        | exception Simt.Interp.Deadlock msg ->
+          let contains needle =
+            let n = String.length needle and len = String.length msg in
+            let rec go i = i + n <= len && (String.sub msg i n = needle || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool) "report names the waits-for cycle" true
+            (contains "waits-for cycle: b");
+          Alcotest.(check bool) "report shows blocked sites" true (contains "blocked at");
+          Alcotest.(check bool) "report suggests yield recovery" true (contains "--yield");
+          true)
+      Oracle.policies
+  in
+  Alcotest.(check bool) "some policy deadlocks without yield" true saw_deadlock
+
+(* ---- Fault injection ---- *)
+
+let divergent_source =
+  {|
+global out: float[64];
+kernel k() {
+  var acc: float = 0.0;
+  for i in 0 .. 12 {
+    if (rand() < 0.5) { acc = acc + rand(); } else { acc = acc - 1.0; }
+  }
+  out[tid()] = acc;
+}
+|}
+
+let test_fault_trace_roundtrip_and_replay () =
+  let ast = Front.Parser.parse_string divergent_source in
+  let staged = Pipeline.compile ~mode:Pipeline.Specrecon ast in
+  let config = { Oracle.base_config with Simt.Config.yield_on_stall = true } in
+  let faults = Simt.Faults.create ~seed:1905 () in
+  let a =
+    Simt.Interp.run ~faults config staged.Pipeline.linear ~args:[]
+      ~init_memory:(Oracle.init_memory staged.Pipeline.program)
+  in
+  let events = Simt.Faults.events faults in
+  Alcotest.(check bool) "the plan injected something" true (events <> []);
+  Alcotest.(check bool) "trace survives print/parse round trip" true
+    (Simt.Faults.parse_trace (Simt.Faults.trace_to_string events) = events);
+  (* Replaying the recorded trace reproduces the faulted run exactly. *)
+  let replayed = Simt.Faults.replay events in
+  let b =
+    Simt.Interp.run ~faults:replayed config staged.Pipeline.linear ~args:[]
+      ~init_memory:(Oracle.init_memory staged.Pipeline.program)
+  in
+  Alcotest.(check bool) "replay applies the same faults" true
+    (Simt.Faults.events replayed = events);
+  Alcotest.(check bool) "replay reproduces the issue count" true
+    (a.Simt.Interp.metrics.Simt.Metrics.issues = b.Simt.Interp.metrics.Simt.Metrics.issues);
+  Alcotest.(check bool) "replay reproduces the memory image" true (digest a = digest b);
+  (* And faults must not change what the program computes. *)
+  let clean =
+    Simt.Interp.run Oracle.base_config staged.Pipeline.linear ~args:[]
+      ~init_memory:(Oracle.init_memory staged.Pipeline.program)
+  in
+  Alcotest.(check bool) "faulted memory matches the unfaulted run" true (digest a = digest clean)
+
+let multi_kernel_source =
+  {|
+global out: int[64];
+global datai: int[64];
+
+kernel k() {
+  out[tid()] = datai[tid()] * 2;
+}
+
+kernel k2(bias: int) {
+  if (datai[tid()] > 0) {
+    out[tid()] = datai[tid()] + bias;
+  } else {
+    out[tid()] = bias;
+  }
+}
+|}
+
+let test_multi_kernel_program () =
+  (* Multi-kernel translation units (a ROADMAP item): both kernels are
+     lowered side by side; the entry selector picks which one runs. *)
+  let ast = Front.Parser.parse_string multi_kernel_source in
+  let staged = Pipeline.compile ~mode:Pipeline.Specrecon ast in
+  let kernels =
+    List.map (fun (f : Ir.Linear.finfo) -> f.Ir.Linear.fname) staged.Pipeline.linear.Ir.Linear.kernels
+  in
+  Alcotest.(check (list string)) "both kernels listed in order" [ "k"; "k2" ] kernels;
+  let run entry args =
+    Simt.Interp.run ~entry Oracle.base_config staged.Pipeline.linear ~args
+      ~init_memory:(Oracle.init_memory staged.Pipeline.program)
+  in
+  let a = run "k" [] in
+  let b = run "k2" [ Ir.Types.I 7 ] in
+  Alcotest.(check bool) "the two kernels compute different images" true (digest a <> digest b);
+  (match run "nope" [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown entry must be rejected");
+  match Oracle.check ast with
+  | Oracle.Ok_run -> ()
+  | v -> Alcotest.failf "multi-kernel program fails the oracle matrix: %a" Oracle.pp_verdict v
+
+let test_chaos_campaign () =
+  (* A fixed-seed chaos slice: every clean program must survive one
+     fault plan per program with zero violations (the chaos-smoke alias
+     runs a second slice at another seed through the srfuzz binary). *)
+  let report = Fuzz.Driver.run ~seed:1234 ~count:40 ~chaos:1 () in
+  List.iter
+    (fun (f : Fuzz.Driver.finding) ->
+      Alcotest.failf "[%d] %s %s: %s" f.Fuzz.Driver.id
+        (Fuzz.Gen.shape_name f.Fuzz.Driver.shape)
+        (Oracle.kind_name f.Fuzz.Driver.violation.Oracle.kind)
+        f.Fuzz.Driver.violation.Oracle.detail)
+    report.Fuzz.Driver.findings;
+  Alcotest.(check int) "every program accounted for" 40
+    (report.Fuzz.Driver.passed + report.Fuzz.Driver.limited)
+
 let tests =
   [
     ( "fuzz.oracles",
@@ -114,7 +299,20 @@ let tests =
         Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
         Alcotest.test_case "deconfliction rescues common-call deadlock" `Quick
           test_deconflict_rescues_deadlock;
+        Alcotest.test_case "multi-kernel programs" `Quick test_multi_kernel_program;
         Alcotest.test_case "corpus replay" `Slow test_corpus_replay;
         Alcotest.test_case "smoke campaign (seed 42)" `Slow test_smoke_campaign;
+      ] );
+    ( "fuzz.chaos",
+      [
+        Alcotest.test_case "yield recovery completes conflicting placements" `Quick
+          test_yield_recovers_conflict;
+        Alcotest.test_case "yield log deterministic per victim policy" `Quick
+          test_yield_log_deterministic;
+        Alcotest.test_case "deadlock report names the waits-for cycle" `Quick
+          test_deadlock_report_names_cycle;
+        Alcotest.test_case "fault trace round-trips and replays" `Quick
+          test_fault_trace_roundtrip_and_replay;
+        Alcotest.test_case "chaos campaign (seed 1234)" `Slow test_chaos_campaign;
       ] );
   ]

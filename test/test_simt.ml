@@ -157,6 +157,63 @@ let test_barrier_withdraw () =
   check_bool "gone from b2" false (Simt.Barrier_unit.is_participant u 2 0);
   check_bool "lane 1 remains" true (Simt.Barrier_unit.is_participant u 2 1)
 
+let test_barrier_threshold_withdraw_completes () =
+  (* A pending soft (threshold) wait must full-fire when withdrawals
+     shrink the participation mask down to exactly the blocked lanes,
+     even though the threshold itself is never met. *)
+  let u = Simt.Barrier_unit.create ~n_barriers:1 ~warp_size:8 in
+  List.iter (fun l -> Simt.Barrier_unit.join u 0 l) [ 0; 1; 2; 3 ];
+  Simt.Barrier_unit.block u 0 0 ~threshold:(Some 3);
+  Simt.Barrier_unit.block u 0 1 ~threshold:(Some 3);
+  check_bool "2 of 4 below threshold 3" true (Simt.Barrier_unit.fired u 0 = None);
+  ignore (Simt.Barrier_unit.withdraw_lane u 2);
+  check_bool "3 participants, 2 blocked: still held" true (Simt.Barrier_unit.fired u 0 = None);
+  ignore (Simt.Barrier_unit.withdraw_lane u 3);
+  (match Simt.Barrier_unit.fired u 0 with
+  | Some released -> check_bool "remaining blocked lanes released" true
+      (Mask.to_list released = [ 0; 1 ])
+  | None -> Alcotest.fail "withdrawals should complete the pending threshold wait");
+  check_bool "participants cleared by full fire" true
+    (Mask.is_empty (Simt.Barrier_unit.participants u 0))
+
+let test_barrier_cancel_during_threshold () =
+  (* BREAK while a BSYNC.TH is pending: cancels shrink participation
+     until the full-fire condition takes over. *)
+  let u = Simt.Barrier_unit.create ~n_barriers:1 ~warp_size:8 in
+  List.iter (fun l -> Simt.Barrier_unit.join u 0 l) [ 0; 1; 2; 3; 4 ];
+  Simt.Barrier_unit.block u 0 0 ~threshold:(Some 4);
+  Simt.Barrier_unit.block u 0 1 ~threshold:(Some 4);
+  Simt.Barrier_unit.cancel u 0 2;
+  Simt.Barrier_unit.cancel u 0 3;
+  check_bool "2 blocked of 3 left: held" true (Simt.Barrier_unit.fired u 0 = None);
+  Simt.Barrier_unit.cancel u 0 4;
+  match Simt.Barrier_unit.fired u 0 with
+  | Some released ->
+    check_bool "blocked lanes released on last cancel" true (Mask.to_list released = [ 0; 1 ])
+  | None -> Alcotest.fail "cancel should complete the pending threshold wait"
+
+let test_barrier_force_release () =
+  (* The yield-recovery primitive: release the blocked lanes regardless
+     of the fire condition, with threshold-fire bookkeeping (released
+     lanes leave the participation mask, the rest stay). *)
+  let u = Simt.Barrier_unit.create ~n_barriers:2 ~warp_size:8 in
+  List.iter (fun l -> Simt.Barrier_unit.join u 0 l) [ 0; 1; 2; 3 ];
+  Simt.Barrier_unit.block ~now:9 u 0 1 ~threshold:None;
+  Simt.Barrier_unit.block ~now:5 u 0 0 ~threshold:None;
+  check_bool "oldest arrival is the earliest stamp" true
+    (Simt.Barrier_unit.oldest_arrival u 0 = Some 5);
+  (match Simt.Barrier_unit.force_release u 0 with
+  | Some released -> check_bool "releases exactly the waiters" true
+      (Mask.to_list released = [ 0; 1 ])
+  | None -> Alcotest.fail "force_release with waiters must release them");
+  check_bool "released lanes left the participation mask" true
+    (Mask.to_list (Simt.Barrier_unit.participants u 0) = [ 2; 3 ]);
+  check_bool "nothing waiting afterwards" true
+    (Mask.is_empty (Simt.Barrier_unit.waiting u 0));
+  check_bool "oldest arrival cleared" true (Simt.Barrier_unit.oldest_arrival u 0 = None);
+  check_bool "idempotent on an idle barrier" true (Simt.Barrier_unit.force_release u 0 = None);
+  check_bool "no-op on an unused barrier" true (Simt.Barrier_unit.force_release u 1 = None)
+
 let test_barrier_errors () =
   let u = Simt.Barrier_unit.create ~n_barriers:1 ~warp_size:4 in
   let invalid f = match f () with
@@ -538,6 +595,11 @@ let tests =
         Alcotest.test_case "cancel completes" `Quick test_barrier_cancel_completes;
         Alcotest.test_case "threshold (soft barrier)" `Quick test_barrier_threshold;
         Alcotest.test_case "withdraw lane" `Quick test_barrier_withdraw;
+        Alcotest.test_case "withdrawals complete a pending threshold wait" `Quick
+          test_barrier_threshold_withdraw_completes;
+        Alcotest.test_case "cancel during pending threshold wait" `Quick
+          test_barrier_cancel_during_threshold;
+        Alcotest.test_case "force release (yield primitive)" `Quick test_barrier_force_release;
         Alcotest.test_case "errors" `Quick test_barrier_errors;
       ] );
     ("simt.metrics", [ Alcotest.test_case "derivations" `Quick test_metrics ]);
