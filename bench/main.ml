@@ -158,6 +158,92 @@ let write_json estimates =
   close_out oc;
   Format.printf "@.wrote %s (%d entries)@." json_path (List.length estimates)
 
+(* ---- [--guard PATH]: perf-regression gate ----
+
+   Benchmarks a short slice (one fig7 workload + the corpus funnel — the
+   two groups the interpreter rewrite is accountable for) and compares
+   against the committed BENCH_interp.json. Exits nonzero if any slice
+   regresses more than SPECRECON_PERF_GUARD_PCT percent (default 25; a
+   value <= 0 disables the gate). Deliberately NOT part of runtest: wall
+   clock on a shared box is too noisy for a correctness suite, so it
+   lives behind `dune build @perf-guard` for humans and CI perf jobs. *)
+
+let guard_group =
+  Test.make_grouped ~name:"specrecon"
+    [
+      Test.make_grouped ~name:"fig7"
+        [
+          Test.make ~name:"rsbench-baseline"
+            (Staged.stage (run_spec_bench Core.Compile.baseline (spec_of "rsbench")));
+        ];
+      Test.make_grouped ~name:"funnel"
+        [
+          Test.make ~name:"corpus-16-apps"
+            (Staged.stage (fun () ->
+                 ignore (Core.Experiments.corpus_funnel ~seed:520 ~count:16 ())));
+        ];
+    ]
+
+(* The committed file is the writer's own output, so a line-oriented scan
+   is enough: every entry line is [  "name": ms,] — anything else
+   (braces, nulls) is skipped. *)
+let read_committed path =
+  let ic = open_in path in
+  let tbl = Hashtbl.create 16 in
+  (try
+     while true do
+       let line = input_line ic in
+       try Scanf.sscanf line " %S : %f" (fun name ms -> Hashtbl.replace tbl name ms)
+       with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  tbl
+
+let guard path =
+  let threshold =
+    match Sys.getenv_opt "SPECRECON_PERF_GUARD_PCT" with
+    | Some s -> (
+      match float_of_string_opt s with
+      | Some t -> t
+      | None ->
+        Format.printf "perf-guard: bad SPECRECON_PERF_GUARD_PCT %S, using default 25@." s;
+        25.0)
+    | None -> 25.0
+  in
+  if threshold <= 0.0 then
+    Format.printf "perf-guard: disabled (SPECRECON_PERF_GUARD_PCT = %g)@." threshold
+  else begin
+    let committed = read_committed path in
+    (* Same quota as the full run: the guard compares against numbers the
+       full run produced, so a cheaper/noisier estimate would dominate
+       the 25% budget with measurement error alone. *)
+    let estimates = benchmark ~quota:(Time.second 0.5) ~limit:100 guard_group in
+    let failed = ref false in
+    List.iter
+      (fun (name, ms) ->
+        match Hashtbl.find_opt committed name with
+        | None ->
+          Format.printf "perf-guard: %-45s %10.3f ms/run  (no committed baseline, skipped)@."
+            name ms
+        | Some base ->
+          let pct = (ms -. base) /. base *. 100.0 in
+          let bad = (not (Float.is_nan ms)) && pct > threshold in
+          if bad then failed := true;
+          Format.printf "perf-guard: %-45s %10.3f ms/run  committed %10.3f  (%+.1f%%)%s@." name
+            ms base pct
+            (if bad then "  REGRESSION" else ""))
+      estimates;
+    if !failed then begin
+      Format.printf
+        "perf-guard: FAILED — regression beyond %.0f%% (set SPECRECON_PERF_GUARD_PCT to relax \
+         or disable)@."
+        threshold;
+      exit 1
+    end
+    else Format.printf "perf-guard: ok (threshold %.0f%%)@." threshold
+  end
+
 (* [--smoke]: one tiny quota over a fast singleton group plus the JSON
    emission — enough for `dune build @bench-smoke` to catch bench-harness
    rot without paying for the full run. *)
@@ -168,7 +254,21 @@ let smoke_group =
         (Staged.stage (compile_bench Core.Compile.baseline (spec_of "rsbench")));
     ]
 
+(* [--guard PATH] takes the committed JSON as its argument so the dune
+   alias can declare it as a dependency. *)
+let guard_path () =
+  let path = ref None in
+  Array.iteri
+    (fun i arg ->
+      if String.equal arg "--guard" && i + 1 < Array.length Sys.argv then
+        path := Some Sys.argv.(i + 1))
+    Sys.argv;
+  !path
+
 let () =
+  match guard_path () with
+  | Some path -> guard path
+  | None ->
   if Array.exists (String.equal "--smoke") Sys.argv then
     write_json (benchmark ~quota:(Time.second 0.01) ~limit:20 smoke_group)
   else begin

@@ -12,7 +12,14 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-type dump = Dump_ir | Dump_asm | Dump_hints | Dump_analysis | Dump_candidates | Dump_source
+type dump =
+  | Dump_ir
+  | Dump_asm
+  | Dump_decoded
+  | Dump_hints
+  | Dump_analysis
+  | Dump_candidates
+  | Dump_source
 
 let mode_of_string = function
   | "baseline" -> Core.Compile.Baseline
@@ -28,8 +35,9 @@ let mode_of_string = function
       }
   | other -> raise (Core.Cli.Error (Core.Cli.Usage ("unknown mode " ^ other)))
 
-let run path mode coarsen threshold dumps lint_mode no_lint no_deconflict =
+let run path mode coarsen threshold dumps emit_decoded lint_mode no_lint no_deconflict =
   let mode = mode_of_string mode in
+  let dumps = if emit_decoded then dumps @ [ Dump_decoded ] else dumps in
   (
     let threshold =
       match threshold with
@@ -73,6 +81,7 @@ let run path mode coarsen threshold dumps lint_mode no_lint no_deconflict =
       let dump = function
         | Dump_ir -> Format.printf "%a@." Ir.Printer.pp_program compiled.Core.Compile.program
         | Dump_asm -> Format.printf "%a@." Ir.Linear.pp compiled.Core.Compile.linear
+        | Dump_decoded -> Format.printf "%a@." Ir.Decoded.pp compiled.Core.Compile.decoded
         | Dump_hints ->
           List.iter
             (fun a -> Format.printf "%a@." Passes.Specrecon.pp_applied a)
@@ -140,13 +149,23 @@ let dumps_arg =
       [
         ("ir", Dump_ir);
         ("asm", Dump_asm);
+        ("decoded", Dump_decoded);
         ("hints", Dump_hints);
         ("analysis", Dump_analysis);
         ("candidates", Dump_candidates);
         ("source", Dump_source);
       ]
   in
-  Arg.(value & opt_all conv_dump [] & info [ "dump" ] ~doc:"What to print: ir|asm|hints|analysis|candidates|source")
+  Arg.(value & opt_all conv_dump [] & info [ "dump" ] ~doc:"What to print: ir|asm|decoded|hints|analysis|candidates|source")
+
+let emit_decoded_arg =
+  Arg.(
+    value & flag
+    & info [ "emit-decoded" ]
+        ~doc:
+          "Print the pre-decoded descriptor array the interpreter executes: one line per \
+           slot with opcode, decoded operand fields, resolved branch/call targets and \
+           latency class (shorthand for --dump decoded)")
 
 let lint_arg =
   Arg.(
@@ -174,8 +193,8 @@ let cmd =
   Cmd.v
     (Cmd.info "srcc" ~doc:"MiniSIMT compiler with Speculative Reconvergence")
     Term.(
-      const run $ path_arg $ mode_arg $ coarsen_arg $ threshold_arg $ dumps_arg $ lint_arg
-      $ no_lint_arg $ no_deconflict_arg)
+      const run $ path_arg $ mode_arg $ coarsen_arg $ threshold_arg $ dumps_arg
+      $ emit_decoded_arg $ lint_arg $ no_lint_arg $ no_deconflict_arg)
 
 let () =
   let code = Core.Cli.handle (fun () -> Cmd.eval ~catch:false cmd) in

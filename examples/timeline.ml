@@ -54,7 +54,7 @@ let trace options =
   let is_expensive = expensive_blocks compiled in
   let events = ref [] in
   let result =
-    Simt.Interp.run config compiled.linear
+    Simt.Interp.run config compiled.decoded
       ~tracer:(fun e -> events := e :: !events)
       ~args:[ Ir.Types.I 10 ]
       ~init_memory:(fun _ -> ())

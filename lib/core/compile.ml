@@ -55,6 +55,7 @@ type compiled = {
   options : options;
   program : T.program;
   linear : Ir.Linear.t;
+  decoded : Ir.Decoded.t;
   pdom_barriers : (string * int * T.barrier) list;
   applied : Passes.Specrecon.applied list;
   interproc_applied : Passes.Interproc.applied list;
@@ -182,10 +183,12 @@ let compile_ast options ast =
   | fs ->
     List.iter (fun f -> Format.eprintf "warning: %a@." Analysis.Barrier_safety.pp_machine f) fs);
   let linear = Ir.Linear.linearize program in
+  let decoded = Ir.Decoded.decode linear in
   {
     options;
     program;
     linear;
+    decoded;
     pdom_barriers;
     applied;
     interproc_applied;

@@ -58,6 +58,7 @@ type compiled = {
   options : options;
   program : Ir.Types.program;
   linear : Ir.Linear.t;
+  decoded : Ir.Decoded.t;  (** what {!Simt.Interp.run} executes *)
   pdom_barriers : (string * int * Ir.Types.barrier) list;
   applied : Passes.Specrecon.applied list;
   interproc_applied : Passes.Interproc.applied list;

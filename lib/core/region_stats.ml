@@ -61,7 +61,7 @@ let measure ?(config = Simt.Config.default) options (spec : Workloads.Spec.t) =
     end
   in
   ignore
-    (Simt.Interp.run ~tracer config compiled.linear ~args:spec.args
+    (Simt.Interp.run ~tracer config compiled.decoded ~args:spec.args
        ~init_memory:(fun mem -> spec.init compiled.program mem));
   {
     region_issues = !region_issues;

@@ -18,7 +18,7 @@ let run_spec ?(config = Simt.Config.default) ?faults options (spec : Workloads.S
   in
   let compiled = Compile.compile options ~source:spec.source in
   let result =
-    Simt.Interp.run ?faults config compiled.linear ~args:spec.args
+    Simt.Interp.run ?faults config compiled.decoded ~args:spec.args
       ~init_memory:(fun mem -> spec.init compiled.program mem)
   in
   {
@@ -33,7 +33,7 @@ let run_source ?(config = Simt.Config.default) ?(init = fun _ _ -> ()) ?faults ?
     ~source ~args =
   let compiled = Compile.compile options ~source in
   let result =
-    Simt.Interp.run ?faults ?entry config compiled.linear ~args
+    Simt.Interp.run ?faults ?entry config compiled.decoded ~args
       ~init_memory:(fun mem -> init compiled.program mem)
   in
   {

@@ -488,9 +488,16 @@ let generate ?(params = default_params) ~seed id =
      (cross-kernel interprocedural barrier state included). *)
   let extra =
     if chance st 0.2 then begin
+      (* common_call_body feeds the callee float arguments and folds the
+         result into a float accumulator, so it needs a float-typed
+         device function — the primary shape guarantees one, a second
+         kernel rolling Common_call over inherited dfuncs does not. *)
+      let float_callee =
+        List.find_opt (fun f -> f.ret = Some Tfloat) dfuncs
+      in
       let shape2 =
         match pick_shape st with
-        | Common_call when dfuncs = [] -> Mixed
+        | Common_call when float_callee = None -> Mixed
         | s2 -> s2
       in
       let st2 =
@@ -500,7 +507,7 @@ let generate ?(params = default_params) ~seed id =
         match shape2 with
         | If_in_loop -> if_in_loop_body st2 env
         | Trip_loop -> trip_loop_body st2 env
-        | Common_call -> common_call_body st2 env (List.hd dfuncs).name
+        | Common_call -> common_call_body st2 env (Option.get float_callee).name
         | Mixed -> mixed_body st2 env
       in
       [ { name = "k2"; params = []; ret = None; body = body2; is_kernel = true; fpos = pos } ]

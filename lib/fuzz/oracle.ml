@@ -11,6 +11,7 @@ type kind =
   | Lint_spurious
   | Chaos_divergence
   | Spurious_yield
+  | Decode_mismatch
 
 let kind_name = function
   | Round_trip -> "round-trip"
@@ -22,6 +23,7 @@ let kind_name = function
   | Lint_spurious -> "lint-spurious"
   | Chaos_divergence -> "chaos-divergence"
   | Spurious_yield -> "spurious-yield"
+  | Decode_mismatch -> "decode-mismatch"
 
 type violation = { kind : kind; detail : string }
 
@@ -121,7 +123,7 @@ let chaos_matrix ~max_issues ~chaos ~chaos_seed (staged : (Pipeline.mode * Pipel
     (fun ki (kf : Ir.Linear.finfo) ->
       let run_baseline () =
         let config = { base_config with Simt.Config.max_issues } in
-        Simt.Interp.run config baseline.Pipeline.linear ~entry:kf.Ir.Linear.fname ~args:[]
+        Simt.Interp.run config baseline.Pipeline.decoded ~entry:kf.Ir.Linear.fname ~args:[]
           ~init_memory:(init_memory baseline.Pipeline.program)
       in
       let reference =
@@ -151,7 +153,7 @@ let chaos_matrix ~max_issues ~chaos ~chaos_seed (staged : (Pipeline.mode * Pipel
         in
         let result =
           try
-            Simt.Interp.run ~faults config specrecon.Pipeline.linear
+            Simt.Interp.run ~faults config specrecon.Pipeline.decoded
               ~entry:kf.Ir.Linear.fname ~args:[]
               ~init_memory:(init_memory specrecon.Pipeline.program)
           with
@@ -225,6 +227,16 @@ let check ?(max_issues = 1_500_000) ?(chaos = 0) ?(chaos_seed = 0xc4a05) ast =
     match compiled with
     | Error v -> Violation v
     | Ok staged -> (
+      (* Decode-mismatch oracle: one sampled (mode, first-policy) row per
+         program re-executes through the legacy ADT-walking interpreter
+         ({!Simt.Interp_ref}) and must reproduce the decoded path's
+         metrics and memory exactly. Sampling one of the two modes keeps
+         the differential cost at a sixth of the matrix while every
+         program still exercises the comparison. *)
+      let sample_mode =
+        if Hashtbl.hash (Front.Pretty.to_string ast) land 1 = 0 then Pipeline.Baseline
+        else Pipeline.Specrecon
+      in
       (* Per-kernel reference row: every (mode, policy) cell must match
          the first run of the same kernel. *)
       let reference = Hashtbl.create 4 in
@@ -243,7 +255,7 @@ let check ?(max_issues = 1_500_000) ?(chaos = 0) ?(chaos_seed = 0xc4a05) ast =
                     let config = { base_config with Simt.Config.policy; max_issues } in
                     let result =
                       try
-                        Simt.Interp.run config s.linear ~entry:kname ~args:[]
+                        Simt.Interp.run config s.decoded ~entry:kname ~args:[]
                           ~init_memory:(init_memory s.program)
                       with
                       | Simt.Interp.Deadlock msg ->
@@ -273,6 +285,45 @@ let check ?(max_issues = 1_500_000) ?(chaos = 0) ?(chaos_seed = 0xc4a05) ast =
                     let finished =
                       result.Simt.Interp.metrics.Simt.Metrics.threads_finished
                     in
+                    if mode = sample_mode && policy = List.hd policies then begin
+                      let ref_result =
+                        try
+                          Simt.Interp_ref.run config s.linear ~entry:kname ~args:[]
+                            ~init_memory:(init_memory s.program)
+                        with e ->
+                          raise
+                            (Stop
+                               (Violation
+                                  { kind = Decode_mismatch;
+                                    detail =
+                                      Printf.sprintf
+                                        "%s: reference interpreter raised %s where the \
+                                         decoded path succeeded"
+                                        where (Printexc.to_string e) }))
+                      in
+                      if ref_result.Simt.Interp.metrics <> result.Simt.Interp.metrics then
+                        raise
+                          (Stop
+                             (Violation
+                                { kind = Decode_mismatch;
+                                  detail =
+                                    Printf.sprintf
+                                      "%s: metrics differ between decoded and reference \
+                                       interpreters"
+                                      where }));
+                      match first_diff (snapshot ref_result.Simt.Interp.memory) snap with
+                      | None -> ()
+                      | Some addr ->
+                        raise
+                          (Stop
+                             (Violation
+                                { kind = Decode_mismatch;
+                                  detail =
+                                    Printf.sprintf
+                                      "%s: memory differs between decoded and reference \
+                                       interpreters at address %d"
+                                      where addr }))
+                    end;
                     match Hashtbl.find_opt reference kname with
                     | None -> Hashtbl.replace reference kname (where, snap, finished)
                     | Some (ref_where, ref_snap, ref_finished) ->

@@ -23,6 +23,12 @@
       program that completes under both modes and all three schedulers
       is {!Lint_spurious} (a false alarm that would break clean builds,
       since the checker is a mandatory {!Core.Compile} stage).
+    + {b Decode fidelity} — one sampled (mode, policy) cell per program
+      re-executes through the legacy ADT-walking interpreter
+      ({!Simt.Interp_ref}); the pre-decoded jump-table path must
+      reproduce its metrics and memory exactly ({!Decode_mismatch}
+      otherwise). This is the runtime proof that {!Ir.Decoded.decode}
+      preserves semantics instruction-for-instruction.
 
     With [~chaos:n > 0], a program that passes everything above also
     enters the {b chaos tier}: [n] seeded fault-injection plans
@@ -57,6 +63,9 @@ type kind =
           memory differing from the unfaulted PDOM baseline *)
   | Spurious_yield
       (** yield recovery fired on a checker-clean program under faults *)
+  | Decode_mismatch
+      (** the pre-decoded interpreter and the legacy ADT interpreter
+          disagree on metrics or memory for the same program *)
 
 val kind_name : kind -> string
 

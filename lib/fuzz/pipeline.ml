@@ -9,6 +9,7 @@ exception Stage_error of string * string
 type staged = {
   program : T.program;
   linear : Ir.Linear.t;
+  decoded : Ir.Decoded.t;
   resolutions : int;
   lint : Analysis.Barrier_safety.finding list;
 }
@@ -102,4 +103,5 @@ let compile ?(deconflict = true) ?(deconflict_call_waits = true) ~mode ast =
      findings as data, to compare against what the simulator does. *)
   let lint = stage "srlint" (fun () -> Analysis.Barrier_safety.check ~speculative program) in
   let linear = stage "linearize" (fun () -> Ir.Linear.linearize program) in
-  { program; linear; resolutions; lint }
+  let decoded = stage "decode" (fun () -> Ir.Decoded.decode linear) in
+  { program; linear; decoded; resolutions; lint }

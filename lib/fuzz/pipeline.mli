@@ -19,11 +19,12 @@ exception Stage_error of string * string
 (** [(stage, message)]: the pass raised, or the verifier found structural
     errors after it. Stages: ["lower"], ["specrecon"], ["interproc"],
     ["pdom_sync"], ["deconflict"], ["cleanup"], ["srlint"],
-    ["linearize"]. *)
+    ["linearize"], ["decode"]. *)
 
 type staged = {
   program : Ir.Types.program;
   linear : Ir.Linear.t;
+  decoded : Ir.Decoded.t;  (** what the interpreter executes *)
   resolutions : int;  (** deconfliction resolutions applied (0 for baseline) *)
   lint : Analysis.Barrier_safety.finding list;
       (** static barrier-safety findings on the final program; reported

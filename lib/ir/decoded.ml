@@ -1,0 +1,330 @@
+module L = Linear
+module T = Types
+
+(* Opcodes: dense from 0 so the interpreter's integer match compiles to a
+   flat jump table. The interpreter matches on the literal values — any
+   renumbering here must be mirrored in Simt.Interp's dispatch (the
+   decode-mismatch oracle and the differential goldens pin this down). *)
+let op_bin = 0
+let op_un = 1
+let op_mov = 2
+let op_load = 3
+let op_store = 4
+let op_tid = 5
+let op_lane = 6
+let op_nthreads = 7
+let op_rand = 8
+let op_randint = 9
+let op_join = 10
+let op_rejoin = 11
+let op_wait = 12
+let op_wait_threshold = 13
+let op_cancel = 14
+let op_arrived = 15
+let op_call = 16
+let op_ret = 17
+let op_br = 18
+let op_jump = 19
+let op_exit = 20
+let n_opcodes = 21
+
+let opcode_name op =
+  match op with
+  | 0 -> "bin"
+  | 1 -> "un"
+  | 2 -> "mov"
+  | 3 -> "load"
+  | 4 -> "store"
+  | 5 -> "tid"
+  | 6 -> "lane"
+  | 7 -> "nthreads"
+  | 8 -> "rand"
+  | 9 -> "randint"
+  | 10 -> "join"
+  | 11 -> "rejoin"
+  | 12 -> "wait"
+  | 13 -> "wait.th"
+  | 14 -> "cancel"
+  | 15 -> "arrived"
+  | 16 -> "call"
+  | 17 -> "ret"
+  | 18 -> "br"
+  | 19 -> "jump"
+  | 20 -> "exit"
+  | _ -> invalid_arg (Printf.sprintf "Decoded.opcode_name: bad opcode %d" op)
+
+(* Latency classes: which Config.latencies field the slot's static issue
+   latency comes from. *)
+let lc_alu = 0
+let lc_float = 1
+let lc_special = 2
+let lc_branch = 3
+let lc_barrier = 4
+let lc_call = 5
+let lc_rand = 6
+let lc_mem = 7
+
+type call = {
+  centry : int;
+  cn_regs : int;
+  cargs : int array;
+  cret : int;
+  ccallee : string;
+}
+
+type t = {
+  linear : L.t;
+  op : int array;
+  a : int array;
+  b : int array;
+  c : int array;
+  lclass : int array;
+  bop : T.binop array;
+  uop : T.unop array;
+  vals : T.value array;
+  calls : call array;
+  bslot : int array;
+  bfunc : string array;
+  bblock : int array;
+}
+
+let enc_is_imm e = e land 1 <> 0
+let enc_index e = e lsr 1
+
+let decode (linear : L.t) =
+  let n = Array.length linear.L.code in
+  let op = Array.make n op_exit in
+  let a = Array.make n 0 in
+  let b = Array.make n 0 in
+  let c = Array.make n 0 in
+  let lclass = Array.make n lc_alu in
+  let bop = Array.make n T.Add in
+  let uop = Array.make n T.Neg in
+  (* Immediates and calls are appended in pc order, so decoding is a pure
+     function of the linear program: same input, same tables. *)
+  let vals = ref [] and n_vals = ref 0 in
+  let calls = ref [] and n_calls = ref 0 in
+  let enc = function
+    | T.Reg r -> r lsl 1
+    | T.Imm v ->
+      let i = !n_vals in
+      vals := v :: !vals;
+      incr n_vals;
+      (i lsl 1) lor 1
+  in
+  let add_call ci =
+    let i = !n_calls in
+    calls := ci :: !calls;
+    incr n_calls;
+    i
+  in
+  for pc = 0 to n - 1 do
+    match linear.L.code.(pc) with
+    | L.Op i -> (
+      match i with
+      | T.Bin (o, d, x, y) ->
+        op.(pc) <- op_bin;
+        a.(pc) <- d;
+        b.(pc) <- enc x;
+        c.(pc) <- enc y;
+        bop.(pc) <- o;
+        lclass.(pc) <- (if T.is_float_op o then lc_float else lc_alu)
+      | T.Un (o, d, x) ->
+        op.(pc) <- op_un;
+        a.(pc) <- d;
+        b.(pc) <- enc x;
+        uop.(pc) <- o;
+        lclass.(pc) <- (if T.is_special_unop o then lc_special else lc_alu)
+      | T.Mov (d, x) ->
+        op.(pc) <- op_mov;
+        a.(pc) <- d;
+        b.(pc) <- enc x
+      | T.Load (d, x) ->
+        op.(pc) <- op_load;
+        a.(pc) <- d;
+        b.(pc) <- enc x;
+        lclass.(pc) <- lc_mem
+      | T.Store (x, v) ->
+        op.(pc) <- op_store;
+        a.(pc) <- enc x;
+        b.(pc) <- enc v;
+        lclass.(pc) <- lc_mem
+      | T.Tid d ->
+        op.(pc) <- op_tid;
+        a.(pc) <- d
+      | T.Lane d ->
+        op.(pc) <- op_lane;
+        a.(pc) <- d
+      | T.Nthreads d ->
+        op.(pc) <- op_nthreads;
+        a.(pc) <- d
+      | T.Rand d ->
+        op.(pc) <- op_rand;
+        a.(pc) <- d;
+        lclass.(pc) <- lc_rand
+      | T.Randint (d, x) ->
+        op.(pc) <- op_randint;
+        a.(pc) <- d;
+        b.(pc) <- enc x;
+        lclass.(pc) <- lc_rand
+      | T.Join s ->
+        op.(pc) <- op_join;
+        a.(pc) <- s;
+        lclass.(pc) <- lc_barrier
+      | T.Rejoin s ->
+        op.(pc) <- op_rejoin;
+        a.(pc) <- s;
+        lclass.(pc) <- lc_barrier
+      | T.Wait s ->
+        op.(pc) <- op_wait;
+        a.(pc) <- s;
+        lclass.(pc) <- lc_barrier
+      | T.Wait_threshold (s, k) ->
+        op.(pc) <- op_wait_threshold;
+        a.(pc) <- s;
+        b.(pc) <- k;
+        lclass.(pc) <- lc_barrier
+      | T.Cancel s ->
+        op.(pc) <- op_cancel;
+        a.(pc) <- s;
+        lclass.(pc) <- lc_barrier
+      | T.Arrived (d, s) ->
+        op.(pc) <- op_arrived;
+        a.(pc) <- d;
+        b.(pc) <- s;
+        lclass.(pc) <- lc_barrier
+      | T.Call _ ->
+        (* The linearizer turns every Call into Lcall. *)
+        invalid_arg (Printf.sprintf "Decoded.decode: raw call at pc %d" pc))
+    | L.Lcall { entry; n_regs; args; ret; callee } ->
+      op.(pc) <- op_call;
+      a.(pc) <-
+        add_call
+          {
+            centry = entry;
+            cn_regs = max n_regs 1;
+            cargs = Array.of_list (List.map enc args);
+            cret = (match ret with Some r -> r | None -> -1);
+            ccallee = callee;
+          };
+      lclass.(pc) <- lc_call
+    | L.Lret x ->
+      op.(pc) <- op_ret;
+      a.(pc) <- (match x with Some o -> enc o | None -> -1);
+      lclass.(pc) <- lc_call
+    | L.Lbr { cond; target } ->
+      op.(pc) <- op_br;
+      a.(pc) <- enc cond;
+      b.(pc) <- target;
+      lclass.(pc) <- lc_branch
+    | L.Ljump target ->
+      op.(pc) <- op_jump;
+      a.(pc) <- target;
+      lclass.(pc) <- lc_branch
+    | L.Lexit ->
+      op.(pc) <- op_exit;
+      lclass.(pc) <- lc_branch
+  done;
+  (* Block-entry slots: the profiler counts lane-executions per basic
+     block, so resolve each block-entry pc to a dense slot id here and
+     let the interpreter bump a flat int array instead of hashing a
+     (string, int) key per issue. *)
+  let bslot = Array.make n (-1) in
+  let bfunc = ref [] and bblock = ref [] and n_slots = ref 0 in
+  for pc = 0 to n - 1 do
+    let loc = linear.L.locs.(pc) in
+    if
+      pc = 0
+      || loc.L.in_func <> linear.L.locs.(pc - 1).L.in_func
+      || loc.L.in_block <> linear.L.locs.(pc - 1).L.in_block
+    then begin
+      bslot.(pc) <- !n_slots;
+      bfunc := loc.L.in_func :: !bfunc;
+      bblock := loc.L.in_block :: !bblock;
+      incr n_slots
+    end
+  done;
+  {
+    linear;
+    op;
+    a;
+    b;
+    c;
+    lclass;
+    bop;
+    uop;
+    vals = Array.of_list (List.rev !vals);
+    calls = Array.of_list (List.rev !calls);
+    bslot;
+    bfunc = Array.of_list (List.rev !bfunc);
+    bblock = Array.of_list (List.rev !bblock);
+  }
+
+(* ---- dump ---- *)
+
+let pp_enc t ppf e =
+  if e < 0 then Format.pp_print_string ppf "-"
+  else if enc_is_imm e then
+    Format.fprintf ppf "imm[%d]=%a" (enc_index e) Printer.pp_value t.vals.(enc_index e)
+  else Format.fprintf ppf "r%d" (enc_index e)
+
+let lclass_name = function
+  | 0 -> "alu"
+  | 1 -> "float"
+  | 2 -> "special"
+  | 3 -> "branch"
+  | 4 -> "barrier"
+  | 5 -> "call"
+  | 6 -> "rand"
+  | 7 -> "mem"
+  | _ -> "?"
+
+let pp ppf t =
+  Format.fprintf ppf "decoded: %d slots, %d imms, %d calls@." (Array.length t.op)
+    (Array.length t.vals) (Array.length t.calls);
+  Array.iteri
+    (fun pc opc ->
+      List.iter
+        (fun (fi : L.finfo) ->
+          if fi.L.entry_pc = pc then Format.fprintf ppf "; --- %s ---@." fi.L.fname)
+        t.linear.L.funcs;
+      let loc = t.linear.L.locs.(pc) in
+      Format.fprintf ppf "%4d [bb%d] %-8s" pc loc.L.in_block (opcode_name opc);
+      let enc1 e = Format.fprintf ppf " %a" (pp_enc t) e in
+      (match opc with
+      | 0 (* bin *) ->
+        Format.fprintf ppf ".%s r%d <-" (Printer.binop_name t.bop.(pc)) t.a.(pc);
+        enc1 t.b.(pc);
+        enc1 t.c.(pc)
+      | 1 (* un *) ->
+        Format.fprintf ppf ".%s r%d <-" (Printer.unop_name t.uop.(pc)) t.a.(pc);
+        enc1 t.b.(pc)
+      | 2 (* mov *) | 3 (* load *) | 9 (* randint *) ->
+        Format.fprintf ppf " r%d <-" t.a.(pc);
+        enc1 t.b.(pc)
+      | 4 (* store *) ->
+        enc1 t.a.(pc);
+        enc1 t.b.(pc)
+      | 5 | 6 | 7 | 8 (* tid/lane/nthreads/rand *) -> Format.fprintf ppf " r%d" t.a.(pc)
+      | 10 | 11 | 12 | 14 (* join/rejoin/wait/cancel *) -> Format.fprintf ppf " b%d" t.a.(pc)
+      | 13 (* wait.th *) -> Format.fprintf ppf " b%d k=%d" t.a.(pc) t.b.(pc)
+      | 15 (* arrived *) -> Format.fprintf ppf " r%d <- b%d" t.a.(pc) t.b.(pc)
+      | 16 (* call *) ->
+        let ci = t.calls.(t.a.(pc)) in
+        Format.fprintf ppf " %s ->%d regs=%d ret=%s args=(" ci.ccallee ci.centry ci.cn_regs
+          (if ci.cret >= 0 then Printf.sprintf "r%d" ci.cret else "-");
+        Array.iteri
+          (fun i e ->
+            if i > 0 then Format.pp_print_string ppf ", ";
+            pp_enc t ppf e)
+          ci.cargs;
+        Format.pp_print_string ppf ")"
+      | 17 (* ret *) -> enc1 t.a.(pc)
+      | 18 (* br *) ->
+        enc1 t.a.(pc);
+        Format.fprintf ppf " ->%d" t.b.(pc)
+      | 19 (* jump *) -> Format.fprintf ppf " ->%d" t.a.(pc)
+      | 20 (* exit *) -> ()
+      | _ -> Format.fprintf ppf " ?%d ?%d ?%d" t.a.(pc) t.b.(pc) t.c.(pc));
+      Format.fprintf ppf "  ; %s@." (lclass_name t.lclass.(pc)))
+    t.op

@@ -20,24 +20,41 @@ let dce_pass (f : T.func) =
     let liveness = Analysis.Reg_liveness.run f in
     let removed_this_round = ref 0 in
     T.iter_blocks f (fun b ->
-        let keep =
-          List.mapi
-            (fun index inst ->
+        (* One backward sweep per block with an incrementally maintained
+           live set (the per-index [live_after] query refolds the whole
+           block suffix, which is quadratic). A removed instruction
+           contributes neither uses nor kills, so an intra-block dead
+           chain dies in a single round; cross-block chains still drive
+           the outer fixpoint. The fixpoint is the same either way:
+           removing a dead instruction never revives another. *)
+        let live =
+          ref
+            (List.fold_left
+               (fun s r -> ISet.add r s)
+               (Analysis.Reg_liveness.live_out liveness b.id)
+               (T.term_uses b.term))
+        in
+        b.insts <-
+          List.fold_left
+            (fun acc inst ->
               let defs = T.defs inst in
               let dead =
                 pure inst && defs <> []
-                && List.for_all
-                     (fun r ->
-                       not
-                         (ISet.mem r
-                            (Analysis.Reg_liveness.live_after liveness ~block:b.id ~index)))
-                     defs
+                && List.for_all (fun r -> not (ISet.mem r !live)) defs
               in
-              if dead then incr removed_this_round;
-              not dead)
-            b.insts
-        in
-        b.insts <- List.filteri (fun i _ -> List.nth keep i) b.insts);
+              if dead then begin
+                incr removed_this_round;
+                acc
+              end
+              else begin
+                live :=
+                  List.fold_left
+                    (fun s r -> ISet.add r s)
+                    (List.fold_left (fun s r -> ISet.remove r s) !live defs)
+                    (T.uses inst);
+                inst :: acc
+              end)
+            [] (List.rev b.insts));
     removed := !removed + !removed_this_round;
     continue_ := !removed_this_round > 0
   done;

@@ -1,5 +1,6 @@
 module Mask = Support.Mask
 module L = Ir.Linear
+module D = Ir.Decoded
 module T = Ir.Types
 
 exception Deadlock of string
@@ -31,13 +32,20 @@ type issue_event = {
 
 type thread_status = Ready | Blocked | Done
 
-type frame = { regs : T.value array; ret_pc : int; ret_reg : T.reg option }
+(* [ret_reg] is the caller register receiving the return value, -1 for
+   none — decoded form, no option box. *)
+type frame = { regs : T.value array; ret_pc : int; ret_reg : int }
 
 type thread = {
   lane : int;
   tid : int;
   rng : Support.Splitmix.t;
   mutable frames : frame list; (* head = current frame *)
+  (* Cache of the head frame's register file, so the issue path reads
+     registers with one array load instead of a list match per operand.
+     Invariant: [cur_regs == (List.hd frames).regs]; updated on call and
+     return, the only places the frame stack changes. *)
+  mutable cur_regs : T.value array;
   mutable pc : int;
   mutable status : thread_status;
   mutable ready_at : int;
@@ -73,17 +81,9 @@ type warp = {
   mutable ready_stale : bool;
 }
 
-let frame_of th =
-  match th.frames with
-  | f :: _ -> f
-  | [] -> raise (Runtime_error (Printf.sprintf "thread %d has no frame" th.tid))
-
-let eval th = function T.Reg r -> (frame_of th).regs.(r) | T.Imm v -> v
-
-let set_reg th r v = (frame_of th).regs.(r) <- v
-
-let run ?tracer ?faults ?entry (config : Config.t) (lprog : L.t) ~args ~init_memory =
+let run ?tracer ?faults ?entry (config : Config.t) (dprog : D.t) ~args ~init_memory =
   Config.validate config;
+  let lprog = dprog.D.linear in
   let entry_info =
     match entry with
     | None -> lprog.kernel
@@ -108,14 +108,35 @@ let run ?tracer ?faults ?entry (config : Config.t) (lprog : L.t) ~args ~init_mem
   let metrics = Metrics.create ~warp_size:config.warp_size in
   let profile = Analysis.Profile.empty () in
   let yield_log = ref [] in
-  (* Precompute which pcs start a basic block, for profile recording. *)
-  let n_code = Array.length lprog.code in
-  let is_block_entry =
-    Array.init n_code (fun pc ->
-        pc = 0
-        || lprog.locs.(pc).L.in_func <> lprog.locs.(pc - 1).L.in_func
-        || lprog.locs.(pc).L.in_block <> lprog.locs.(pc - 1).L.in_block)
+  (* The decoded descriptor columns, hoisted so each issue pays array
+     loads, never record-field walks. *)
+  let dcode = dprog.D.op in
+  let da = dprog.D.a and db = dprog.D.b and dc = dprog.D.c in
+  let bops = dprog.D.bop and uops = dprog.D.uop in
+  let vals = dprog.D.vals and calls = dprog.D.calls in
+  let n_code = Array.length dcode in
+  (* Static issue latencies, resolved per slot from the decode-time
+     latency class — the hot path never re-classifies an opcode. Memory
+     slots keep a placeholder; their cost is dynamic (coalescing). *)
+  let lat_tbl =
+    Array.map
+      (fun cls ->
+        if cls = D.lc_alu then lat.alu
+        else if cls = D.lc_float then lat.float_op
+        else if cls = D.lc_special then lat.special
+        else if cls = D.lc_branch then lat.branch
+        else if cls = D.lc_barrier then lat.barrier
+        else if cls = D.lc_call then lat.call
+        else if cls = D.lc_rand then lat.rand
+        else 0)
+      dprog.D.lclass
   in
+  ignore n_code;
+  (* Per-block lane counts, keyed by the decode-time block slots; folded
+     into [profile] once at the end of the run so the hot loop pays one
+     int-array bump instead of a hashtable update per block entry. *)
+  let bslot = dprog.D.bslot in
+  let prof_counts = Array.make (max (Array.length dprog.D.bfunc) 1) 0 in
   let make_thread wid lane =
     let regs = Array.make (max entry_info.n_regs 1) (T.I 0) in
     List.iteri (fun i v -> regs.(i) <- v) args;
@@ -123,7 +144,8 @@ let run ?tracer ?faults ?entry (config : Config.t) (lprog : L.t) ~args ~init_mem
       lane;
       tid = (wid * config.warp_size) + lane;
       rng = Support.Splitmix.of_ints config.seed wid lane;
-      frames = [ { regs; ret_pc = -1; ret_reg = None } ];
+      frames = [ { regs; ret_pc = -1; ret_reg = -1 } ];
+      cur_regs = regs;
       pc = entry_info.entry_pc;
       status = Ready;
       ready_at = 0;
@@ -160,6 +182,12 @@ let run ?tracer ?faults ?entry (config : Config.t) (lprog : L.t) ~args ~init_mem
   let cand_mask = Array.make config.warp_size Mask.empty in
   let context w th =
     Printf.sprintf "warp %d lane %d tid %d pc %d" w.wid th.lane th.tid th.pc
+  in
+  (* Encoded-operand read: bit 0 picks register file vs immediate pool,
+     the rest is the index — no ADT, no frame-list walk. *)
+  let eval_enc th e = if e land 1 = 0 then th.cur_regs.(e lsr 1) else vals.(e lsr 1) in
+  let mem_cost w cost =
+    match faults with Some f -> cost + Faults.mem_spike f ~warp:w.wid | None -> cost
   in
   (* ---- incremental group-table maintenance ---- *)
   let detach w th =
@@ -384,163 +412,428 @@ let run ?tracer ?faults ?entry (config : Config.t) (lprog : L.t) ~args ~init_mem
         :: !yield_log;
       apply_release w released
   in
-  (* Execute one issued group: all lanes of [active] sit at [pc]. *)
+  (* Blocking and thread exit are the only transitions that can leave a
+     warp with every live group blocked — the barrier and exit arms of
+     [execute] check right here, so a doomed warp is caught at the
+     faulting instruction while other warps keep running. *)
+  let watchdog w = if warp_stalled w then recover_or_deadlock w in
+  (* Execute one issued group: all lanes of [active] sit at [pc].
+
+     This is the threaded-code dispatch the decode stage exists for: one
+     dense integer match over the opcode column (a flat jump table — the
+     literal values mirror Ir.Decoded's op_* table), operands read
+     through the encoded-int scheme, and every lane walk an open-coded
+     peel over the mask bits — no ADT match, no closure per issue, no
+     name resolution. Compute and advance fuse into a single pass where
+     lanes are independent; loads/stores keep the two-pass gather/commit
+     shape because the coalescing cost must be known before lanes can be
+     advanced. *)
   let execute w pc active =
     w.ready_stale <- true;
-    let each f = Mask.iter (fun lane -> f w.threads.(lane)) active in
-    let advance_all latency =
-      each (fun th ->
-          th.pc <- pc + 1;
-          th.ready_at <- !cycle + latency)
-    in
-    let mem_cost cost =
-      match faults with Some f -> cost + Faults.mem_spike f ~warp:w.wid | None -> cost
-    in
-    (* Blocking and thread exit are the only transitions that can leave a
-       warp with every live group blocked — check right here, so a doomed
-       warp is caught at the faulting instruction while other warps keep
-       running. *)
-    let watchdog () = if warp_stalled w then recover_or_deadlock w in
-    match lprog.code.(pc) with
-    | L.Op op -> (
-      match op with
-      | T.Bin (bop, d, a, b) ->
-        each (fun th -> set_reg th d (Valops.binop bop (eval th a) (eval th b)));
-        advance_all (if T.is_float_op bop then lat.float_op else lat.alu)
-      | T.Un (uop, d, a) ->
-        each (fun th -> set_reg th d (Valops.unop uop (eval th a)));
-        advance_all (if T.is_special_unop uop then lat.special else lat.alu)
-      | T.Mov (d, a) ->
-        each (fun th -> set_reg th d (eval th a));
-        advance_all lat.alu
-      | T.Load (d, a) ->
-        metrics.mem_accesses <- metrics.mem_accesses + 1;
-        let n = ref 0 in
-        each (fun th ->
-            addr_buf.(!n) <- Valops.to_int (eval th a);
-            incr n);
-        let cost = mem_cost (Memsys.access_costn memory ~addrs:addr_buf ~n:!n) in
-        let i = ref 0 in
-        each (fun th ->
-            set_reg th d (Memsys.read memory addr_buf.(!i));
-            incr i);
-        advance_all cost
-      | T.Store (a, v) ->
-        metrics.mem_accesses <- metrics.mem_accesses + 1;
-        let n = ref 0 in
-        each (fun th ->
-            addr_buf.(!n) <- Valops.to_int (eval th a);
-            incr n);
-        let cost = mem_cost (Memsys.access_costn memory ~addrs:addr_buf ~n:!n) in
-        (* Lane order resolves write conflicts: the highest lane wins,
-           matching CUDA's unspecified-but-single-winner semantics
-           deterministically. *)
-        let i = ref 0 in
-        each (fun th ->
-            Memsys.write memory addr_buf.(!i) (eval th v);
-            incr i);
-        advance_all cost
-      | T.Tid d ->
-        each (fun th -> set_reg th d (T.I th.tid));
-        advance_all lat.alu
-      | T.Lane d ->
-        each (fun th -> set_reg th d (T.I th.lane));
-        advance_all lat.alu
-      | T.Nthreads d ->
-        each (fun th -> set_reg th d (T.I n_threads));
-        advance_all lat.alu
-      | T.Rand d ->
-        each (fun th -> set_reg th d (T.F (Support.Splitmix.float th.rng)));
-        advance_all lat.rand
-      | T.Randint (d, n) ->
-        each (fun th ->
-            let bound = Valops.to_int (eval th n) in
-            if bound <= 0 then
-              raise
-                (Runtime_error
-                   (Printf.sprintf "randint bound %d not positive (%s)" bound (context w th)));
-            set_reg th d (T.I (Support.Splitmix.int th.rng bound)));
-        advance_all lat.rand
-      | T.Join b | T.Rejoin b ->
-        metrics.barrier_joins <- metrics.barrier_joins + 1;
-        each (fun th -> Barrier_unit.join w.barriers b th.lane);
-        advance_all lat.barrier
-      | T.Cancel b ->
-        metrics.barrier_cancels <- metrics.barrier_cancels + 1;
-        each (fun th -> Barrier_unit.cancel w.barriers b th.lane);
-        advance_all lat.barrier;
-        release_fired w b
-      | T.Wait b ->
-        metrics.barrier_waits <- metrics.barrier_waits + 1;
-        each (fun th ->
-            if Barrier_unit.is_participant w.barriers b th.lane then begin
-              th.status <- Blocked;
-              Barrier_unit.block ~now:!cycle w.barriers b th.lane ~threshold:None
-            end
-            else begin
-              th.pc <- pc + 1;
-              th.ready_at <- !cycle + lat.barrier
-            end);
-        (* blockers and pass-through threads part ways *)
-        regroup w active;
-        release_fired w b;
-        watchdog ()
-      | T.Wait_threshold (b, k) ->
-        metrics.barrier_waits <- metrics.barrier_waits + 1;
-        each (fun th ->
-            if Barrier_unit.is_participant w.barriers b th.lane then begin
-              th.status <- Blocked;
-              Barrier_unit.block ~now:!cycle w.barriers b th.lane ~threshold:(Some k)
-            end
-            else begin
-              th.pc <- pc + 1;
-              th.ready_at <- !cycle + lat.barrier
-            end);
-        regroup w active;
-        release_fired w b;
-        watchdog ()
-      | T.Arrived (d, b) ->
-        each (fun th -> set_reg th d (T.I (Barrier_unit.arrived w.barriers b)));
-        advance_all lat.barrier
-      | T.Call _ ->
-        (* The linearizer turns calls into [Lcall]. *)
-        raise (Runtime_error (Printf.sprintf "raw call at pc %d" pc)))
-    | L.Lcall { entry; n_regs; args = call_args; ret; callee = _ } ->
-      each (fun th ->
-          let values = List.map (eval th) call_args in
-          let regs = Array.make (max n_regs 1) (T.I 0) in
-          List.iteri (fun i v -> regs.(i) <- v) values;
-          th.frames <- { regs; ret_pc = pc + 1; ret_reg = ret } :: th.frames;
-          th.pc <- entry;
-          th.ready_at <- !cycle + lat.call)
-    | L.Lret op ->
-      each (fun th ->
-          let value = Option.map (eval th) op in
-          match th.frames with
-          | { ret_pc; ret_reg; _ } :: (_ :: _ as rest) ->
-            th.frames <- rest;
-            (match (ret_reg, value) with
-            | Some d, Some v -> set_reg th d v
-            | Some d, None -> set_reg th d (T.I 0)
-            | None, (Some _ | None) -> ());
-            th.pc <- ret_pc;
-            th.ready_at <- !cycle + lat.call
-          | _ -> raise (Runtime_error (Printf.sprintf "ret outside call (%s)" (context w th))));
+    let threads = w.threads in
+    match dcode.(pc) with
+    | 0 (* bin *) ->
+      let d = da.(pc) and x = db.(pc) and y = dc.(pc) in
+      let o = bops.(pc) in
+      let pc1 = pc + 1 and ready = !cycle + lat_tbl.(pc) in
+      (* Superop specialization: the sub-opcode is uniform across the
+         group, so match it once per issue and run the hottest ops with
+         the arithmetic inlined in the lane loop. Every specialized arm
+         falls back to {!Valops.binop} on an operand-kind mismatch, so
+         Valops stays the single source of semantics — type errors,
+         division by zero, and the shared boolean values included. *)
+      (match o with
+      | T.Add ->
+        let bits = ref (Mask.bits active) in
+        while !bits <> 0 do
+          let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+          (th.cur_regs.(d) <-
+            (match (eval_enc th x, eval_enc th y) with
+            | T.I a, T.I b -> T.I (a + b)
+            | xv, yv -> Valops.binop o xv yv));
+          th.pc <- pc1;
+          th.ready_at <- ready;
+          bits := !bits land (!bits - 1)
+        done
+      | T.Sub ->
+        let bits = ref (Mask.bits active) in
+        while !bits <> 0 do
+          let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+          (th.cur_regs.(d) <-
+            (match (eval_enc th x, eval_enc th y) with
+            | T.I a, T.I b -> T.I (a - b)
+            | xv, yv -> Valops.binop o xv yv));
+          th.pc <- pc1;
+          th.ready_at <- ready;
+          bits := !bits land (!bits - 1)
+        done
+      | T.Mul ->
+        let bits = ref (Mask.bits active) in
+        while !bits <> 0 do
+          let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+          (th.cur_regs.(d) <-
+            (match (eval_enc th x, eval_enc th y) with
+            | T.I a, T.I b -> T.I (a * b)
+            | xv, yv -> Valops.binop o xv yv));
+          th.pc <- pc1;
+          th.ready_at <- ready;
+          bits := !bits land (!bits - 1)
+        done
+      | T.Lt ->
+        let bits = ref (Mask.bits active) in
+        while !bits <> 0 do
+          let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+          (th.cur_regs.(d) <-
+            (match (eval_enc th x, eval_enc th y) with
+            | T.I a, T.I b -> if a < b then Valops.v_true else Valops.v_false
+            | xv, yv -> Valops.binop o xv yv));
+          th.pc <- pc1;
+          th.ready_at <- ready;
+          bits := !bits land (!bits - 1)
+        done
+      | T.Le ->
+        let bits = ref (Mask.bits active) in
+        while !bits <> 0 do
+          let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+          (th.cur_regs.(d) <-
+            (match (eval_enc th x, eval_enc th y) with
+            | T.I a, T.I b -> if a <= b then Valops.v_true else Valops.v_false
+            | xv, yv -> Valops.binop o xv yv));
+          th.pc <- pc1;
+          th.ready_at <- ready;
+          bits := !bits land (!bits - 1)
+        done
+      | T.Eq ->
+        let bits = ref (Mask.bits active) in
+        while !bits <> 0 do
+          let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+          (th.cur_regs.(d) <-
+            (match (eval_enc th x, eval_enc th y) with
+            | T.I a, T.I b -> if a = b then Valops.v_true else Valops.v_false
+            | xv, yv -> Valops.binop o xv yv));
+          th.pc <- pc1;
+          th.ready_at <- ready;
+          bits := !bits land (!bits - 1)
+        done
+      | T.Fadd ->
+        let bits = ref (Mask.bits active) in
+        while !bits <> 0 do
+          let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+          (th.cur_regs.(d) <-
+            (match (eval_enc th x, eval_enc th y) with
+            | T.F a, T.F b -> T.F (a +. b)
+            | xv, yv -> Valops.binop o xv yv));
+          th.pc <- pc1;
+          th.ready_at <- ready;
+          bits := !bits land (!bits - 1)
+        done
+      | T.Fmul ->
+        let bits = ref (Mask.bits active) in
+        while !bits <> 0 do
+          let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+          (th.cur_regs.(d) <-
+            (match (eval_enc th x, eval_enc th y) with
+            | T.F a, T.F b -> T.F (a *. b)
+            | xv, yv -> Valops.binop o xv yv));
+          th.pc <- pc1;
+          th.ready_at <- ready;
+          bits := !bits land (!bits - 1)
+        done
+      | _ ->
+        let bits = ref (Mask.bits active) in
+        while !bits <> 0 do
+          let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+          th.cur_regs.(d) <- Valops.binop o (eval_enc th x) (eval_enc th y);
+          th.pc <- pc1;
+          th.ready_at <- ready;
+          bits := !bits land (!bits - 1)
+        done)
+    | 1 (* un *) ->
+      let d = da.(pc) and x = db.(pc) in
+      let o = uops.(pc) in
+      let pc1 = pc + 1 and ready = !cycle + lat_tbl.(pc) in
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+        th.cur_regs.(d) <- Valops.unop o (eval_enc th x);
+        th.pc <- pc1;
+        th.ready_at <- ready;
+        bits := !bits land (!bits - 1)
+      done
+    | 2 (* mov *) ->
+      let d = da.(pc) and x = db.(pc) in
+      let pc1 = pc + 1 and ready = !cycle + lat_tbl.(pc) in
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+        th.cur_regs.(d) <- eval_enc th x;
+        th.pc <- pc1;
+        th.ready_at <- ready;
+        bits := !bits land (!bits - 1)
+      done
+    | 3 (* load *) ->
+      metrics.mem_accesses <- metrics.mem_accesses + 1;
+      let d = da.(pc) and x = db.(pc) in
+      let n = ref 0 in
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+        addr_buf.(!n) <- Valops.to_int (eval_enc th x);
+        incr n;
+        bits := !bits land (!bits - 1)
+      done;
+      let cost = mem_cost w (Memsys.access_costn memory ~addrs:addr_buf ~n:!n) in
+      let pc1 = pc + 1 and ready = !cycle + cost in
+      let i = ref 0 in
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+        th.cur_regs.(d) <- Memsys.read memory addr_buf.(!i);
+        incr i;
+        th.pc <- pc1;
+        th.ready_at <- ready;
+        bits := !bits land (!bits - 1)
+      done
+    | 4 (* store *) ->
+      metrics.mem_accesses <- metrics.mem_accesses + 1;
+      let x = da.(pc) and v = db.(pc) in
+      let n = ref 0 in
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+        addr_buf.(!n) <- Valops.to_int (eval_enc th x);
+        incr n;
+        bits := !bits land (!bits - 1)
+      done;
+      let cost = mem_cost w (Memsys.access_costn memory ~addrs:addr_buf ~n:!n) in
+      let pc1 = pc + 1 and ready = !cycle + cost in
+      (* Lane order resolves write conflicts: the highest lane wins,
+         matching CUDA's unspecified-but-single-winner semantics
+         deterministically. *)
+      let i = ref 0 in
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+        Memsys.write memory addr_buf.(!i) (eval_enc th v);
+        incr i;
+        th.pc <- pc1;
+        th.ready_at <- ready;
+        bits := !bits land (!bits - 1)
+      done
+    | 5 (* tid *) ->
+      let d = da.(pc) in
+      let pc1 = pc + 1 and ready = !cycle + lat_tbl.(pc) in
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+        th.cur_regs.(d) <- T.I th.tid;
+        th.pc <- pc1;
+        th.ready_at <- ready;
+        bits := !bits land (!bits - 1)
+      done
+    | 6 (* lane *) ->
+      let d = da.(pc) in
+      let pc1 = pc + 1 and ready = !cycle + lat_tbl.(pc) in
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+        th.cur_regs.(d) <- T.I th.lane;
+        th.pc <- pc1;
+        th.ready_at <- ready;
+        bits := !bits land (!bits - 1)
+      done
+    | 7 (* nthreads *) ->
+      let d = da.(pc) in
+      let v = T.I n_threads in
+      let pc1 = pc + 1 and ready = !cycle + lat_tbl.(pc) in
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+        th.cur_regs.(d) <- v;
+        th.pc <- pc1;
+        th.ready_at <- ready;
+        bits := !bits land (!bits - 1)
+      done
+    | 8 (* rand *) ->
+      let d = da.(pc) in
+      let pc1 = pc + 1 and ready = !cycle + lat_tbl.(pc) in
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+        th.cur_regs.(d) <- T.F (Support.Splitmix.float th.rng);
+        th.pc <- pc1;
+        th.ready_at <- ready;
+        bits := !bits land (!bits - 1)
+      done
+    | 9 (* randint *) ->
+      let d = da.(pc) and x = db.(pc) in
+      let pc1 = pc + 1 and ready = !cycle + lat_tbl.(pc) in
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+        let bound = Valops.to_int (eval_enc th x) in
+        if bound <= 0 then
+          raise
+            (Runtime_error
+               (Printf.sprintf "randint bound %d not positive (%s)" bound (context w th)));
+        th.cur_regs.(d) <- T.I (Support.Splitmix.int th.rng bound);
+        th.pc <- pc1;
+        th.ready_at <- ready;
+        bits := !bits land (!bits - 1)
+      done
+    | 10 | 11 (* join / rejoin *) ->
+      metrics.barrier_joins <- metrics.barrier_joins + 1;
+      let b = da.(pc) in
+      let pc1 = pc + 1 and ready = !cycle + lat_tbl.(pc) in
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+        Barrier_unit.join w.barriers b th.lane;
+        th.pc <- pc1;
+        th.ready_at <- ready;
+        bits := !bits land (!bits - 1)
+      done
+    | 12 (* wait *) ->
+      metrics.barrier_waits <- metrics.barrier_waits + 1;
+      let b = da.(pc) in
+      let pc1 = pc + 1 and ready = !cycle + lat_tbl.(pc) in
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+        if Barrier_unit.is_participant w.barriers b th.lane then begin
+          th.status <- Blocked;
+          Barrier_unit.block ~now:!cycle w.barriers b th.lane ~threshold:None
+        end
+        else begin
+          th.pc <- pc1;
+          th.ready_at <- ready
+        end;
+        bits := !bits land (!bits - 1)
+      done;
+      (* blockers and pass-through threads part ways *)
+      regroup w active;
+      release_fired w b;
+      watchdog w
+    | 13 (* wait.th *) ->
+      metrics.barrier_waits <- metrics.barrier_waits + 1;
+      let b = da.(pc) in
+      let threshold = Some db.(pc) in
+      let pc1 = pc + 1 and ready = !cycle + lat_tbl.(pc) in
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+        if Barrier_unit.is_participant w.barriers b th.lane then begin
+          th.status <- Blocked;
+          Barrier_unit.block ~now:!cycle w.barriers b th.lane ~threshold
+        end
+        else begin
+          th.pc <- pc1;
+          th.ready_at <- ready
+        end;
+        bits := !bits land (!bits - 1)
+      done;
+      regroup w active;
+      release_fired w b;
+      watchdog w
+    | 14 (* cancel *) ->
+      metrics.barrier_cancels <- metrics.barrier_cancels + 1;
+      let b = da.(pc) in
+      let pc1 = pc + 1 and ready = !cycle + lat_tbl.(pc) in
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+        Barrier_unit.cancel w.barriers b th.lane;
+        th.pc <- pc1;
+        th.ready_at <- ready;
+        bits := !bits land (!bits - 1)
+      done;
+      release_fired w b
+    | 15 (* arrived *) ->
+      let d = da.(pc) and b = db.(pc) in
+      (* No lane mutates barrier state here, so the count is uniform
+         across the group — materialize it once. *)
+      let v = T.I (Barrier_unit.arrived w.barriers b) in
+      let pc1 = pc + 1 and ready = !cycle + lat_tbl.(pc) in
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+        th.cur_regs.(d) <- v;
+        th.pc <- pc1;
+        th.ready_at <- ready;
+        bits := !bits land (!bits - 1)
+      done
+    | 16 (* call *) ->
+      let ci = calls.(da.(pc)) in
+      let cargs = ci.D.cargs in
+      let n_args = Array.length cargs in
+      let pc1 = pc + 1 and ready = !cycle + lat_tbl.(pc) in
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+        let regs = Array.make ci.D.cn_regs (T.I 0) in
+        (* Arguments read the caller frame: fill the callee registers
+           before swinging cur_regs over. *)
+        for i = 0 to n_args - 1 do
+          regs.(i) <- eval_enc th cargs.(i)
+        done;
+        th.frames <- { regs; ret_pc = pc1; ret_reg = ci.D.cret } :: th.frames;
+        th.cur_regs <- regs;
+        th.pc <- ci.D.centry;
+        th.ready_at <- ready;
+        bits := !bits land (!bits - 1)
+      done
+    | 17 (* ret *) ->
+      let x = da.(pc) in
+      let ready = !cycle + lat_tbl.(pc) in
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+        (match th.frames with
+        | { ret_pc; ret_reg; _ } :: (top :: _ as rest) ->
+          (* The return operand reads the callee frame; evaluate before
+             the pop. A ret with no operand writes I 0 into a declared
+             return register (the seed semantics). *)
+          let v = if x >= 0 then eval_enc th x else T.I 0 in
+          th.frames <- rest;
+          th.cur_regs <- top.regs;
+          if ret_reg >= 0 then th.cur_regs.(ret_reg) <- v;
+          th.pc <- ret_pc;
+          th.ready_at <- ready
+        | _ -> raise (Runtime_error (Printf.sprintf "ret outside call (%s)" (context w th))));
+        bits := !bits land (!bits - 1)
+      done;
       (* returns to different call sites split the group *)
       regroup w active
-    | L.Lbr { cond; target } ->
-      each (fun th ->
-          th.pc <- (if Valops.truthy (eval th cond) then target else pc + 1);
-          th.ready_at <- !cycle + lat.branch);
+    | 18 (* br *) ->
+      let x = da.(pc) and target = db.(pc) in
+      let pc1 = pc + 1 and ready = !cycle + lat_tbl.(pc) in
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+        th.pc <- (if Valops.truthy (eval_enc th x) then target else pc1);
+        th.ready_at <- ready;
+        bits := !bits land (!bits - 1)
+      done;
       (* a divergent outcome splits the convergence group *)
       regroup w active
-    | L.Ljump target ->
-      each (fun th ->
-          th.pc <- target;
-          th.ready_at <- !cycle + lat.branch)
-    | L.Lexit ->
-      each (fun th -> finish_thread w th);
-      if metrics.threads_finished < n_threads then watchdog ()
+    | 19 (* jump *) ->
+      let target = da.(pc) in
+      let ready = !cycle + lat_tbl.(pc) in
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+        th.pc <- target;
+        th.ready_at <- ready;
+        bits := !bits land (!bits - 1)
+      done
+    | 20 (* exit *) ->
+      let bits = ref (Mask.bits active) in
+      while !bits <> 0 do
+        finish_thread w threads.(Mask.lowest (Mask.of_bits !bits));
+        bits := !bits land (!bits - 1)
+      done;
+      if metrics.threads_finished < n_threads then watchdog w
+    | _ -> assert false
   in
   (* Pick the next (warp, pc, lanes) to issue, rotating over warps.
      Candidates are convergence groups, read straight off the warp's
@@ -548,6 +841,7 @@ let run ?tracer ?faults ?entry (config : Config.t) (lprog : L.t) ~args ~init_mem
      status is Ready and its ready_at has passed. Candidates are ordered
      by (pc, lexicographic lane list) — the order the schedule-sensitive
      policies are defined against. *)
+  let sel_pc = ref 0 and sel_mask = ref Mask.empty and sel_warp = ref 0 in
   let select_group w =
     let k = ref 0 in
     for s = 0 to w.n_groups - 1 do
@@ -560,7 +854,7 @@ let run ?tracer ?faults ?entry (config : Config.t) (lprog : L.t) ~args ~init_mem
       end
     done;
     let k = !k in
-    if k = 0 then None
+    if k = 0 then false
     else begin
       for i = 1 to k - 1 do
         let pc = cand_pc.(i) and m = cand_mask.(i) in
@@ -614,19 +908,23 @@ let run ?tracer ?faults ?entry (config : Config.t) (lprog : L.t) ~args ~init_mem
         | Some f when k >= 2 -> Faults.pick f ~warp:w.wid ~k ~chosen
         | _ -> chosen
       in
-      Some (cand_pc.(chosen), cand_mask.(chosen))
+      sel_pc := cand_pc.(chosen);
+      sel_mask := cand_mask.(chosen);
+      true
     end
   in
+  (* Allocation-free issue pick: [select_group]/[find_issue] report their
+     choice through these cells instead of boxing an option per issue. *)
   let find_issue () =
-    let found = ref None in
+    let found = ref false in
     let i = ref 1 in
-    while !found = None && !i <= config.n_warps do
+    while (not !found) && !i <= config.n_warps do
       let wid = (!last_warp + !i) mod config.n_warps in
-      (match select_group warps.(wid) with
-      | Some (pc, lanes) ->
+      if select_group warps.(wid) then begin
         last_warp := wid;
-        found := Some (warps.(wid), pc, lanes)
-      | None -> ());
+        sel_warp := wid;
+        found := true
+      end;
       incr i
     done;
     !found
@@ -652,8 +950,9 @@ let run ?tracer ?faults ?entry (config : Config.t) (lprog : L.t) ~args ~init_mem
   in
   let running = ref true in
   while !running do
-    match find_issue () with
-    | Some (w, pc, active) ->
+    if find_issue () then begin
+      let w = warps.(!sel_warp) in
+      let pc = !sel_pc and active = !sel_mask in
       metrics.issues <- metrics.issues + 1;
       if metrics.issues > config.max_issues then
         raise (Runaway (Printf.sprintf "issue budget %d exhausted" config.max_issues));
@@ -664,11 +963,8 @@ let run ?tracer ?faults ?entry (config : Config.t) (lprog : L.t) ~args ~init_mem
           { at_cycle = !cycle; warp = w.wid; pc; active = Mask.to_list active;
             where = lprog.locs.(pc) }
       | None -> ());
-      if is_block_entry.(pc) then begin
-        let loc = lprog.locs.(pc) in
-        Analysis.Profile.record profile ~func:loc.L.in_func ~block:loc.L.in_block
-          ~count:(Mask.count active)
-      end;
+      let s = bslot.(pc) in
+      if s >= 0 then prof_counts.(s) <- prof_counts.(s) + Mask.count active;
       (try execute w pc active with
       | Valops.Type_error msg ->
         raise (Runtime_error (Printf.sprintf "type error at pc %d (warp %d): %s" pc w.wid msg))
@@ -678,7 +974,8 @@ let run ?tracer ?faults ?entry (config : Config.t) (lprog : L.t) ~args ~init_mem
         raise (Runtime_error (Printf.sprintf "fault at pc %d (warp %d): %s" pc w.wid msg)));
       disturb w;
       incr cycle
-    | None ->
+    end
+    else
       (* Nothing issuable this cycle: advance time to the next ready
          group, finish, or handle an all-blocked stall. Group uniformity
          makes the per-warp minimum a min over groups, not lanes, and the
@@ -686,19 +983,19 @@ let run ?tracer ?faults ?entry (config : Config.t) (lprog : L.t) ~args ~init_mem
       if metrics.threads_finished >= n_threads then running := false
       else begin
         let next = ref max_int in
-        Array.iter
-          (fun w ->
-            if w.ready_stale then begin
-              let m = ref max_int in
-              for s = 0 to w.n_groups - 1 do
-                let rep = w.threads.(Mask.lowest w.gmask.(s)) in
-                if rep.status = Ready && rep.ready_at < !m then m := rep.ready_at
-              done;
-              w.ready_min <- !m;
-              w.ready_stale <- false
-            end;
-            if w.ready_min < !next then next := w.ready_min)
-          warps;
+        for wi = 0 to config.n_warps - 1 do
+          let w = warps.(wi) in
+          if w.ready_stale then begin
+            let m = ref max_int in
+            for s = 0 to w.n_groups - 1 do
+              let rep = w.threads.(Mask.lowest w.gmask.(s)) in
+              if rep.status = Ready && rep.ready_at < !m then m := rep.ready_at
+            done;
+            w.ready_min <- !m;
+            w.ready_stale <- false
+          end;
+          if w.ready_min < !next then next := w.ready_min
+        done;
         if !next < max_int then cycle := max !next (!cycle + 1)
         else begin
           (* Backstop only: the in-execute watchdog catches a doomed warp
@@ -713,6 +1010,12 @@ let run ?tracer ?faults ?entry (config : Config.t) (lprog : L.t) ~args ~init_mem
       end
   done;
   metrics.cycles <- !cycle;
+  Array.iteri
+    (fun s c ->
+      if c > 0 then
+        Analysis.Profile.record profile ~func:dprog.D.bfunc.(s) ~block:dprog.D.bblock.(s)
+          ~count:c)
+    prof_counts;
   (match faults with
   | Some f -> metrics.faults_injected <- List.length (Faults.events f)
   | None -> ());

@@ -1,6 +1,6 @@
 (** The SIMT execution engine.
 
-    Executes a linearized program over [n_warps] warps of [warp_size]
+    Executes a pre-decoded program ({!Ir.Decoded}) over [n_warps] warps of [warp_size]
     threads with Volta-style independent thread scheduling: every thread
     has its own program counter, register frames and call stack; a
     per-warp scheduler issues one same-PC group per cycle through a single
@@ -72,8 +72,10 @@ type issue_event = {
   where : Ir.Linear.location;
 }
 
-(** [run config lprog ~args ~init_memory] launches
-    [config.n_warps * config.warp_size] threads of the kernel.
+(** [run config dprog ~args ~init_memory] launches
+    [config.n_warps * config.warp_size] threads of the kernel. The issue
+    loop dispatches over the decoded opcode array through a flat jump
+    table — decode once with {!Ir.Decoded.decode}, run many times.
 
     [args] are the kernel parameters (uniform across threads);
     [init_memory] fills global tables before the launch;
@@ -91,7 +93,7 @@ val run :
   ?faults:Faults.t ->
   ?entry:string ->
   Config.t ->
-  Ir.Linear.t ->
+  Ir.Decoded.t ->
   args:Ir.Types.value list ->
   init_memory:(Memsys.t -> unit) ->
   result

@@ -1,0 +1,700 @@
+(* The legacy ADT-dispatch interpreter: pattern-matches boxed
+   [Ir.Linear.linst] / [Ir.Types.instr] on every issue, exactly as the
+   engine did before the pre-decoded threaded-code rewrite. Kept
+   bit-exact with {!Interp} as the reference half of the fuzz pipeline's
+   decode-mismatch oracle for one release, then deleted — do not grow
+   features here; port them to {!Interp} and let the oracle check the
+   equivalence. *)
+
+module Mask = Support.Mask
+module L = Ir.Linear
+module T = Ir.Types
+
+type thread_status = Ready | Blocked | Done
+
+type frame = { regs : T.value array; ret_pc : int; ret_reg : T.reg option }
+
+type thread = {
+  lane : int;
+  tid : int;
+  rng : Support.Splitmix.t;
+  mutable frames : frame list; (* head = current frame *)
+  mutable pc : int;
+  mutable status : thread_status;
+  mutable ready_at : int;
+  (* Convergence-group identity: the index of this thread's group slot in
+     its warp's [gmask] table. Threads co-issue only when they share a
+     group; groups split whenever members head to different places
+     (divergent branch outcomes, barrier blocking) and merge ONLY when a
+     convergence barrier fires. This models Volta behaviour faithfully:
+     diverged threads do not spontaneously reconverge just because their
+     PCs happen to coincide — reconvergence requires a barrier, which is
+     exactly why compilers insert them. *)
+  mutable group : int;
+}
+
+type warp = {
+  wid : int;
+  threads : thread array;
+  barriers : Barrier_unit.t;
+  mutable rr_pc : int; (* last pc issued by the Round_robin policy *)
+  (* Live convergence groups as a packed table of lane bitmasks: slots
+     [0, n_groups) hold disjoint non-empty masks covering every non-Done
+     thread. Maintained incrementally on split/merge, so the issue path
+     never rebuilds the partition. Invariant: all members of a group
+     share the same pc, status and ready_at — they always transition
+     together, and any divergent transition (branch, return, barrier
+     block) immediately re-partitions the group by destination. *)
+  gmask : Mask.t array;
+  mutable n_groups : int;
+  (* Cached min ready_at over Ready groups (max_int if none), so an idle
+     cycle advances time in O(warps) instead of O(warps × lanes).
+     [ready_stale] marks the cache dirty after any group mutation. *)
+  mutable ready_min : int;
+  mutable ready_stale : bool;
+}
+
+let frame_of th =
+  match th.frames with
+  | f :: _ -> f
+  | [] -> raise (Interp.Runtime_error (Printf.sprintf "thread %d has no frame" th.tid))
+
+let eval th = function T.Reg r -> (frame_of th).regs.(r) | T.Imm v -> v
+
+let set_reg th r v = (frame_of th).regs.(r) <- v
+
+let run ?tracer ?faults ?entry (config : Config.t) (lprog : L.t) ~args ~init_memory =
+  Config.validate config;
+  let entry_info =
+    match entry with
+    | None -> lprog.kernel
+    | Some name -> (
+      match List.find_opt (fun (f : L.finfo) -> String.equal f.fname name) lprog.funcs with
+      | Some f -> f
+      | None -> invalid_arg (Printf.sprintf "Interp.run: no function named %s" name))
+  in
+  if List.length args <> entry_info.arity then
+    invalid_arg
+      (Printf.sprintf "Interp.run: kernel %s expects %d args, got %d" entry_info.fname
+         entry_info.arity (List.length args));
+  let lat = config.latencies in
+  let memory = Memsys.create config.memory ~size:(max lprog.mem_size 1) in
+  List.iter
+    (fun (base, size) ->
+      for addr = base to base + size - 1 do
+        Memsys.write memory addr (T.F 0.0)
+      done)
+    lprog.float_regions;
+  init_memory memory;
+  let metrics = Metrics.create ~warp_size:config.warp_size in
+  let profile = Analysis.Profile.empty () in
+  let yield_log = ref [] in
+  (* Precompute which pcs start a basic block, for profile recording. *)
+  let n_code = Array.length lprog.code in
+  let is_block_entry =
+    Array.init n_code (fun pc ->
+        pc = 0
+        || lprog.locs.(pc).L.in_func <> lprog.locs.(pc - 1).L.in_func
+        || lprog.locs.(pc).L.in_block <> lprog.locs.(pc - 1).L.in_block)
+  in
+  let make_thread wid lane =
+    let regs = Array.make (max entry_info.n_regs 1) (T.I 0) in
+    List.iteri (fun i v -> regs.(i) <- v) args;
+    {
+      lane;
+      tid = (wid * config.warp_size) + lane;
+      rng = Support.Splitmix.of_ints config.seed wid lane;
+      frames = [ { regs; ret_pc = -1; ret_reg = None } ];
+      pc = entry_info.entry_pc;
+      status = Ready;
+      ready_at = 0;
+      group = 0;
+    }
+  in
+  let warps =
+    Array.init config.n_warps (fun wid ->
+        let w =
+          {
+            wid;
+            threads = Array.init config.warp_size (make_thread wid);
+            barriers =
+              Barrier_unit.create ~n_barriers:lprog.n_barriers ~warp_size:config.warp_size;
+            rr_pc = -1;
+            gmask = Array.make config.warp_size Mask.empty;
+            n_groups = 1;
+            ready_min = 0;
+            ready_stale = true;
+          }
+        in
+        w.gmask.(0) <- Mask.full config.warp_size;
+        w)
+  in
+  let n_threads = config.n_warps * config.warp_size in
+  let cycle = ref 0 in
+  let last_warp = ref (config.n_warps - 1) in
+  (* Per-run scratch: simulation within one [run] is single-threaded, so
+     one set of buffers serves every warp without re-allocation. *)
+  let addr_buf = Array.make config.warp_size 0 in
+  let part_pc = Array.make config.warp_size 0 in
+  let part_slot = Array.make config.warp_size 0 in
+  let cand_pc = Array.make config.warp_size 0 in
+  let cand_mask = Array.make config.warp_size Mask.empty in
+  let context w th =
+    Printf.sprintf "warp %d lane %d tid %d pc %d" w.wid th.lane th.tid th.pc
+  in
+  (* ---- incremental group-table maintenance ---- *)
+  let detach w th =
+    let s = th.group in
+    let m = Mask.remove th.lane w.gmask.(s) in
+    w.gmask.(s) <- m;
+    if Mask.is_empty m then begin
+      (* free the slot by moving the last one down *)
+      let last = w.n_groups - 1 in
+      if s <> last then begin
+        w.gmask.(s) <- w.gmask.(last);
+        Mask.iter (fun lane -> w.threads.(lane).group <- s) w.gmask.(s)
+      end;
+      w.n_groups <- last
+    end
+  in
+  (* Threads that moved together may have landed in different places;
+     re-partition them into fresh groups by destination pc. *)
+  let regroup w moved =
+    w.ready_stale <- true;
+    Mask.iter
+      (fun lane ->
+        let th = w.threads.(lane) in
+        if th.status <> Done then detach w th)
+      moved;
+    let k = ref 0 in
+    Mask.iter
+      (fun lane ->
+        let th = w.threads.(lane) in
+        if th.status <> Done then begin
+          let j = ref 0 in
+          while !j < !k && part_pc.(!j) <> th.pc do incr j done;
+          if !j = !k then begin
+            part_pc.(!k) <- th.pc;
+            part_slot.(!k) <- w.n_groups;
+            w.gmask.(w.n_groups) <- Mask.empty;
+            w.n_groups <- w.n_groups + 1;
+            incr k
+          end;
+          let s = part_slot.(!j) in
+          w.gmask.(s) <- Mask.add lane w.gmask.(s);
+          th.group <- s
+        end)
+      moved
+  in
+  (* Wake a set of lanes released from a barrier: the shared tail of an
+     organic fire, a yield-recovery release and a fault-injected spurious
+     release. Only organic fires count as [barrier_fires]. *)
+  let apply_release w released =
+    Mask.iter
+      (fun lane ->
+        let th = w.threads.(lane) in
+        th.status <- Ready;
+        th.pc <- th.pc + 1;
+        th.ready_at <- !cycle + lat.barrier)
+      released;
+    (* The release is the one place where diverged threads reconverge:
+       everyone released at the same point joins one fresh group. *)
+    regroup w released
+  in
+  (* Release every lane the barrier fire condition allows. *)
+  let release_fired w b =
+    match Barrier_unit.fired w.barriers b with
+    | None -> ()
+    | Some released ->
+      metrics.barrier_fires <- metrics.barrier_fires + 1;
+      apply_release w released
+  in
+  let finish_thread w th =
+    th.status <- Done;
+    w.ready_stale <- true;
+    detach w th;
+    metrics.threads_finished <- metrics.threads_finished + 1;
+    let affected = Barrier_unit.withdraw_lane w.barriers th.lane in
+    List.iter (release_fired w) affected
+  in
+  (* ---- stall handling: yield recovery or deadlock diagnosis ---- *)
+  let waiting_slots w =
+    let acc = ref [] in
+    for b = lprog.n_barriers - 1 downto 0 do
+      if not (Mask.is_empty (Barrier_unit.waiting w.barriers b)) then acc := b :: !acc
+    done;
+    !acc
+  in
+  (* A warp whose every live group is Blocked can never progress again:
+     barrier state is warp-local, so no other warp can release it. *)
+  let warp_stalled w =
+    w.n_groups > 0
+    &&
+    let ok = ref true in
+    for s = 0 to w.n_groups - 1 do
+      if w.threads.(Mask.lowest w.gmask.(s)).status <> Blocked then ok := false
+    done;
+    !ok
+  in
+  (* The dynamic waits-for relation among this warp's barriers: barrier
+     [c] waits for [b] when a lane [c] still expects (a participant not
+     yet arrived) is itself blocked on [b]. A cycle in this relation is
+     the concrete deadlock witness — the runtime counterpart of the
+     static cycle srlint reports. *)
+  let waits_for_cycle w =
+    let succ c =
+      let expected =
+        Mask.diff (Barrier_unit.participants w.barriers c) (Barrier_unit.waiting w.barriers c)
+      in
+      Mask.fold
+        (fun lane acc ->
+          match Barrier_unit.blocked_anywhere w.barriers lane with
+          | Some b -> ( match acc with Some b' when b' <= b -> acc | _ -> Some b)
+          | None -> acc)
+        expected None
+    in
+    let rec drop_until c = function
+      | [] -> []
+      | x :: rest -> if x = c then x :: rest else drop_until c rest
+    in
+    let rec walk seen c =
+      if List.mem c seen then Some (drop_until c (List.rev seen))
+      else match succ c with None -> None | Some b -> walk (c :: seen) b
+    in
+    List.find_map (fun s -> walk [] s) (waiting_slots w)
+  in
+  let lanes_str m = "{" ^ String.concat "," (List.map string_of_int (Mask.to_list m)) ^ "}" in
+  let sites_str w m =
+    let sites =
+      Mask.fold
+        (fun lane acc ->
+          let loc = lprog.locs.(w.threads.(lane).pc) in
+          let s = Printf.sprintf "%s/bb%d" loc.L.in_func loc.L.in_block in
+          if List.mem s acc then acc else acc @ [ s ])
+        m []
+    in
+    String.concat "," sites
+  in
+  let deadlock_report w =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "all live threads of warp %d blocked on convergence barriers (conflicting \
+          barriers?)\n"
+         w.wid);
+    (match waits_for_cycle w with
+    | Some cycle_slots ->
+      let names = List.map (fun b -> Printf.sprintf "b%d" b) cycle_slots in
+      Buffer.add_string buf
+        (Printf.sprintf "waits-for cycle: %s -> %s\n"
+           (String.concat " -> " names)
+           (List.hd names));
+      List.iter
+        (fun b ->
+          let waiting = Barrier_unit.waiting w.barriers b in
+          let expected = Mask.diff (Barrier_unit.participants w.barriers b) waiting in
+          Buffer.add_string buf
+            (Printf.sprintf "  b%d: lanes %s blocked at %s; still expects lanes %s (%s)\n" b
+               (lanes_str waiting) (sites_str w waiting) (lanes_str expected)
+               (sites_str w expected)))
+        cycle_slots
+    | None -> ());
+    Buffer.add_string buf (Format.asprintf "%a" Barrier_unit.pp w.barriers);
+    Buffer.add_string buf
+      "hint: deconfliction (the compiler default) prevents this; yield recovery (srrun \
+       --yield) trades lost convergence for forward progress\n";
+    Buffer.contents buf
+  in
+  (* Every live group of [w] is blocked: release a victim barrier chosen
+     by the configured policy (Volta-style forward progress) or report
+     the deadlock with its waits-for cycle. *)
+  let recover_or_deadlock w =
+    let slots = waiting_slots w in
+    if slots = [] then
+      raise
+        (Interp.Deadlock
+           (Printf.sprintf "warp %d: all groups blocked but no barrier has waiters" w.wid));
+    if not config.yield_on_stall then raise (Interp.Deadlock (deadlock_report w));
+    let victim =
+      match config.yield_policy with
+      | Config.Lowest_slot -> List.hd slots
+      | Config.Oldest_arrival ->
+        (* [slots] ascends, so keeping the incumbent on ties breaks
+           toward the lowest slot id. *)
+        List.fold_left
+          (fun best b ->
+            let a =
+              match Barrier_unit.oldest_arrival w.barriers b with
+              | Some a -> a
+              | None -> max_int
+            in
+            match best with Some (ba, _) when ba <= a -> best | _ -> Some (a, b))
+          None slots
+        |> Option.get |> snd
+      | Config.Most_waiters ->
+        List.fold_left
+          (fun best b ->
+            let n = Mask.count (Barrier_unit.waiting w.barriers b) in
+            let a =
+              match Barrier_unit.oldest_arrival w.barriers b with
+              | Some a -> a
+              | None -> max_int
+            in
+            match best with
+            | Some (bn, ba, _) when bn > n || (bn = n && ba <= a) -> best
+            | _ -> Some (n, a, b))
+          None slots
+        |> Option.get
+        |> fun (_, _, b) -> b
+    in
+    match Barrier_unit.force_release w.barriers victim with
+    | None -> assert false (* victim came from waiting_slots *)
+    | Some released ->
+      let abandoned = Barrier_unit.participants w.barriers victim in
+      metrics.yields <- metrics.yields + 1;
+      metrics.yield_released <- metrics.yield_released + Mask.count released;
+      metrics.yield_abandoned <- metrics.yield_abandoned + Mask.count abandoned;
+      yield_log :=
+        {
+          Interp.at_cycle = !cycle;
+          warp = w.wid;
+          slot = victim;
+          released = Mask.to_list released;
+          abandoned = Mask.to_list abandoned;
+        }
+        :: !yield_log;
+      apply_release w released
+  in
+  (* Execute one issued group: all lanes of [active] sit at [pc]. *)
+  let execute w pc active =
+    w.ready_stale <- true;
+    let each f = Mask.iter (fun lane -> f w.threads.(lane)) active in
+    let advance_all latency =
+      each (fun th ->
+          th.pc <- pc + 1;
+          th.ready_at <- !cycle + latency)
+    in
+    let mem_cost cost =
+      match faults with Some f -> cost + Faults.mem_spike f ~warp:w.wid | None -> cost
+    in
+    (* Blocking and thread exit are the only transitions that can leave a
+       warp with every live group blocked — check right here, so a doomed
+       warp is caught at the faulting instruction while other warps keep
+       running. *)
+    let watchdog () = if warp_stalled w then recover_or_deadlock w in
+    match lprog.code.(pc) with
+    | L.Op op -> (
+      match op with
+      | T.Bin (bop, d, a, b) ->
+        each (fun th -> set_reg th d (Valops.binop bop (eval th a) (eval th b)));
+        advance_all (if T.is_float_op bop then lat.float_op else lat.alu)
+      | T.Un (uop, d, a) ->
+        each (fun th -> set_reg th d (Valops.unop uop (eval th a)));
+        advance_all (if T.is_special_unop uop then lat.special else lat.alu)
+      | T.Mov (d, a) ->
+        each (fun th -> set_reg th d (eval th a));
+        advance_all lat.alu
+      | T.Load (d, a) ->
+        metrics.mem_accesses <- metrics.mem_accesses + 1;
+        let n = ref 0 in
+        each (fun th ->
+            addr_buf.(!n) <- Valops.to_int (eval th a);
+            incr n);
+        let cost = mem_cost (Memsys.access_costn memory ~addrs:addr_buf ~n:!n) in
+        let i = ref 0 in
+        each (fun th ->
+            set_reg th d (Memsys.read memory addr_buf.(!i));
+            incr i);
+        advance_all cost
+      | T.Store (a, v) ->
+        metrics.mem_accesses <- metrics.mem_accesses + 1;
+        let n = ref 0 in
+        each (fun th ->
+            addr_buf.(!n) <- Valops.to_int (eval th a);
+            incr n);
+        let cost = mem_cost (Memsys.access_costn memory ~addrs:addr_buf ~n:!n) in
+        (* Lane order resolves write conflicts: the highest lane wins,
+           matching CUDA's unspecified-but-single-winner semantics
+           deterministically. *)
+        let i = ref 0 in
+        each (fun th ->
+            Memsys.write memory addr_buf.(!i) (eval th v);
+            incr i);
+        advance_all cost
+      | T.Tid d ->
+        each (fun th -> set_reg th d (T.I th.tid));
+        advance_all lat.alu
+      | T.Lane d ->
+        each (fun th -> set_reg th d (T.I th.lane));
+        advance_all lat.alu
+      | T.Nthreads d ->
+        each (fun th -> set_reg th d (T.I n_threads));
+        advance_all lat.alu
+      | T.Rand d ->
+        each (fun th -> set_reg th d (T.F (Support.Splitmix.float th.rng)));
+        advance_all lat.rand
+      | T.Randint (d, n) ->
+        each (fun th ->
+            let bound = Valops.to_int (eval th n) in
+            if bound <= 0 then
+              raise
+                (Interp.Runtime_error
+                   (Printf.sprintf "randint bound %d not positive (%s)" bound (context w th)));
+            set_reg th d (T.I (Support.Splitmix.int th.rng bound)));
+        advance_all lat.rand
+      | T.Join b | T.Rejoin b ->
+        metrics.barrier_joins <- metrics.barrier_joins + 1;
+        each (fun th -> Barrier_unit.join w.barriers b th.lane);
+        advance_all lat.barrier
+      | T.Cancel b ->
+        metrics.barrier_cancels <- metrics.barrier_cancels + 1;
+        each (fun th -> Barrier_unit.cancel w.barriers b th.lane);
+        advance_all lat.barrier;
+        release_fired w b
+      | T.Wait b ->
+        metrics.barrier_waits <- metrics.barrier_waits + 1;
+        each (fun th ->
+            if Barrier_unit.is_participant w.barriers b th.lane then begin
+              th.status <- Blocked;
+              Barrier_unit.block ~now:!cycle w.barriers b th.lane ~threshold:None
+            end
+            else begin
+              th.pc <- pc + 1;
+              th.ready_at <- !cycle + lat.barrier
+            end);
+        (* blockers and pass-through threads part ways *)
+        regroup w active;
+        release_fired w b;
+        watchdog ()
+      | T.Wait_threshold (b, k) ->
+        metrics.barrier_waits <- metrics.barrier_waits + 1;
+        each (fun th ->
+            if Barrier_unit.is_participant w.barriers b th.lane then begin
+              th.status <- Blocked;
+              Barrier_unit.block ~now:!cycle w.barriers b th.lane ~threshold:(Some k)
+            end
+            else begin
+              th.pc <- pc + 1;
+              th.ready_at <- !cycle + lat.barrier
+            end);
+        regroup w active;
+        release_fired w b;
+        watchdog ()
+      | T.Arrived (d, b) ->
+        each (fun th -> set_reg th d (T.I (Barrier_unit.arrived w.barriers b)));
+        advance_all lat.barrier
+      | T.Call _ ->
+        (* The linearizer turns calls into [Lcall]. *)
+        raise (Interp.Runtime_error (Printf.sprintf "raw call at pc %d" pc)))
+    | L.Lcall { entry; n_regs; args = call_args; ret; callee = _ } ->
+      each (fun th ->
+          let values = List.map (eval th) call_args in
+          let regs = Array.make (max n_regs 1) (T.I 0) in
+          List.iteri (fun i v -> regs.(i) <- v) values;
+          th.frames <- { regs; ret_pc = pc + 1; ret_reg = ret } :: th.frames;
+          th.pc <- entry;
+          th.ready_at <- !cycle + lat.call)
+    | L.Lret op ->
+      each (fun th ->
+          let value = Option.map (eval th) op in
+          match th.frames with
+          | { ret_pc; ret_reg; _ } :: (_ :: _ as rest) ->
+            th.frames <- rest;
+            (match (ret_reg, value) with
+            | Some d, Some v -> set_reg th d v
+            | Some d, None -> set_reg th d (T.I 0)
+            | None, (Some _ | None) -> ());
+            th.pc <- ret_pc;
+            th.ready_at <- !cycle + lat.call
+          | _ -> raise (Interp.Runtime_error (Printf.sprintf "ret outside call (%s)" (context w th))));
+      (* returns to different call sites split the group *)
+      regroup w active
+    | L.Lbr { cond; target } ->
+      each (fun th ->
+          th.pc <- (if Valops.truthy (eval th cond) then target else pc + 1);
+          th.ready_at <- !cycle + lat.branch);
+      (* a divergent outcome splits the convergence group *)
+      regroup w active
+    | L.Ljump target ->
+      each (fun th ->
+          th.pc <- target;
+          th.ready_at <- !cycle + lat.branch)
+    | L.Lexit ->
+      each (fun th -> finish_thread w th);
+      if metrics.threads_finished < n_threads then watchdog ()
+  in
+  (* Pick the next (warp, pc, lanes) to issue, rotating over warps.
+     Candidates are convergence groups, read straight off the warp's
+     incremental group table; a group is issuable when its (uniform)
+     status is Ready and its ready_at has passed. Candidates are ordered
+     by (pc, lexicographic lane list) — the order the schedule-sensitive
+     policies are defined against. *)
+  let select_group w =
+    let k = ref 0 in
+    for s = 0 to w.n_groups - 1 do
+      let m = w.gmask.(s) in
+      let rep = w.threads.(Mask.lowest m) in
+      if rep.status = Ready && rep.ready_at <= !cycle then begin
+        cand_pc.(!k) <- rep.pc;
+        cand_mask.(!k) <- m;
+        incr k
+      end
+    done;
+    let k = !k in
+    if k = 0 then None
+    else begin
+      for i = 1 to k - 1 do
+        let pc = cand_pc.(i) and m = cand_mask.(i) in
+        let j = ref (i - 1) in
+        while
+          !j >= 0
+          && (cand_pc.(!j) > pc
+             || (cand_pc.(!j) = pc && Mask.compare_lex cand_mask.(!j) m > 0))
+        do
+          cand_pc.(!j + 1) <- cand_pc.(!j);
+          cand_mask.(!j + 1) <- cand_mask.(!j);
+          decr j
+        done;
+        cand_pc.(!j + 1) <- pc;
+        cand_mask.(!j + 1) <- m
+      done;
+      let chosen =
+        match config.policy with
+        | Config.Lowest_pc -> 0
+        | Config.Most_threads ->
+          let best = ref 0 in
+          let best_n = ref (Mask.count cand_mask.(0)) in
+          for i = 1 to k - 1 do
+            let n = Mask.count cand_mask.(i) in
+            if n > !best_n then begin
+              best := i;
+              best_n := n
+            end
+          done;
+          !best
+        | Config.Round_robin ->
+          let found = ref 0 in
+          (try
+             for i = 0 to k - 1 do
+               if cand_pc.(i) > w.rr_pc then begin
+                 found := i;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          (* rr_pc is Round_robin state only: the other policies must
+             not touch it, or a policy change would perturb schedules it
+             never influences. *)
+          w.rr_pc <- cand_pc.(!found);
+          !found
+      in
+      (* Chaos scheduler: the injector may override a multi-candidate
+         pick with any other legal candidate. *)
+      let chosen =
+        match faults with
+        | Some f when k >= 2 -> Faults.pick f ~warp:w.wid ~k ~chosen
+        | _ -> chosen
+      in
+      Some (cand_pc.(chosen), cand_mask.(chosen))
+    end
+  in
+  let find_issue () =
+    let found = ref None in
+    let i = ref 1 in
+    while !found = None && !i <= config.n_warps do
+      let wid = (!last_warp + !i) mod config.n_warps in
+      (match select_group warps.(wid) with
+      | Some (pc, lanes) ->
+        last_warp := wid;
+        found := Some (warps.(wid), pc, lanes)
+      | None -> ());
+      incr i
+    done;
+    !found
+  in
+  (* Once per issue the injector may disturb the issuing warp: fire a
+     spurious release (a barrier with waiters releases early, with
+     threshold-fire semantics) or push every ready lane's wake-up back. *)
+  let disturb w =
+    match faults with
+    | None -> ()
+    | Some f -> (
+      match Faults.disturb f ~warp:w.wid ~waiting_slots:(waiting_slots w) with
+      | None -> ()
+      | Some (Faults.D_release b) -> (
+        match Barrier_unit.force_release w.barriers b with
+        | Some released -> apply_release w released
+        | None -> ())
+      | Some (Faults.D_stall n) ->
+        Array.iter
+          (fun th -> if th.status = Ready then th.ready_at <- max th.ready_at !cycle + n)
+          w.threads;
+        w.ready_stale <- true)
+  in
+  let running = ref true in
+  while !running do
+    match find_issue () with
+    | Some (w, pc, active) ->
+      metrics.issues <- metrics.issues + 1;
+      if metrics.issues > config.max_issues then
+        raise (Interp.Runaway (Printf.sprintf "issue budget %d exhausted" config.max_issues));
+      metrics.active_sum <- metrics.active_sum + Mask.count active;
+      (match tracer with
+      | Some observe ->
+        observe
+          { Interp.at_cycle = !cycle; warp = w.wid; pc; active = Mask.to_list active;
+            where = lprog.locs.(pc) }
+      | None -> ());
+      if is_block_entry.(pc) then begin
+        let loc = lprog.locs.(pc) in
+        Analysis.Profile.record profile ~func:loc.L.in_func ~block:loc.L.in_block
+          ~count:(Mask.count active)
+      end;
+      (try execute w pc active with
+      | Valops.Type_error msg ->
+        raise (Interp.Runtime_error (Printf.sprintf "type error at pc %d (warp %d): %s" pc w.wid msg))
+      | Division_by_zero ->
+        raise (Interp.Runtime_error (Printf.sprintf "division by zero at pc %d (warp %d)" pc w.wid))
+      | Invalid_argument msg ->
+        raise (Interp.Runtime_error (Printf.sprintf "fault at pc %d (warp %d): %s" pc w.wid msg)));
+      disturb w;
+      incr cycle
+    | None ->
+      (* Nothing issuable this cycle: advance time to the next ready
+         group, finish, or handle an all-blocked stall. Group uniformity
+         makes the per-warp minimum a min over groups, not lanes, and the
+         cache makes the common all-warps-stalled step O(warps). *)
+      if metrics.threads_finished >= n_threads then running := false
+      else begin
+        let next = ref max_int in
+        Array.iter
+          (fun w ->
+            if w.ready_stale then begin
+              let m = ref max_int in
+              for s = 0 to w.n_groups - 1 do
+                let rep = w.threads.(Mask.lowest w.gmask.(s)) in
+                if rep.status = Ready && rep.ready_at < !m then m := rep.ready_at
+              done;
+              w.ready_min <- !m;
+              w.ready_stale <- false
+            end;
+            if w.ready_min < !next then next := w.ready_min)
+          warps;
+        if !next < max_int then cycle := max !next (!cycle + 1)
+        else begin
+          (* Backstop only: the in-execute watchdog catches a doomed warp
+             at its blocking instruction, so reaching here means every
+             warp with live threads stalled some other way. *)
+          let stalled = ref None in
+          Array.iter (fun w -> if !stalled = None && warp_stalled w then stalled := Some w) warps;
+          match !stalled with
+          | Some w -> recover_or_deadlock w
+          | None -> raise (Interp.Deadlock "machine idle with no runnable or blocked group")
+        end
+      end
+  done;
+  metrics.cycles <- !cycle;
+  (match faults with
+  | Some f -> metrics.faults_injected <- List.length (Faults.events f)
+  | None -> ());
+  { Interp.metrics; memory; profile; yield_log = List.rev !yield_log }

@@ -1,0 +1,21 @@
+(** Legacy ADT-walking interpreter, kept one release as the reference
+    half of the fuzz pipeline's [decode-mismatch] oracle.
+
+    This is the pre-decode issue loop: it executes {!Ir.Linear.t}
+    directly, pattern-matching the boxed instruction ADTs per issue. It
+    must stay bit-exact with {!Interp} — same metrics, memory, profile,
+    yield log, same exception messages — which is precisely what the
+    oracle checks on every fuzzed program. Scheduled for deletion once
+    the decoded path has survived a release of fuzzing. *)
+
+(** [run config lprog ~args ~init_memory] — same contract as
+    {!Interp.run}, but over the un-decoded linear program. *)
+val run :
+  ?tracer:(Interp.issue_event -> unit) ->
+  ?faults:Faults.t ->
+  ?entry:string ->
+  Config.t ->
+  Ir.Linear.t ->
+  args:Ir.Types.value list ->
+  init_memory:(Memsys.t -> unit) ->
+  Interp.result

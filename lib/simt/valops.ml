@@ -7,7 +7,14 @@ let type_error op a b =
   raise
     (Type_error (Printf.sprintf "%s applied to %s, %s" (Ir.Printer.binop_name op) (pp a) (pp b)))
 
-let bool_val b = I (if b then 1 else 0)
+(* Shared: comparisons run once per lane per loop iteration, so boxing a
+   fresh [I 0]/[I 1] each time is measurable allocation pressure. Results
+   are only ever compared structurally, never physically. *)
+let v_false = I 0
+
+let v_true = I 1
+
+let bool_val b = if b then v_true else v_false
 
 let binop op a b =
   match (op, a, b) with

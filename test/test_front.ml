@@ -199,7 +199,7 @@ kernel k(n: int) {
 let run_kernel ?(warps = 1) src args =
   let compiled = Core.Compile.compile Core.Compile.baseline ~source:src in
   let config = { Simt.Config.default with Simt.Config.n_warps = warps } in
-  Simt.Interp.run config compiled.Core.Compile.linear ~args ~init_memory:(fun _ -> ())
+  Simt.Interp.run config compiled.Core.Compile.decoded ~args ~init_memory:(fun _ -> ())
 
 let read_out (compiled_src : string) (result : Simt.Interp.result) n =
   ignore compiled_src;
@@ -314,13 +314,13 @@ kernel k() {
   let original =
     let c = Core.Compile.compile Core.Compile.baseline ~source:src in
     let config = { Simt.Config.default with Simt.Config.n_warps = factor } in
-    Simt.Interp.run config c.Core.Compile.linear ~args:[] ~init_memory:(fun _ -> ())
+    Simt.Interp.run config c.Core.Compile.decoded ~args:[] ~init_memory:(fun _ -> ())
   in
   let coarsened =
     let options = { Core.Compile.baseline with Core.Compile.coarsen = Some factor } in
     let c = Core.Compile.compile options ~source:src in
     let config = { Simt.Config.default with Simt.Config.n_warps = 1 } in
-    Simt.Interp.run config c.Core.Compile.linear ~args:[] ~init_memory:(fun _ -> ())
+    Simt.Interp.run config c.Core.Compile.decoded ~args:[] ~init_memory:(fun _ -> ())
   in
   let dump (r : Simt.Interp.result) = Simt.Memsys.dump r.Simt.Interp.memory ~base:0 ~len:128 in
   check_bool "coarsened result matches wide launch" true (dump original = dump coarsened)

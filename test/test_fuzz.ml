@@ -55,6 +55,21 @@ let test_generator_deterministic () =
   Alcotest.(check bool) "same seed and id give the same program" true
     (Front.Pretty.equal_program a.Fuzz.Gen.ast b.Fuzz.Gen.ast)
 
+let test_second_kernel_typed_calls () =
+  (* Seed 8806 id 202 (and 244) once generated a second kernel whose
+     Common_call body fed float arguments to an int-typed fn0 — a
+     stage-failure in lower. The generator now only rolls Common_call
+     for a second kernel when a float-typed device function exists.
+     The pre-fix sources are permanently ill-typed, so the regression is
+     pinned by regenerating rather than by a corpus file. *)
+  List.iter
+    (fun id ->
+      let case = Fuzz.Gen.generate ~seed:8806 id in
+      match Oracle.check case.Fuzz.Gen.ast with
+      | Oracle.Ok_run -> ()
+      | v -> Alcotest.failf "8806/%d: %a" id Oracle.pp_verdict v)
+    [ 202; 244 ]
+
 (* The §3 common-call conflict, as srfuzz minimized it (corpus id 18):
    threads that call [fn0] block on the interprocedural barrier waiting
    at the callee's entry, while the threads that skipped the call block
@@ -78,7 +93,7 @@ kernel k() {
 
 let run_policy (staged : Pipeline.staged) policy =
   let config = { Oracle.base_config with Simt.Config.policy } in
-  Simt.Interp.run config staged.Pipeline.linear ~args:[]
+  Simt.Interp.run config staged.Pipeline.decoded ~args:[]
     ~init_memory:(Oracle.init_memory staged.Pipeline.program)
 
 let test_deconflict_rescues_deadlock () =
@@ -118,7 +133,7 @@ let run_yield (staged : Pipeline.staged) policy yield_policy =
       yield_on_stall = true;
       yield_policy }
   in
-  Simt.Interp.run config staged.Pipeline.linear ~args:[]
+  Simt.Interp.run config staged.Pipeline.decoded ~args:[]
     ~init_memory:(Oracle.init_memory staged.Pipeline.program)
 
 let test_yield_recovers_conflict () =
@@ -211,7 +226,7 @@ let test_fault_trace_roundtrip_and_replay () =
   let config = { Oracle.base_config with Simt.Config.yield_on_stall = true } in
   let faults = Simt.Faults.create ~seed:1905 () in
   let a =
-    Simt.Interp.run ~faults config staged.Pipeline.linear ~args:[]
+    Simt.Interp.run ~faults config staged.Pipeline.decoded ~args:[]
       ~init_memory:(Oracle.init_memory staged.Pipeline.program)
   in
   let events = Simt.Faults.events faults in
@@ -221,7 +236,7 @@ let test_fault_trace_roundtrip_and_replay () =
   (* Replaying the recorded trace reproduces the faulted run exactly. *)
   let replayed = Simt.Faults.replay events in
   let b =
-    Simt.Interp.run ~faults:replayed config staged.Pipeline.linear ~args:[]
+    Simt.Interp.run ~faults:replayed config staged.Pipeline.decoded ~args:[]
       ~init_memory:(Oracle.init_memory staged.Pipeline.program)
   in
   Alcotest.(check bool) "replay applies the same faults" true
@@ -231,7 +246,7 @@ let test_fault_trace_roundtrip_and_replay () =
   Alcotest.(check bool) "replay reproduces the memory image" true (digest a = digest b);
   (* And faults must not change what the program computes. *)
   let clean =
-    Simt.Interp.run Oracle.base_config staged.Pipeline.linear ~args:[]
+    Simt.Interp.run Oracle.base_config staged.Pipeline.decoded ~args:[]
       ~init_memory:(Oracle.init_memory staged.Pipeline.program)
   in
   Alcotest.(check bool) "faulted memory matches the unfaulted run" true (digest a = digest clean)
@@ -264,7 +279,7 @@ let test_multi_kernel_program () =
   in
   Alcotest.(check (list string)) "both kernels listed in order" [ "k"; "k2" ] kernels;
   let run entry args =
-    Simt.Interp.run ~entry Oracle.base_config staged.Pipeline.linear ~args
+    Simt.Interp.run ~entry Oracle.base_config staged.Pipeline.decoded ~args
       ~init_memory:(Oracle.init_memory staged.Pipeline.program)
   in
   let a = run "k" [] in
@@ -297,6 +312,8 @@ let tests =
     ( "fuzz.oracles",
       [
         Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
+        Alcotest.test_case "second-kernel calls well-typed" `Quick
+          test_second_kernel_typed_calls;
         Alcotest.test_case "deconfliction rescues common-call deadlock" `Quick
           test_deconflict_rescues_deadlock;
         Alcotest.test_case "multi-kernel programs" `Quick test_multi_kernel_program;

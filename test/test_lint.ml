@@ -176,7 +176,7 @@ let test_ablation_flags_interproc_deadlock () =
       (fun policy ->
         let config = { Fuzz.Oracle.base_config with Simt.Config.policy } in
         match
-          Simt.Interp.run config ablated.Pipeline.linear ~args:[]
+          Simt.Interp.run config ablated.Pipeline.decoded ~args:[]
             ~init_memory:(Fuzz.Oracle.init_memory ablated.Pipeline.program)
         with
         | _ -> false

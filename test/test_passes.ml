@@ -209,8 +209,8 @@ let test_deconflict_same_priority_unresolved () =
 (* Behavioural check: the conflict really deadlocks without deconfliction
    and runs fine with it. *)
 let run_program ?(config = { Simt.Config.default with Simt.Config.n_warps = 1 }) p args =
-  let linear = Ir.Linear.linearize p in
-  Simt.Interp.run config linear ~args ~init_memory:(fun _ -> ())
+  let decoded = Ir.Decoded.decode (Ir.Linear.linearize p) in
+  Simt.Interp.run config decoded ~args ~init_memory:(fun _ -> ())
 
 let test_conflict_deadlocks_without_deconfliction () =
   let p, _, _ = compile_with_conflict () in
@@ -288,7 +288,7 @@ let test_interproc_behaviour () =
   let spec = Core.Compile.compile Core.Compile.speculative ~source:common_call_src in
   let config = { Simt.Config.default with Simt.Config.n_warps = 1 } in
   let run (c : Core.Compile.compiled) =
-    Simt.Interp.run config c.Core.Compile.linear ~args:[ T.I 8 ] ~init_memory:(fun _ -> ())
+    Simt.Interp.run config c.Core.Compile.decoded ~args:[ T.I 8 ] ~init_memory:(fun _ -> ())
   in
   let rb = run baseline and rs = run spec in
   check_bool "fewer issues with interproc reconvergence" true

@@ -243,7 +243,7 @@ let small_config = { Simt.Config.default with Simt.Config.n_warps = 1 }
 
 let run_src ?(config = small_config) ?(args = []) src =
   let compiled = Core.Compile.compile Core.Compile.baseline ~source:src in
-  Simt.Interp.run config compiled.Core.Compile.linear ~args ~init_memory:(fun _ -> ())
+  Simt.Interp.run config compiled.Core.Compile.decoded ~args ~init_memory:(fun _ -> ())
 
 let out_cells (r : Simt.Interp.result) n = Simt.Memsys.dump r.Simt.Interp.memory ~base:0 ~len:n
 
@@ -291,7 +291,7 @@ let test_interp_arity_error () =
     Core.Compile.compile Core.Compile.baseline ~source:"kernel k(n: int) { let x = n; }"
   in
   match
-    Simt.Interp.run small_config compiled.Core.Compile.linear ~args:[] ~init_memory:(fun _ -> ())
+    Simt.Interp.run small_config compiled.Core.Compile.decoded ~args:[] ~init_memory:(fun _ -> ())
   with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected arity error"
@@ -384,7 +384,7 @@ kernel k() {
     ignore
       (Simt.Interp.run ~tracer
          { small_config with Simt.Config.policy }
-         compiled.Core.Compile.linear ~args:[] ~init_memory:(fun _ -> ()));
+         compiled.Core.Compile.decoded ~args:[] ~init_memory:(fun _ -> ()));
     List.rev !events
   in
   let lowest_first = trace Simt.Config.Lowest_pc in
@@ -440,8 +440,8 @@ kernel k() {
   in
   (* compile twice: no sync vs baseline PDOM *)
   let run_program program =
-    let linear = Ir.Linear.linearize program in
-    Simt.Interp.run small_config linear ~args:[] ~init_memory:(fun _ -> ())
+    let decoded = Ir.Decoded.decode (Ir.Linear.linearize program) in
+    Simt.Interp.run small_config decoded ~args:[] ~init_memory:(fun _ -> ())
   in
   let no_sync = run_program p in
   let p2 = Front.Lower.compile_source
@@ -483,7 +483,7 @@ kernel k() {
   let compiled = Core.Compile.compile Core.Compile.baseline ~source:src in
   let issues = ref 0 and active = ref 0 in
   let result =
-    Simt.Interp.run small_config compiled.Core.Compile.linear
+    Simt.Interp.run small_config compiled.Core.Compile.decoded
       ~tracer:(fun e ->
         incr issues;
         active := !active + List.length e.Simt.Interp.active;
