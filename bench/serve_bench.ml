@@ -1,0 +1,157 @@
+(* Service benchmark: replays traffic traces through an in-process
+   srserved engine (Serve.Server) and reports launches/sec plus cache
+   behaviour, next to BENCH_interp.json's per-exhibit numbers.
+
+   Three traces:
+
+   - repeated  — a small set of compile-heavy straight-line kernels,
+     each launched many times: the "millions of clients, one kernel"
+     shape the compile cache exists for. Cold numbers run with the
+     cache disabled (capacity 0: every launch pays parse→lint→decode),
+     warm numbers against a warmed cache (every launch after the first
+     is a hit). The committed BENCH_service.json must show warm ≥ 2x
+     cold here — that ratio is the service's reason to exist.
+   - registry  — every Table-2 workload (warps=1), repeated: realistic
+     kernels where simulation, not compilation, dominates.
+   - fuzz      — a fixed-seed generated slice, each program twice:
+     small-kernel traffic with a 50% hit rate.
+
+   Wall-clock methodology matches PERF.md's caveats: single process,
+   monotonic timestamps around whole trace replays, and the JSON is a
+   trajectory for humans + the serve bench docs, not a runtest gate. *)
+
+module P = Serve.Protocol
+
+let gettime = Unix.gettimeofday
+
+(* ---- trace construction ---- *)
+
+(* A compile-heavy kernel: [n] dependent updates on a cold path no
+   thread takes at runtime (the guard compares a tid-derived value
+   against a sentinel it can never reach). The compile pipeline — parse,
+   lower, passes, the srlint abstract interpretation, linearize, decode
+   — pays for all [n] statements on every cache miss, while a launch
+   issues only the guard and epilogue; this is the kernel shape where
+   the compile cache is the whole cost, i.e. what a service amortizing
+   one kernel over many launches looks like. Distinct [salt]s give
+   distinct sources, so the trace exercises real cache traffic rather
+   than one hot entry. *)
+let cold_path ~salt ~n =
+  let buf = Buffer.create (n * 64) in
+  Buffer.add_string buf "global out: int[64];\n\nkernel k() {\n  var x: int = tid();\n";
+  for i = 0 to n - 1 do
+    (* Guards compare a tid-derived non-negative value against distinct
+       negative sentinels: never taken, so each body costs compile time
+       (and a PDOM barrier) but no simulated work. *)
+    Buffer.add_string buf
+      (Printf.sprintf "  if (x == -%d) {\n    x = x * %d + %d;\n  }\n" (i + 1)
+         (1 + ((salt + i) mod 3))
+         ((salt * 7) + i))
+  done;
+  Buffer.add_string buf "  out[tid()] = x;\n}\n";
+  Buffer.contents buf
+
+let repeated_trace =
+  let kernels = List.init 4 (fun salt -> cold_path ~salt ~n:160) in
+  let reps = 32 in
+  List.concat_map
+    (fun source ->
+      List.init reps (fun id -> P.Run (P.make_request ~id ~warps:1 ~source ())))
+    kernels
+
+let registry_trace =
+  let reps = 4 in
+  List.concat_map
+    (fun (spec : Workloads.Spec.t) ->
+      List.init reps (fun id ->
+          P.Run
+            (P.make_request ~id ~warps:1 ?coarsen:spec.Workloads.Spec.coarsen
+               ~args:spec.Workloads.Spec.args ~source:spec.Workloads.Spec.source ())))
+    Workloads.Registry.all
+
+let fuzz_trace =
+  let count = 100 in
+  List.concat_map
+    (fun i ->
+      let case = Fuzz.Gen.generate ~seed:909 i in
+      let source = Front.Pretty.to_string case.Fuzz.Gen.ast in
+      [
+        P.Run (P.make_request ~id:i ~init:"data" ~source ());
+        P.Run (P.make_request ~id:(i + count) ~init:"data" ~source ());
+      ])
+    (List.init count Fun.id)
+
+(* ---- measurement ---- *)
+
+type sample = {
+  launches_per_sec : float;
+  hit_rate : float; (* of the timed passes *)
+  errors : int;
+}
+
+let replay server trace =
+  List.length
+    (List.filter
+       (function P.Error _ -> true | _ -> false)
+       (Serve.Server.submit server trace))
+
+(* Time [passes] full replays of [trace] against a fresh server with
+   [capacity] cache entries, after [warmup] untimed replays. *)
+let measure ~capacity ~warmup ~passes trace =
+  let server = Serve.Server.create ~cache_capacity:capacity ~max_issues:100_000_000 () in
+  for _ = 1 to warmup do
+    ignore (replay server trace)
+  done;
+  let h0 = Serve.Server.cache_hits server and m0 = Serve.Server.cache_misses server in
+  let errors = ref 0 in
+  let t0 = gettime () in
+  for _ = 1 to passes do
+    errors := !errors + replay server trace
+  done;
+  let dt = gettime () -. t0 in
+  let lookups =
+    Serve.Server.cache_hits server + Serve.Server.cache_misses server - h0 - m0
+  in
+  {
+    launches_per_sec = (if dt <= 0.0 then 0.0 else float_of_int (passes * List.length trace) /. dt);
+    hit_rate =
+      (if lookups = 0 then 0.0
+       else float_of_int (Serve.Server.cache_hits server - h0) /. float_of_int lookups);
+    errors = !errors;
+  }
+
+let json_path = "BENCH_service.json"
+
+let () =
+  let traces =
+    [ ("repeated", repeated_trace, 3); ("registry", registry_trace, 3); ("fuzz", fuzz_trace, 2) ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, trace, passes) ->
+        let cold = measure ~capacity:0 ~warmup:1 ~passes trace in
+        let warm = measure ~capacity:256 ~warmup:1 ~passes trace in
+        Printf.printf
+          "serve/%-9s %5d launches/pass: cold %8.1f/s, warm %8.1f/s (%.2fx), warm hit rate \
+           %.3f, errors %d\n%!"
+          name (List.length trace) cold.launches_per_sec warm.launches_per_sec
+          (warm.launches_per_sec /. cold.launches_per_sec)
+          warm.hit_rate (cold.errors + warm.errors);
+        [
+          (Printf.sprintf "serve/%s/cold_launches_per_sec" name, cold.launches_per_sec);
+          (Printf.sprintf "serve/%s/warm_launches_per_sec" name, warm.launches_per_sec);
+          (Printf.sprintf "serve/%s/warm_over_cold" name,
+           warm.launches_per_sec /. cold.launches_per_sec);
+          (Printf.sprintf "serve/%s/warm_hit_rate" name, warm.hit_rate);
+        ])
+      traces
+  in
+  let oc = open_out json_path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "  %S: %.6f%s\n" name v (if i < List.length rows - 1 then "," else ""))
+    rows;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d entries)\n" json_path (List.length rows)

@@ -1,0 +1,190 @@
+(* srserved: a long-lived batched compile-and-simulate service.
+
+   Reads newline-delimited requests (Serve.Protocol) from stdin — or
+   from --trace FILE — and answers one response line per request line,
+   in order. Consecutive `run` lines accumulate into a batch of up to
+   --max-batch requests; a batch flushes (compiles its distinct kernels
+   once through the content-addressed cache, launches across cores, and
+   prints responses) when it fills, when a non-run line arrives, on an
+   empty line, or at EOF. `stats` reports the cache counters, `quit`
+   answers `bye` and exits 0. Malformed lines get `error` responses
+   (usage code) without disturbing the stream; the server never dies on
+   bad input.
+
+   --smoke runs the in-process self-test the @serve-smoke alias gates
+   on: the workload registry (twice, so the repeated kernels must hit
+   the compile cache) plus a fixed-seed fuzz slice, then a soak pass
+   replaying the same trace and requiring semantically identical
+   responses (same metrics and memory digests; only the cumulative
+   cache counters may differ). Exit 1 if any expectation fails. *)
+
+module P = Serve.Protocol
+
+let usage msg = raise (Core.Cli.Error (Core.Cli.Usage msg))
+
+(* ---- stdio / trace service loop ---- *)
+
+let is_run_line line =
+  let line = String.trim line in
+  String.length line >= 4 && String.sub line 0 4 = "run "
+
+let serve_channel server ~max_batch ic =
+  let quit = ref false in
+  let pending = ref [] in
+  let respond lines =
+    List.iter print_endline (Serve.Server.submit_lines server lines);
+    flush stdout
+  in
+  let flush_pending () =
+    if !pending <> [] then begin
+      respond (List.rev !pending);
+      pending := []
+    end
+  in
+  (try
+     while not !quit do
+       let line = input_line ic in
+       if String.trim line = "" then flush_pending ()
+       else if is_run_line line then begin
+         pending := line :: !pending;
+         if List.length !pending >= max_batch then flush_pending ()
+       end
+       else begin
+         (* stats / quit / malformed: sequential markers — they observe
+            every launch before them, so the batch goes first. *)
+         flush_pending ();
+         respond [ line ];
+         if P.parse_command line = Ok P.Quit then quit := true
+       end
+     done
+   with End_of_file -> flush_pending ())
+
+(* ---- --smoke: the @serve-smoke self-test ---- *)
+
+let smoke_fuzz_seed = 505
+let smoke_fuzz_count = 50
+
+let smoke_trace () =
+  let registry =
+    List.map
+      (fun (spec : Workloads.Spec.t) ->
+        P.Run
+          (P.make_request ~id:0 ~warps:1 ?coarsen:spec.Workloads.Spec.coarsen
+             ~args:spec.Workloads.Spec.args ~source:spec.Workloads.Spec.source ()))
+      Workloads.Registry.all
+  in
+  let fuzzed =
+    List.init smoke_fuzz_count (fun i ->
+        let case = Fuzz.Gen.generate ~seed:smoke_fuzz_seed i in
+        P.Run
+          (P.make_request ~id:0 ~init:"data"
+             ~source:(Front.Pretty.to_string case.Fuzz.Gen.ast)
+             ()))
+  in
+  (* The registry twice: the second pass is the repeated-kernel traffic
+     that must hit the compile cache. *)
+  List.mapi
+    (fun id -> function
+      | P.Run r -> P.Run { r with P.id }
+      | cmd -> cmd)
+    (registry @ registry @ fuzzed)
+
+(* Semantic echo of a response: everything except the cache status and
+   cumulative counters, which legitimately change between soak passes
+   (first sight is a miss, every replay a hit). *)
+let semantic = function
+  | P.Ok_run r ->
+    P.print_response (P.Ok_run { r with P.cache = P.Miss; hits = 0; misses = 0; evictions = 0 })
+  | other -> P.print_response other
+
+let smoke () =
+  let server = Serve.Server.create ~cache_capacity:256 ~max_issues:100_000_000 () in
+  let trace = smoke_trace () in
+  let first = Serve.Server.submit server trace in
+  let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("serve-smoke: " ^ msg); true) fmt in
+  let failed = ref false in
+  let count pred = List.length (List.filter pred first) in
+  let bad =
+    count (function P.Error { kind = "malformed"; _ } | P.Overloaded _ -> true | _ -> false)
+  in
+  if bad > 0 then failed := fail "%d malformed/overloaded response(s)" bad;
+  let errors = count (function P.Error _ -> true | _ -> false) in
+  if errors > 0 then
+    failed := fail "%d error response(s) on a trace that must be clean" errors;
+  if Serve.Server.cache_hits server < List.length Workloads.Registry.all then
+    failed :=
+      fail "repeated registry kernels produced only %d cache hit(s)"
+        (Serve.Server.cache_hits server);
+  (* Soak: the same trace twice more against the warm server. Responses
+     must be semantically identical pass over pass. *)
+  let reference = List.map semantic first in
+  for pass = 2 to 3 do
+    let again = List.map semantic (Serve.Server.submit server trace) in
+    if again <> reference then
+      failed := fail "soak pass %d diverged from the first response stream" pass
+  done;
+  Printf.printf
+    "serve-smoke: %d requests x 3 passes: %d served, cache hits=%d misses=%d evictions=%d \
+     entries=%d\n"
+    (List.length trace) (Serve.Server.served server) (Serve.Server.cache_hits server)
+    (Serve.Server.cache_misses server)
+    (Serve.Server.cache_evictions server)
+    (Serve.Server.cache_entries server);
+  if !failed then raise (Core.Cli.Error Core.Cli.Findings)
+
+(* ---- CLI ---- *)
+
+let main smoke_flag trace cache_capacity max_batch max_inflight max_issues =
+  if cache_capacity < 0 then usage "--cache-capacity must be >= 0";
+  if max_batch < 1 then usage "--max-batch must be >= 1";
+  if max_inflight < 1 then usage "--max-inflight must be >= 1";
+  if smoke_flag then smoke ()
+  else begin
+    let server = Serve.Server.create ~cache_capacity ~max_inflight ~max_issues () in
+    match trace with
+    | None -> serve_channel server ~max_batch stdin
+    | Some path ->
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> serve_channel server ~max_batch ic)
+  end
+
+open Cmdliner
+
+let cmd =
+  Cmd.v
+    (Cmd.info "srserved"
+       ~doc:
+         "Batched compile-and-simulate service over stdio: newline-delimited kernel-launch \
+          requests against a content-addressed compile cache, sharded across cores with \
+          deterministic response ordering and explicit overload backpressure")
+    Term.(
+      const main
+      $ Arg.(
+          value & flag
+          & info [ "smoke" ]
+              ~doc:
+                "Run the in-process self-test (registry twice + a fixed-seed fuzz slice + a \
+                 soak replay) and exit")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "trace" ] ~docv:"FILE" ~doc:"Serve request lines from $(docv) instead of stdin")
+      $ Arg.(
+          value & opt int 128
+          & info [ "cache-capacity" ] ~doc:"Compile-cache entries (0 disables caching)")
+      $ Arg.(
+          value & opt int 64
+          & info [ "max-batch" ] ~doc:"Run requests accumulated before a batch flushes")
+      $ Arg.(
+          value & opt int 256
+          & info [ "max-inflight" ]
+              ~doc:
+                "Launches admitted per batch segment; requests beyond the bound receive an \
+                 overloaded response instead of queueing")
+      $ Arg.(
+          value & opt int 1_500_000
+          & info [ "max-issues" ] ~doc:"Per-launch issue budget (Runaway cap)"))
+
+let () =
+  let code = Core.Cli.handle (fun () -> Cmd.eval ~catch:false cmd) in
+  exit (if code = Cmd.Exit.cli_error then Core.Cli.exit_code (Core.Cli.Usage "") else code)

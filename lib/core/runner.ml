@@ -9,32 +9,14 @@ type outcome = {
 let efficiency o = Simt.Metrics.simt_efficiency o.metrics
 let cycles o = o.metrics.Simt.Metrics.cycles
 
-let run_spec ?(config = Simt.Config.default) ?faults options (spec : Workloads.Spec.t) =
-  let config = spec.tweak_config config in
-  let options =
-    match options.Compile.coarsen with
-    | Some _ -> options
-    | None -> { options with Compile.coarsen = spec.coarsen }
-  in
-  let compiled = Compile.compile options ~source:spec.source in
+(* The pure run stage: artifact in, outcome out. Everything the launch
+   depends on is an argument, so a cached artifact and a fresh compile
+   behave identically here (the srserved contract). *)
+let launch ?(config = Simt.Config.default) ?(init = fun _ _ -> ()) ?faults ?entry
+    (compiled : Compile.compiled) ~args =
   let result =
-    Simt.Interp.run ?faults config compiled.decoded ~args:spec.args
-      ~init_memory:(fun mem -> spec.init compiled.program mem)
-  in
-  {
-    compiled;
-    metrics = result.Simt.Interp.metrics;
-    profile = result.Simt.Interp.profile;
-    memory = result.Simt.Interp.memory;
-    check = spec.check compiled.program result.Simt.Interp.memory;
-  }
-
-let run_source ?(config = Simt.Config.default) ?(init = fun _ _ -> ()) ?faults ?entry options
-    ~source ~args =
-  let compiled = Compile.compile options ~source in
-  let result =
-    Simt.Interp.run ?faults ?entry config compiled.decoded ~args
-      ~init_memory:(fun mem -> init compiled.program mem)
+    Simt.Interp.run ?faults ?entry config compiled.Compile.decoded ~args
+      ~init_memory:(fun mem -> init compiled.Compile.program mem)
   in
   {
     compiled;
@@ -43,6 +25,20 @@ let run_source ?(config = Simt.Config.default) ?(init = fun _ _ -> ()) ?faults ?
     memory = result.Simt.Interp.memory;
     check = Ok ();
   }
+
+let run_spec ?(config = Simt.Config.default) ?faults options (spec : Workloads.Spec.t) =
+  let config = spec.tweak_config config in
+  let options =
+    match options.Compile.coarsen with
+    | Some _ -> options
+    | None -> { options with Compile.coarsen = spec.coarsen }
+  in
+  let compiled = Compile.compile options ~source:spec.source in
+  let outcome = launch ~config ?faults ~init:spec.init compiled ~args:spec.args in
+  { outcome with check = spec.check compiled.Compile.program outcome.memory }
+
+let run_source ?config ?init ?faults ?entry options ~source ~args =
+  launch ?config ?init ?faults ?entry (Compile.compile options ~source) ~args
 
 let speedup ~baseline ~optimized =
   let b = float_of_int baseline.metrics.Simt.Metrics.cycles in

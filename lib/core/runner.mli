@@ -1,4 +1,12 @@
-(** Compile-and-execute convenience layer. *)
+(** The execute stage behind every driver.
+
+    {!launch} is the pure run stage: it takes an already-compiled
+    artifact and a launch configuration and produces an outcome, with no
+    I/O, no global state and no dependence on where the artifact came
+    from — a fresh {!Compile.compile} and a compile-cache hit are
+    indistinguishable here, which is the property the srserved
+    differential tier leans on. {!run_spec} and {!run_source} are the
+    one-shot conveniences composing compile + launch. *)
 
 type outcome = {
   compiled : Compile.compiled;
@@ -13,6 +21,20 @@ val efficiency : outcome -> float
 
 (** Simulated cycles of the run. *)
 val cycles : outcome -> int
+
+(** [launch ?config ?init ?faults ?entry compiled ~args] executes a
+    compiled program: [init] fills global memory before the launch
+    (default: leave it zeroed), [entry] selects the kernel, [faults]
+    injects chaos. [check] in the outcome is [Ok ()] — output checks
+    belong to workload specs, not the run stage. *)
+val launch :
+  ?config:Simt.Config.t ->
+  ?init:(Ir.Types.program -> Simt.Memsys.t -> unit) ->
+  ?faults:Simt.Faults.t ->
+  ?entry:string ->
+  Compile.compiled ->
+  args:Ir.Types.value list ->
+  outcome
 
 (** [run_spec ?config options spec] compiles [spec.source] under
     [options] (with [spec.coarsen] applied unless [options] already

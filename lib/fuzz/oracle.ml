@@ -1,5 +1,6 @@
 module T = Ir.Types
 module Sm = Support.Splitmix
+module Sp = Serve.Protocol
 
 type kind =
   | Round_trip
@@ -12,6 +13,7 @@ type kind =
   | Chaos_divergence
   | Spurious_yield
   | Decode_mismatch
+  | Serve_mismatch
 
 let kind_name = function
   | Round_trip -> "round-trip"
@@ -24,6 +26,7 @@ let kind_name = function
   | Chaos_divergence -> "chaos-divergence"
   | Spurious_yield -> "spurious-yield"
   | Decode_mismatch -> "decode-mismatch"
+  | Serve_mismatch -> "serve-mismatch"
 
 type violation = { kind : kind; detail : string }
 
@@ -46,23 +49,9 @@ let base_config =
 
 (* The input arrays are filled by global name, so the pattern depends
    only on the source program (the layout is fixed at lowering, before
-   any mode-specific pass runs). *)
-let init_memory (program : T.program) mem =
-  Hashtbl.iter
-    (fun name (base, size) ->
-      match name with
-      | "datai" ->
-        let rng = Sm.of_ints 0xda7a base 1 in
-        for i = 0 to size - 1 do
-          Simt.Memsys.write mem (base + i) (T.I (Sm.int rng 1024 - 256))
-        done
-      | "dataf" ->
-        let rng = Sm.of_ints 0xda7a base 2 in
-        for i = 0 to size - 1 do
-          Simt.Memsys.write mem (base + i) (T.F (Sm.float rng *. 4.0 -. 1.0))
-        done
-      | _ -> ())
-    program.T.globals
+   any mode-specific pass runs). The definition lives with the server so
+   the wire protocol's [init=data] and this oracle share it exactly. *)
+let init_memory = Serve.Server.data_init
 
 (* Bit-exact memory snapshot: float cells compare by IEEE bit pattern
    (works for NaN payloads too), tagged so an int and a float holding the
@@ -104,6 +93,114 @@ exception Stop of verdict
    to pass for the others); the generator emits exactly those. *)
 let runnable_kernels (linear : Ir.Linear.t) =
   List.filter (fun (kf : Ir.Linear.finfo) -> kf.Ir.Linear.arity = 0) linear.Ir.Linear.kernels
+
+(* Serve tier: the same program goes through the srserved engine — a
+   cold pass (empty cache, every kernel's first sight is a miss) then a
+   warm pass (the artifact is cached, every launch must hit) — and every
+   response line must be byte-identical to one rebuilt from the one-shot
+   Core.Compile + Core.Runner stages: same metrics, same memory digest,
+   and cache counters proving the warm pass really served from cache.
+   This catches anything the service layer could add on top of the
+   pipeline it wraps: key collisions handing back the wrong artifact,
+   artifacts mutated by a previous launch, counter nondeterminism,
+   response misordering. *)
+let serve_options =
+  {
+    Core.Compile.mode = Core.Compile.Speculative Passes.Deconflict.Dynamic;
+    coarsen = None;
+    threshold = Core.Compile.Keep;
+    cleanup = true;
+    deconflict = true;
+    lint = true;
+  }
+
+let serve_matrix ~max_issues ast (linear : Ir.Linear.t) =
+  match runnable_kernels linear with
+  | [] -> ()
+  | kernels ->
+    let source = Front.Pretty.to_string ast in
+    let server = Serve.Server.create ~cache_capacity:8 ~max_issues () in
+    let compiled =
+      try Ok (Core.Compile.compile serve_options ~source) with exn -> Error exn
+    in
+    let config = { base_config with Simt.Config.max_issues } in
+    (* Mirror of the server's counter discipline: the artifact is keyed
+       by source + compile fields only, so the program's first request is
+       the one miss and every later request (any kernel, either pass) a
+       hit. Counters advance at cache-resolution time, before the launch
+       — a launch failure still consumed its hit or miss. *)
+    let hits = ref 0 and misses = ref 0 in
+    let expected rid (kf : Ir.Linear.finfo) =
+      let oneshot () =
+        match compiled with
+        | Error exn -> raise exn
+        | Ok artifact ->
+          let cache =
+            if !misses = 0 then begin misses := 1; Sp.Miss end
+            else begin incr hits; Sp.Hit end
+          in
+          let outcome =
+            Core.Runner.launch ~config ~init:Serve.Server.data_init
+              ~entry:kf.Ir.Linear.fname artifact ~args:[]
+          in
+          let m = outcome.Core.Runner.metrics in
+          Sp.Ok_run
+            {
+              Sp.rid;
+              cache;
+              hits = !hits;
+              misses = !misses;
+              evictions = 0;
+              cycles = m.Simt.Metrics.cycles;
+              issues = m.Simt.Metrics.issues;
+              active = m.Simt.Metrics.active_sum;
+              finished = m.Simt.Metrics.threads_finished;
+              digest = Simt.Memsys.digest outcome.Core.Runner.memory;
+            }
+      in
+      match oneshot () with
+      | resp -> resp
+      | exception exn -> (
+        match Core.Cli.classify exn with
+        | Some outcome ->
+          let kind, msg = Serve.Server.outcome_kind_and_message outcome in
+          Sp.Error { rid; code = Core.Cli.exit_code outcome; kind; msg }
+        | None -> raise exn)
+    in
+    let n = List.length kernels in
+    List.iter
+      (fun pass ->
+        let reqs =
+          List.mapi (fun i kf -> ((pass * n) + i, kf)) kernels
+        in
+        let actual =
+          Serve.Server.submit server
+            (List.map
+               (fun (rid, (kf : Ir.Linear.finfo)) ->
+                 Sp.Run
+                   (Sp.make_request ~id:rid ~warps:base_config.Simt.Config.n_warps
+                      ~seed:base_config.Simt.Config.seed ~entry:kf.Ir.Linear.fname
+                      ~init:"data" ~source ()))
+               reqs)
+        in
+        List.iter2
+          (fun (rid, (kf : Ir.Linear.finfo)) got ->
+            let got = Sp.print_response got and want = Sp.print_response (expected rid kf) in
+            if not (String.equal got want) then
+              raise
+                (Stop
+                   (Violation
+                      {
+                        kind = Serve_mismatch;
+                        detail =
+                          Printf.sprintf
+                            "%s pass, kernel %s: served response differs from the one-shot \
+                             pipeline\n  served:   %s\n  one-shot: %s"
+                            (if pass = 0 then "cold" else "warm")
+                            kf.Ir.Linear.fname got want;
+                      })))
+          reqs actual)
+      [ 0; 1 ]
 
 (* Chaos tier: a lint-clean program already proven mode- and
    schedule-independent by the main matrix must ALSO survive fault
@@ -366,6 +463,11 @@ let check ?(max_issues = 1_500_000) ?(chaos = 0) ?(chaos_seed = 0xc4a05) ast =
                   (Format.asprintf "%a" Analysis.Barrier_safety.pp_machine f);
             }
         | None ->
+          (* Serve tier: clean programs must come back from the batched
+             service byte-identical to the one-shot pipeline, cold and
+             warm. *)
+          let _, specrecon = List.find (fun (m, _) -> m = Pipeline.Specrecon) staged in
+          serve_matrix ~max_issues ast specrecon.Pipeline.linear;
           (* Only lint-clean programs reach the chaos tier, so the
              zero-yields contract applies unconditionally. *)
           if chaos > 0 then chaos_matrix ~max_issues ~chaos ~chaos_seed staged;

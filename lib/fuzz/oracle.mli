@@ -29,6 +29,13 @@
       reproduce its metrics and memory exactly ({!Decode_mismatch}
       otherwise). This is the runtime proof that {!Ir.Decoded.decode}
       preserves semantics instruction-for-instruction.
+    + {b Serve fidelity} — every clean program is additionally submitted
+      through an in-process srserved engine ({!Serve.Server}), cold
+      (empty compile cache) then warm (artifact cached): each response
+      line must be byte-identical to one rebuilt from the one-shot
+      {!Core.Compile} + {!Core.Runner} stages, including the echoed
+      cache counters — the warm pass must prove it really served the
+      cached {!Ir.Decoded} artifact ({!Serve_mismatch} otherwise).
 
     With [~chaos:n > 0], a program that passes everything above also
     enters the {b chaos tier}: [n] seeded fault-injection plans
@@ -66,6 +73,11 @@ type kind =
   | Decode_mismatch
       (** the pre-decoded interpreter and the legacy ADT interpreter
           disagree on metrics or memory for the same program *)
+  | Serve_mismatch
+      (** the srserved engine answered a request differently from the
+          one-shot [Core.Compile] + [Core.Runner] pipeline — wrong
+          metrics, wrong memory digest, or cache counters that do not
+          match the cold-then-warm submission order *)
 
 val kind_name : kind -> string
 

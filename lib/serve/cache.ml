@@ -1,0 +1,79 @@
+(* Content-addressed LRU cache keyed by FNV-1a digests of full key
+   strings. Capacities are small (hundreds), so eviction does an O(n)
+   scan for the stalest entry instead of maintaining a heap — simpler,
+   and never on the hit path. *)
+
+type 'a entry = { key : string; value : 'a; mutable last_use : int }
+
+type 'a t = {
+  capacity : int;
+  table : (int, 'a entry) Hashtbl.t;
+  mutable clock : int; (* bumps on every hit/insert; orders recency *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Cache.create: negative capacity";
+  { capacity; table = Hashtbl.create (max capacity 1); clock = 0; hits = 0; misses = 0;
+    evictions = 0 }
+
+(* FNV-1a, 64-bit constants, folded into OCaml's 63-bit int. The sign
+   bit is cleared so digests print/compare as non-negative ints, same
+   convention as Simt.Memsys.digest. *)
+let digest s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  Int64.to_int !h land max_int
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let evict_stalest t =
+  let stalest =
+    Hashtbl.fold
+      (fun h e acc ->
+        match acc with
+        | Some (_, stale) when stale.last_use <= e.last_use -> acc
+        | _ -> Some (h, e))
+      t.table None
+  in
+  match stalest with
+  | None -> ()
+  | Some (h, _) ->
+    Hashtbl.remove t.table h;
+    t.evictions <- t.evictions + 1
+
+let find_or_add t ~key build =
+  let h = digest key in
+  match Hashtbl.find_opt t.table h with
+  | Some e when String.equal e.key key ->
+    t.hits <- t.hits + 1;
+    e.last_use <- tick t;
+    (Protocol.Hit, e.value)
+  | Some _ | None ->
+    (* A digest collision lands here too: the colliding entry stays put
+       and this key recomputes every time — correct, just slower. *)
+    t.misses <- t.misses + 1;
+    let value = build () in
+    if t.capacity > 0 then begin
+      if Hashtbl.length t.table >= t.capacity && not (Hashtbl.mem t.table h) then
+        evict_stalest t;
+      Hashtbl.replace t.table h { key; value; last_use = tick t }
+    end;
+    (Protocol.Miss, value)
+
+let mem t ~key =
+  match Hashtbl.find_opt t.table (digest key) with
+  | Some e -> String.equal e.key key
+  | None -> false
+
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let length t = Hashtbl.length t.table

@@ -1,0 +1,65 @@
+(** The srserved engine: batched compile-and-simulate behind a
+    content-addressed compile cache.
+
+    A server owns one {!Cache.t} mapping (source, compile options) to
+    the {!Core.Compile.compiled} artifact — in particular its immutable
+    {!Ir.Decoded.t}, so a kernel submitted by any number of clients
+    decodes once. {!submit} takes a batch of protocol commands and
+    returns exactly one response per command, in command order:
+
+    - compilation of the batch's distinct uncached kernels fans out
+      across cores through {!Support.Domain_pool}, then artifacts are
+      committed to the cache {e sequentially in request order}, so the
+      hit/miss/eviction counters echoed in each response are
+      deterministic whatever [SPECRECON_DOMAINS] says;
+    - launches then fan out through the pool too, reassembled by
+      request index — the response stream is byte-identical across
+      domain counts;
+    - backpressure is explicit: a batch segment admits at most
+      [max_inflight] launches, and every request beyond that bound gets
+      an [overloaded] response instead of queueing unboundedly (it was
+      never admitted; the client retries).
+
+    Failures never tear the server down: per-request errors map through
+    {!Core.Cli.classify} to the 0–8 code contract and come back as
+    [error] responses. *)
+
+type t
+
+(** [create ()] — [cache_capacity] entries ([0] disables caching),
+    [max_inflight] admitted launches per batch segment, [max_issues]
+    the per-launch runaway budget. *)
+val create : ?cache_capacity:int -> ?max_inflight:int -> ?max_issues:int -> unit -> t
+
+(** The deterministic input-array fill the fuzz oracles launch under:
+    [datai]/[dataf] get SplitMix streams keyed by global base address,
+    all other globals stay zeroed. Exposed here so the serve-mismatch
+    oracle and the one-shot path it compares against share one
+    definition ([init=data] on the wire). *)
+val data_init : Ir.Types.program -> Simt.Memsys.t -> unit
+
+(** The wire rendering of a classified failure: the [kind] token and
+    message an [error] response carries for that {!Core.Cli.outcome}.
+    Exposed so the serve-mismatch oracle renders one-shot failures
+    exactly as the server does. *)
+val outcome_kind_and_message : Core.Cli.outcome -> string * string
+
+(** One response per command, in order. *)
+val submit : t -> Protocol.command list -> Protocol.response list
+
+(** [submit_lines t lines] — parse, submit, and print: the stdio loop's
+    core, one response line per request line (malformed lines get
+    [error] responses with the usage code). *)
+val submit_lines : t -> string list -> string list
+
+(** Cumulative launches completed (ok or error; overloaded and stats
+    excluded). *)
+val served : t -> int
+
+val cache_hits : t -> int
+
+val cache_misses : t -> int
+
+val cache_evictions : t -> int
+
+val cache_entries : t -> int

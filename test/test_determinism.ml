@@ -13,11 +13,58 @@ let test_funnel_domain_independence () =
   Alcotest.(check string) "byte-identical under 1 vs 4 domains" (render_funnel 1)
     (render_funnel 4)
 
+(* The same contract for the srserved engine: its batch phases (parallel
+   precompile, sequential cache commit, parallel launch) must answer a
+   mixed trace — repeated kernels, distinct kernels, failures, stats,
+   malformed lines — with a byte-identical response stream whatever
+   SPECRECON_DOMAINS says. *)
+let serve_trace =
+  let module P = Serve.Protocol in
+  let registry =
+    List.concat_map
+      (fun (spec : Workloads.Spec.t) ->
+        let req id =
+          P.print_command
+            (P.Run
+               (P.make_request ~id ~warps:1 ?coarsen:spec.Workloads.Spec.coarsen
+                  ~args:spec.Workloads.Spec.args ~source:spec.Workloads.Spec.source ()))
+        in
+        [ req 0; req 1 ])
+      Workloads.Registry.all
+  in
+  let fuzzed =
+    List.init 6 (fun i ->
+        let case = Fuzz.Gen.generate ~seed:1303 i in
+        P.print_command
+          (P.Run
+             (P.make_request ~id:(100 + i) ~init:"data"
+                ~source:(Front.Pretty.to_string case.Fuzz.Gen.ast)
+                ())))
+  in
+  let failing =
+    [
+      P.print_command (P.Run (P.make_request ~id:200 ~source:"kernel k( {" ()));
+      "not a protocol line";
+    ]
+  in
+  registry @ fuzzed @ failing @ [ P.print_command (P.Stats 300) ]
+
+let render_serve domains =
+  Test_support.with_domains domains (fun () ->
+      let server = Serve.Server.create ~cache_capacity:32 () in
+      String.concat "\n" (Serve.Server.submit_lines server serve_trace))
+
+let test_serve_domain_independence () =
+  Alcotest.(check string) "byte-identical response stream under 1 vs 4 domains"
+    (render_serve 1) (render_serve 4)
+
 let tests =
   [
     ( "determinism.domains",
       [
         Alcotest.test_case "corpus funnel under 1 vs 4 domains" `Slow
           test_funnel_domain_independence;
+        Alcotest.test_case "srserved response stream under 1 vs 4 domains" `Slow
+          test_serve_domain_independence;
       ] );
   ]

@@ -1,0 +1,387 @@
+(* The serve tier: wire protocol round trips, the content-addressed
+   compile cache, and the srserved engine held to the one-shot
+   Core.Compile/Core.Runner pipeline — per-request error mapping through
+   the 0–8 code contract, backpressure, and the full-registry
+   differential. *)
+
+module P = Serve.Protocol
+module Cache = Serve.Cache
+module Server = Serve.Server
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_string = check Alcotest.string
+
+(* ---- protocol: percent encoding ---- *)
+
+let test_encode_round_trip () =
+  let cases =
+    [ ""; "plain"; "a b\tc"; "line1\nline2\r\n"; "100%"; "%20"; "mixed %\n\t end " ]
+  in
+  List.iter
+    (fun s -> check_string ("round trip " ^ String.escaped s) s (P.decode (P.encode s)))
+    cases;
+  check_bool "encoded output has no raw space/newline" true
+    (String.for_all
+       (fun c -> c <> ' ' && c <> '\n' && c <> '\t' && c <> '\r')
+       (P.encode "a b\nc\td\r%"))
+
+let test_decode_rejects_bad_escapes () =
+  List.iter
+    (fun s ->
+      match P.decode s with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail ("decode accepted " ^ s))
+    [ "%"; "%2"; "%zz"; "trailing%2" ]
+
+(* ---- protocol: command and response round trips ---- *)
+
+let sample_source = "global out: int[64];\n\nkernel k(n: int) {\n  out[tid()] = n;\n}\n"
+
+let round_trip_command cmd =
+  match P.parse_command (P.print_command cmd) with
+  | Ok parsed -> check_string "command round trip" (P.print_command cmd) (P.print_command parsed)
+  | Error msg -> Alcotest.fail ("printed command failed to parse: " ^ msg)
+
+let test_command_round_trips () =
+  round_trip_command (P.Run (P.make_request ~id:3 ~source:sample_source ()));
+  round_trip_command
+    (P.Run
+       (P.make_request ~id:7 ~mode:"baseline" ~policy:"round-robin" ~warps:4 ~warp_size:16
+          ~seed:99 ~coarsen:8 ~threshold:(-1) ~entry:"k"
+          ~args:[ Ir.Types.I 42; Ir.Types.F 0.5; Ir.Types.F (-1.25) ]
+          ~init:"data" ~source:sample_source ()));
+  round_trip_command (P.Stats 12);
+  round_trip_command P.Quit
+
+let round_trip_response resp =
+  match P.parse_response (P.print_response resp) with
+  | Ok parsed ->
+    check_string "response round trip" (P.print_response resp) (P.print_response parsed)
+  | Error msg -> Alcotest.fail ("printed response failed to parse: " ^ msg)
+
+let test_response_round_trips () =
+  round_trip_response
+    (P.Ok_run
+       {
+         P.rid = 5;
+         cache = P.Hit;
+         hits = 3;
+         misses = 2;
+         evictions = 1;
+         cycles = 1234;
+         issues = 5678;
+         active = 90;
+         finished = 64;
+         digest = 0x0903df3e9e8ada03;
+       });
+  round_trip_response
+    (P.Error { rid = 9; code = 4; kind = "syntax"; msg = "line 2: unexpected token\nhint" });
+  round_trip_response (P.Overloaded { rid = 11 });
+  round_trip_response
+    (P.Stats_reply { rid = 1; hits = 10; misses = 4; evictions = 2; entries = 2; served = 14 });
+  round_trip_response P.Bye
+
+let test_malformed_commands () =
+  List.iter
+    (fun line ->
+      match P.parse_command line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("parser accepted " ^ line))
+    [
+      "launch id=1 source=x";       (* unknown head *)
+      "run id=1";                    (* missing source *)
+      "run id=1 source=x bogus=1";   (* unknown key *)
+      "run id=nope source=x";        (* bad integer *)
+      "run id=1 mode=jit source=x";  (* unknown mode *)
+      "run id=1 policy=fifo source=x";
+      "run id=1 init=random source=x";
+      "run id=1 source=%zz";         (* bad escape *)
+      "run id=1 id=2 source=x";      (* duplicate key *)
+      "ok rid=1";                    (* response head on the request side *)
+    ]
+
+(* ---- cache ---- *)
+
+(* FNV-1a 64 pins (offset basis and the canonical "a" vector), folded to
+   a non-negative OCaml int the way the cache stores them. *)
+let test_digest_pins () =
+  check_int "fnv-1a of empty" (Int64.to_int 0xcbf29ce484222325L land max_int) (Cache.digest "");
+  check_int "fnv-1a of a" (Int64.to_int 0xaf63dc4c8601ec8cL land max_int) (Cache.digest "a");
+  check_bool "digest differs on content" true (Cache.digest "kernel a" <> Cache.digest "kernel b");
+  check_bool "digest is stable" true (Cache.digest sample_source = Cache.digest sample_source)
+
+let test_cache_hit_after_miss () =
+  let c = Cache.create ~capacity:4 in
+  let builds = ref 0 in
+  let build () = incr builds; "artifact" in
+  let s1, v1 = Cache.find_or_add c ~key:"k" build in
+  let s2, v2 = Cache.find_or_add c ~key:"k" build in
+  check_bool "first is a miss" true (s1 = P.Miss);
+  check_bool "second is a hit" true (s2 = P.Hit);
+  check_int "built exactly once" 1 !builds;
+  check_bool "hit returns the identical artifact" true (v1 == v2);
+  check_int "hits" 1 (Cache.hits c);
+  check_int "misses" 1 (Cache.misses c);
+  check_int "entries" 1 (Cache.length c)
+
+let test_cache_eviction_at_capacity () =
+  let c = Cache.create ~capacity:2 in
+  let add k = ignore (Cache.find_or_add c ~key:k (fun () -> k)) in
+  add "a";
+  add "b";
+  check_int "no eviction while below capacity" 0 (Cache.evictions c);
+  add "c" (* evicts the least recently used: "a" *);
+  check_int "one eviction at capacity" 1 (Cache.evictions c);
+  check_int "still at capacity" 2 (Cache.length c);
+  check_bool "stalest key evicted" false (Cache.mem c ~key:"a");
+  check_bool "recent keys resident" true (Cache.mem c ~key:"b" && Cache.mem c ~key:"c");
+  (* Touching "b" makes "c" the LRU entry. *)
+  add "b";
+  add "d";
+  check_bool "recency updated on hit" true (Cache.mem c ~key:"b");
+  check_bool "untouched entry evicted" false (Cache.mem c ~key:"c")
+
+let test_cache_capacity_zero_disabled () =
+  let c = Cache.create ~capacity:0 in
+  let builds = ref 0 in
+  let build () = incr builds; () in
+  ignore (Cache.find_or_add c ~key:"k" build);
+  ignore (Cache.find_or_add c ~key:"k" build);
+  check_int "every lookup rebuilds" 2 !builds;
+  check_int "nothing retained" 0 (Cache.length c);
+  check_int "no hits" 0 (Cache.hits c);
+  check_int "all misses" 2 (Cache.misses c)
+
+let test_cache_failed_build_not_cached () =
+  let c = Cache.create ~capacity:4 in
+  (match Cache.find_or_add c ~key:"k" (fun () -> failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected the build failure to propagate");
+  check_int "failure still counts as a miss" 1 (Cache.misses c);
+  check_int "failure never cached" 0 (Cache.length c);
+  let status, v = Cache.find_or_add c ~key:"k" (fun () -> "ok") in
+  check_bool "retry is a fresh miss" true (status = P.Miss && v = "ok")
+
+(* ---- server ---- *)
+
+let ok_source = "global out: int[64];\n\nkernel k() {\n  out[tid()] = tid();\n}\n"
+let other_source = "global out: int[64];\n\nkernel k() {\n  out[tid()] = 2 * tid();\n}\n"
+
+let reply_exn = function
+  | P.Ok_run r -> r
+  | other -> Alcotest.failf "expected ok, got: %s" (P.print_response other)
+
+let test_server_hit_after_miss () =
+  let server = Server.create ~cache_capacity:8 () in
+  let req id = P.Run (P.make_request ~id ~warps:1 ~source:ok_source ()) in
+  match Server.submit server [ req 0; req 1 ] with
+  | [ first; second ] ->
+    let a = reply_exn first and b = reply_exn second in
+    check_bool "first is a miss" true (a.P.cache = P.Miss);
+    check_bool "second is a hit" true (b.P.cache = P.Hit);
+    check_int "counters after miss: hits" 0 a.P.hits;
+    check_int "counters after miss: misses" 1 a.P.misses;
+    check_int "counters after hit: hits" 1 b.P.hits;
+    check_int "counters after hit: misses" 1 b.P.misses;
+    check_bool "hit reproduces the digest" true (a.P.digest = b.P.digest);
+    check_bool "hit reproduces the metrics" true
+      (a.P.cycles = b.P.cycles && a.P.issues = b.P.issues && a.P.finished = b.P.finished);
+    check_int "both launches served" 2 (Server.served server)
+  | other -> Alcotest.failf "expected 2 responses, got %d" (List.length other)
+
+let test_server_eviction () =
+  let server = Server.create ~cache_capacity:1 () in
+  let req id source = P.Run (P.make_request ~id ~warps:1 ~source ()) in
+  let responses =
+    Server.submit server [ req 0 ok_source; req 1 other_source; req 2 ok_source ]
+  in
+  check_int "three responses" 3 (List.length responses);
+  (* Capacity 1: each distinct source evicts the previous one, so the
+     re-submitted first kernel misses again. *)
+  check_int "all misses" 3 (Server.cache_misses server);
+  check_int "no hits" 0 (Server.cache_hits server);
+  check_int "two evictions" 2 (Server.cache_evictions server);
+  check_int "one resident entry" 1 (Server.cache_entries server)
+
+let test_server_overloaded () =
+  let server = Server.create ~cache_capacity:8 ~max_inflight:1 () in
+  let req id = P.Run (P.make_request ~id ~warps:1 ~source:ok_source ()) in
+  (match Server.submit server [ req 0; req 1; req 2 ] with
+  | [ P.Ok_run _; P.Overloaded { rid = 1 }; P.Overloaded { rid = 2 } ] -> ()
+  | other ->
+    Alcotest.failf "expected ok + 2 overloaded, got: %s"
+      (String.concat " | " (List.map P.print_response other)));
+  (* Bounced requests were never admitted: no cache traffic, not served. *)
+  check_int "one served" 1 (Server.served server);
+  check_int "one miss only" 1 (Server.cache_misses server);
+  check_int "no hits" 0 (Server.cache_hits server);
+  (* A retry of a bounced request later succeeds (and hits the cache). *)
+  match Server.submit server [ req 1 ] with
+  | [ P.Ok_run r ] -> check_bool "retry hits" true (r.P.cache = P.Hit)
+  | other -> Alcotest.failf "retry failed: %d response(s)" (List.length other)
+
+(* Per-request failures map to exactly the exit code the one-shot tools
+   would have died with, and never tear the server down. *)
+let test_server_error_codes () =
+  let server = Server.create ~cache_capacity:8 () in
+  let expect_error name code kind resp =
+    match resp with
+    | P.Error e ->
+      check_int (name ^ " code") code e.code;
+      check_string (name ^ " kind") kind e.kind
+    | other -> Alcotest.failf "%s: expected error, got: %s" name (P.print_response other)
+  in
+  let syntax = P.Run (P.make_request ~id:0 ~source:"kernel k( {" ()) in
+  let compile = P.Run (P.make_request ~id:1 ~source:"kernel k() {\n  x = 1;\n}\n" ()) in
+  let runtime =
+    P.Run (P.make_request ~id:2 ~warps:1 ~source:"global out: int[4];\n\nkernel k() {\n  out[tid()] = 1;\n}\n" ())
+  in
+  let usage = P.Run (P.make_request ~id:3 ~warps:0 ~source:ok_source ()) in
+  let healthy = P.Run (P.make_request ~id:4 ~warps:1 ~source:ok_source ()) in
+  match Server.submit server [ syntax; compile; runtime; usage; healthy ] with
+  | [ r0; r1; r2; r3; r4 ] ->
+    expect_error "syntax" 4 "syntax" r0;
+    expect_error "compile" 5 "compile" r1;
+    expect_error "runtime" 7 "runtime" r2;
+    expect_error "usage" 2 "usage" r3;
+    check_bool "server survives bad requests" true
+      (match r4 with P.Ok_run _ -> true | _ -> false)
+  | other -> Alcotest.failf "expected 5 responses, got %d" (List.length other)
+
+let test_server_stats_and_lines () =
+  let server = Server.create ~cache_capacity:8 () in
+  let run id = P.print_command (P.Run (P.make_request ~id ~warps:1 ~source:ok_source ())) in
+  let lines = [ run 0; "nonsense line"; run 1; P.print_command (P.Stats 7) ] in
+  match Server.submit_lines server lines with
+  | [ l0; l1; l2; l3 ] ->
+    check_bool "first ok" true
+      (match P.parse_response l0 with Ok (P.Ok_run _) -> true | _ -> false);
+    (* Malformed lines answer in place with the usage code. *)
+    (match P.parse_response l1 with
+    | Ok (P.Error e) ->
+      check_int "malformed code" 2 e.code;
+      check_string "malformed kind" "malformed" e.kind
+    | _ -> Alcotest.fail "malformed line did not answer with an error");
+    check_bool "third ok" true
+      (match P.parse_response l2 with Ok (P.Ok_run _) -> true | _ -> false);
+    (match P.parse_response l3 with
+    | Ok (P.Stats_reply s) ->
+      check_int "stats echoes id" 7 s.rid;
+      check_int "stats hits" 1 s.hits;
+      check_int "stats misses" 1 s.misses;
+      check_int "stats served" 2 s.served
+    | _ -> Alcotest.fail "stats line did not answer with a stats reply")
+  | other -> Alcotest.failf "expected 4 response lines, got %d" (List.length other)
+
+(* The cached artifact is the same immutable Ir.Decoded the fresh
+   compile produced — not a re-decode, not a copy that could drift. *)
+let test_server_hit_serves_identical_artifact () =
+  let options =
+    {
+      Core.Compile.mode = Core.Compile.Speculative Passes.Deconflict.Dynamic;
+      coarsen = None;
+      threshold = Core.Compile.Keep;
+      cleanup = true;
+      deconflict = true;
+      lint = true;
+    }
+  in
+  let cache = Cache.create ~capacity:2 in
+  let build () = Core.Compile.compile options ~source:ok_source in
+  let _, fresh = Cache.find_or_add cache ~key:"k" build in
+  let status, cached = Cache.find_or_add cache ~key:"k" build in
+  check_bool "second lookup hits" true (status = P.Hit);
+  check_bool "hit is physically the same artifact" true (fresh == cached);
+  check_string "identical decoded program"
+    (Format.asprintf "%a" Ir.Decoded.pp fresh.Core.Compile.decoded)
+    (Format.asprintf "%a" Ir.Decoded.pp cached.Core.Compile.decoded)
+
+(* ---- the registry differential: serve vs one-shot ---- *)
+
+(* Every Table-2 workload through the server must answer with exactly
+   the metrics and memory digest the one-shot pipeline produces for the
+   same compile options and launch configuration. *)
+let test_registry_differential () =
+  let server = Server.create ~cache_capacity:64 () in
+  List.iter
+    (fun (spec : Workloads.Spec.t) ->
+      let request =
+        P.make_request ~id:0 ~warps:1 ?coarsen:spec.Workloads.Spec.coarsen
+          ~args:spec.Workloads.Spec.args ~source:spec.Workloads.Spec.source ()
+      in
+      let served =
+        match Server.submit server [ P.Run request ] with
+        | [ P.Ok_run r ] -> r
+        | [ other ] ->
+          Alcotest.failf "%s: server answered %s" spec.Workloads.Spec.name
+            (P.print_response other)
+        | other -> Alcotest.failf "%s: %d responses" spec.Workloads.Spec.name (List.length other)
+      in
+      let options =
+        {
+          Core.Compile.mode = Core.Compile.Speculative Passes.Deconflict.Dynamic;
+          coarsen = spec.Workloads.Spec.coarsen;
+          threshold = Core.Compile.Keep;
+          cleanup = true;
+          deconflict = true;
+          lint = true;
+        }
+      in
+      let config =
+        { Simt.Config.default with
+          Simt.Config.n_warps = 1;
+          warp_size = 32;
+          policy = Simt.Config.Most_threads;
+          seed = 11;
+          max_issues = 1_500_000 }
+      in
+      let oneshot =
+        Core.Runner.run_source ~config options ~source:spec.Workloads.Spec.source
+          ~args:spec.Workloads.Spec.args
+      in
+      let m = oneshot.Core.Runner.metrics in
+      let name = spec.Workloads.Spec.name in
+      check_int (name ^ " cycles") m.Simt.Metrics.cycles served.P.cycles;
+      check_int (name ^ " issues") m.Simt.Metrics.issues served.P.issues;
+      check_int (name ^ " active") m.Simt.Metrics.active_sum served.P.active;
+      check_int (name ^ " finished") m.Simt.Metrics.threads_finished served.P.finished;
+      check_int (name ^ " digest") (Simt.Memsys.digest oneshot.Core.Runner.memory)
+        served.P.digest)
+    Workloads.Registry.all
+
+let tests =
+  [
+    ( "serve.protocol",
+      [
+        Alcotest.test_case "percent encoding round trips" `Quick test_encode_round_trip;
+        Alcotest.test_case "bad escapes rejected" `Quick test_decode_rejects_bad_escapes;
+        Alcotest.test_case "command round trips" `Quick test_command_round_trips;
+        Alcotest.test_case "response round trips" `Quick test_response_round_trips;
+        Alcotest.test_case "malformed commands rejected" `Quick test_malformed_commands;
+      ] );
+    ( "serve.cache",
+      [
+        Alcotest.test_case "fnv-1a digest pins" `Quick test_digest_pins;
+        Alcotest.test_case "hit after miss" `Quick test_cache_hit_after_miss;
+        Alcotest.test_case "lru eviction at capacity" `Quick test_cache_eviction_at_capacity;
+        Alcotest.test_case "capacity 0 disables" `Quick test_cache_capacity_zero_disabled;
+        Alcotest.test_case "failed builds never cached" `Quick test_cache_failed_build_not_cached;
+      ] );
+    ( "serve.server",
+      [
+        Alcotest.test_case "hit after miss with identical reply" `Quick
+          test_server_hit_after_miss;
+        Alcotest.test_case "eviction under capacity pressure" `Quick test_server_eviction;
+        Alcotest.test_case "backpressure bounces beyond max-inflight" `Quick
+          test_server_overloaded;
+        Alcotest.test_case "error responses carry the 0-8 codes" `Quick test_server_error_codes;
+        Alcotest.test_case "stats and malformed lines answer in place" `Quick
+          test_server_stats_and_lines;
+        Alcotest.test_case "cache hit serves the identical artifact" `Quick
+          test_server_hit_serves_identical_artifact;
+        Alcotest.test_case "full registry matches the one-shot pipeline" `Slow
+          test_registry_differential;
+      ] );
+  ]
