@@ -35,7 +35,8 @@ let mode_of_string = function
       }
   | other -> raise (Core.Cli.Error (Core.Cli.Usage ("unknown mode " ^ other)))
 
-let run path mode coarsen threshold dumps emit_decoded lint_mode no_lint no_deconflict =
+let run path mode coarsen threshold dumps emit_decoded lint_mode no_lint no_deconflict fix
+    fix_dry_run fix_budget =
   let mode = mode_of_string mode in
   let dumps = if emit_decoded then dumps @ [ Dump_decoded ] else dumps in
   (
@@ -45,16 +46,25 @@ let run path mode coarsen threshold dumps emit_decoded lint_mode no_lint no_deco
       | Some k when k < 0 -> Core.Compile.Unset
       | Some k -> Core.Compile.Set k
     in
+    let repair =
+      if fix || fix_dry_run then
+        Core.Compile.Repair { dry_run = fix_dry_run; max_edits = fix_budget }
+      else Core.Compile.No_repair
+    in
     (* --lint collects findings itself (machine-readable, exit 1);
        --no-lint demotes them to warnings. Either way compilation must
-       not abort on findings, so lint=false below. *)
+       not abort on findings, so lint=false below. --fix-dry-run also
+       compiles with lint off so the proposed plan can be printed; an
+       unrepairable dry run re-raises the lint error itself below,
+       keeping the exit code identical to --fix. *)
     let options =
       { Core.Compile.mode;
         coarsen;
         threshold;
         cleanup = true;
-        lint = not (lint_mode || no_lint);
-        deconflict = not no_deconflict }
+        lint = not (lint_mode || no_lint || fix_dry_run);
+        deconflict = not no_deconflict;
+        repair }
     in
     let source = read_file path in
     (* --dump source prints the (possibly coarsened) program back as
@@ -78,6 +88,40 @@ let run path mode coarsen threshold dumps emit_decoded lint_mode no_lint no_deco
       Format.printf "srlint: %d finding(s) in %s@." (List.length findings) path;
       if findings <> [] then raise (Core.Cli.Error Core.Cli.Findings)
     | compiled ->
+      (match compiled.Core.Compile.repair_report with
+      | None -> ()
+      | Some r -> (
+        match r.Core.Compile.outcome with
+        | Analysis.Barrier_repair.Clean ->
+          Format.printf "srfix: clean (no barrier-safety findings; nothing to repair)@."
+        | Analysis.Barrier_repair.Repaired { edits; cost; explored; _ } ->
+          List.iter
+            (fun e -> Format.printf "%a@." Analysis.Barrier_repair.pp_edit_machine e)
+            edits;
+          Format.printf
+            "srfix: repaired %d finding(s) with %d edit(s), cost %.0f, explored %d state(s)@."
+            (List.length r.Core.Compile.pre_findings)
+            (List.length edits) cost explored;
+          if not fix_dry_run then
+            print_string
+              (Support.Udiff.render_strings
+                 ~from_label:(path ^ " (before)")
+                 ~to_label:(path ^ " (after)")
+                 (Format.asprintf "%a" Ir.Linear.pp r.Core.Compile.before)
+                 (Format.asprintf "%a" Ir.Linear.pp compiled.Core.Compile.linear))
+        | Analysis.Barrier_repair.Unrepairable { blocking; explored } ->
+          (* Only reachable under --fix-dry-run (non-dry --fix hard-errors
+             inside Compile): print the findings the plan was asked to
+             clear, then fail with the same outcome --fix would. *)
+          List.iter
+            (fun f -> Format.printf "%a@." Analysis.Barrier_safety.pp_machine f)
+            r.Core.Compile.pre_findings;
+          raise
+            (Core.Cli.Error
+               (Core.Cli.Compile_error
+                  (Format.asprintf
+                     "srfix: unrepairable after exploring %d candidate(s); blocked by: %a"
+                     explored Analysis.Barrier_safety.pp_machine blocking)))));
       let dump = function
         | Dump_ir -> Format.printf "%a@." Ir.Printer.pp_program compiled.Core.Compile.program
         | Dump_asm -> Format.printf "%a@." Ir.Linear.pp compiled.Core.Compile.linear
@@ -189,12 +233,37 @@ let no_deconflict_arg =
           "Skip barrier deconfliction, shipping conflicting placements as-is (for the \
            fault-injection harness; run with srrun --yield)")
 
+let fix_arg =
+  Arg.(
+    value & flag
+    & info [ "fix" ]
+        ~doc:
+          "Repair barrier-safety findings: synthesize a minimal edit sequence the checker \
+           re-proves deadlock-free, apply it, and print the edits plus a unified \
+           before/after diff of the linear code. Unrepairable programs keep the lint hard \
+           error and exit code")
+
+let fix_dry_run_arg =
+  Arg.(
+    value & flag
+    & info [ "fix-dry-run" ]
+        ~doc:
+          "Like --fix but only print the proposed edit plan as machine-readable srfix: \
+           lines; the program is compiled unrepaired")
+
+let fix_budget_arg =
+  Arg.(
+    value
+    & opt int Analysis.Barrier_repair.default_max_edits
+    & info [ "fix-budget" ] ~docv:"N" ~doc:"Maximum number of edits --fix may combine")
+
 let cmd =
   Cmd.v
     (Cmd.info "srcc" ~doc:"MiniSIMT compiler with Speculative Reconvergence")
     Term.(
       const run $ path_arg $ mode_arg $ coarsen_arg $ threshold_arg $ dumps_arg
-      $ emit_decoded_arg $ lint_arg $ no_lint_arg $ no_deconflict_arg)
+      $ emit_decoded_arg $ lint_arg $ no_lint_arg $ no_deconflict_arg $ fix_arg
+      $ fix_dry_run_arg $ fix_budget_arg)
 
 let () =
   let code = Core.Cli.handle (fun () -> Cmd.eval ~catch:false cmd) in

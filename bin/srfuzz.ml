@@ -8,9 +8,10 @@
    shrinks any failure, and optionally writes the minimized repro into a
    regression corpus directory. Exit status 1 when violations remain. *)
 
-let main seed count save max_issues chaos chaos_seed shrink_budget verbose =
+let main seed count save max_issues chaos chaos_seed shrink_budget repair verbose =
+  let repair = if repair = 0 then None else Some repair in
   let report =
-    Fuzz.Driver.run ~max_issues ~chaos ?chaos_seed ~shrink_budget ~seed ~count ()
+    Fuzz.Driver.run ~max_issues ~chaos ?chaos_seed ~shrink_budget ?repair ~seed ~count ()
   in
   Format.printf "%a" Fuzz.Driver.pp_report report;
   (match save with
@@ -59,6 +60,13 @@ let cmd =
           & opt (some int) None
           & info [ "chaos-seed" ] ~doc:"Root seed for the fault plans")
       $ Arg.(value & opt int 300 & info [ "shrink-budget" ] ~doc:"Oracle evaluations per shrink")
+      $ Arg.(
+          value & opt int 0
+          & info [ "repair" ] ~docv:"N"
+              ~doc:
+                "Run the repair tier instead of the standard matrix: mutate each program's \
+                 barrier placement $(docv) times and require srcc --fix to repair every \
+                 flagged mutant (or name the blocking finding); 0 disables")
       $ Arg.(value & flag & info [ "verbose" ] ~doc:"Print shrunk repro sources"))
 
 let () =

@@ -51,7 +51,7 @@ let yield_policy_of_string = function
   | other -> usage ("unknown yield policy " ^ other)
 
 let run path mode coarsen threshold warps warp_size policy seed yield yield_policy chaos replay
-    fault_trace no_deconflict no_lint digest check_baseline entry args =
+    fault_trace no_deconflict no_lint fix digest check_baseline entry args =
   let mode = mode_of_string mode in
   let threshold =
     match threshold with
@@ -74,7 +74,12 @@ let run path mode coarsen threshold warps warp_size policy seed yield yield_poli
       threshold;
       cleanup = true;
       lint = not no_lint;
-      deconflict = not no_deconflict }
+      deconflict = not no_deconflict;
+      repair =
+        (if fix then
+           Core.Compile.Repair
+             { dry_run = false; max_edits = Analysis.Barrier_repair.default_max_edits }
+         else Core.Compile.No_repair) }
   in
   let source = read_file path in
   let args = parse_args args in
@@ -114,7 +119,8 @@ let run path mode coarsen threshold warps warp_size policy seed yield yield_poli
         threshold;
         cleanup = true;
         lint = false;
-        deconflict = true }
+        deconflict = true;
+        repair = Core.Compile.No_repair }
     in
     let base_config = { config with Simt.Config.yield_on_stall = false } in
     let base = Core.Runner.run_source ~config:base_config ?entry base_options ~source ~args in
@@ -186,6 +192,14 @@ let cmd =
       value & flag
       & info [ "no-lint" ] ~doc:"Demote barrier-safety findings to warnings on stderr")
   in
+  let fix =
+    Arg.(
+      value & flag
+      & info [ "fix" ]
+          ~doc:
+            "Repair barrier-safety findings before running (srcc --fix); unrepairable \
+             programs keep the lint hard error")
+  in
   let digest =
     Arg.(value & flag & info [ "digest" ] ~doc:"Print the final memory digest")
   in
@@ -208,7 +222,7 @@ let cmd =
     (Cmd.info "srrun" ~doc:"Run a MiniSIMT kernel on the SIMT simulator")
     Term.(
       const run $ path $ mode $ coarsen $ threshold $ warps $ warp_size $ policy $ seed $ yield
-      $ yield_policy $ chaos $ replay $ fault_trace $ no_deconflict $ no_lint $ digest
+      $ yield_policy $ chaos $ replay $ fault_trace $ no_deconflict $ no_lint $ fix $ digest
       $ check_baseline $ entry $ kargs)
 
 let () =

@@ -1,0 +1,93 @@
+(** Repair synthesis for {!Barrier_safety} findings: enumerate candidate
+    minimal barrier edits per finding category and search cost-ordered
+    edit sequences — fewest edits first, ties broken by the §4.5 cost
+    model — accepting a candidate only when a full re-check of the
+    edited program comes back empty and the IR verifier stays clean.
+
+    The acceptance condition is the module's contract: a returned repair
+    is not a heuristic patch but a placement the checker {e proves}
+    deadlock-free, so every guarantee that holds of an unedited clean
+    program (scheduler-independent termination, and for the generated
+    fuzz programs digest-identity with the PDOM baseline) holds of the
+    repaired one by the same argument. *)
+
+(** A single minimal edit. Block/index coordinates refer to the program
+    the edit was enumerated against; {!repair} applies each edit to a
+    private {!Ir.Builder.copy_program} copy. *)
+type edit =
+  | Insert_cancel of { in_func : string; block : int; index : int; cancel : Ir.Types.barrier }
+      (** Withdraw [cancel] immediately before the wait/call at the
+          site — the static twin of Deconflict's dynamic-cancel
+          resolution. *)
+  | Move_wait of {
+      in_func : string;
+      from_block : int;
+      from_index : int;
+      to_block : int;
+      slot : Ir.Types.barrier;
+      hoist : bool;  (** [true] when [to_block] is the BSSY join block. *)
+    }
+  | Split_slot of {
+      in_func : string;
+      slot : Ir.Types.barrier;
+      fresh : Ir.Types.barrier;  (** the program's [next_barrier] at enumeration *)
+      sites : (int * int) list;  (** (block, index) sites retargeted to [fresh] *)
+    }
+  | Remap_slot of { in_func : string; block : int; index : int; to_slot : Ir.Types.barrier }
+  | Drop_barrier of { in_func : string; block : int; index : int; slot : Ir.Types.barrier }
+
+val edit_class : edit -> string
+(** Stable kebab-case class name: [insert-cancel], [hoist-wait],
+    [sink-wait], [split-slot], [remap-slot], [drop-barrier]. The first
+    four are the {!Barrier_safety.hint} vocabulary. *)
+
+val pp_edit_machine : Format.formatter -> edit -> unit
+(** Machine-readable one-liner, same key=value shape as the srlint
+    format: [srfix: edit=<class> func=<f> block=bb<n> index=<i>
+    slot=b<id> fix=<description>]. *)
+
+val render_edits : edit list -> string
+(** All edits, one machine line each, newline-separated. *)
+
+type outcome =
+  | Clean  (** The input already checks clean — nothing to repair. *)
+  | Repaired of {
+      program : Ir.Types.program;
+          (** A fresh copy; the input program is never mutated. *)
+      edits : edit list;  (** applied in order, coordinates pre-edit per step *)
+      cost : float;  (** summed §4.5 edit cost *)
+      explored : int;  (** states expanded by the search *)
+    }
+  | Unrepairable of {
+      blocking : Barrier_safety.finding;
+          (** First finding of the closest-to-clean state the search
+              reached — what resisted repair. *)
+      explored : int;
+    }
+
+val default_max_edits : int
+(** Default edit budget (6). *)
+
+val candidates :
+  ?speculative:Barrier_safety.speculative list ->
+  Ir.Types.program ->
+  Barrier_safety.finding ->
+  (edit * float) list
+(** [candidates p f] enumerates the single edits that may clear [f],
+    hinted class first, each with its §4.5 cost (barrier weight scaled
+    by the estimated execution frequency of the touched block). The list
+    is a proposal set — only {!repair}'s re-check accepts an edit.
+    Exposed for unit tests. *)
+
+val repair :
+  ?speculative:Barrier_safety.speculative list ->
+  ?max_edits:int ->
+  ?max_states:int ->
+  Ir.Types.program ->
+  outcome
+(** Best-first search over edit sequences: states are ordered by
+    (number of edits, accumulated cost, insertion order), candidate
+    successors are generated for the state's first finding, and a state
+    is accepted iff {!Ir.Verifier.check_program} and
+    {!Barrier_safety.check} both return []. Deduplicates states by
+    printed IR. [max_states] (default 256) bounds exploration. *)

@@ -43,6 +43,7 @@ type finding = {
   site : site;
   message : string;
   fix : string;
+  related : T.barrier list;
 }
 
 type speculative = { sfunc : string; slot : T.barrier; join_block : int }
@@ -297,8 +298,8 @@ let pp_int_list ppf slots =
 
 let check ?(speculative = []) (p : T.program) =
   let findings = ref [] in
-  let add category slot site message fix =
-    findings := { category; slot; site; message; fix } :: !findings
+  let add ?(related = []) category slot site message fix =
+    findings := { category; slot; site; message; fix; related } :: !findings
   in
   let sums, held_of = compute_summaries p in
   let names = sorted_funcs p in
@@ -399,7 +400,7 @@ let check ?(speculative = []) (p : T.program) =
         (fun (x, y) ->
           match (Hashtbl.find_opt edges (x, y), Hashtbl.find_opt edges (y, x)) with
           | Some site, Some _ ->
-            add Unseparated_overlap x site
+            add ~related:[ y ] Unseparated_overlap x site
               (Printf.sprintf
                  "slots b%d and b%d overlap partially and can each block a holder of the \
                   other; Deconflict should have separated them"
@@ -434,7 +435,7 @@ let check ?(speculative = []) (p : T.program) =
             edges None
         in
         let site = match site with Some (_, s) -> s | None -> assert false in
-        add Bypassable_wait rep site
+        add ~related:cycle Bypassable_wait rep site
           (Format.asprintf
              "wait can be bypassed: slots %a form a waits-for cycle (each may block a holder \
               of the next), so no schedule can fire them"
@@ -495,14 +496,27 @@ let pp_line ppf = function
   | Some l -> Format.fprintf ppf "%d" l
   | None -> Format.fprintf ppf "?"
 
+(* Stable edit-class names shared with Analysis.Barrier_repair: the
+   repair pass enumerates candidates for a finding starting from the
+   hinted class, and srcc --fix-dry-run reports edits under the same
+   vocabulary, so the hint is a machine-checkable promise. *)
+let hint f =
+  match f.category with
+  | Bypassable_wait -> "insert-cancel"
+  | Unseparated_overlap -> "split-slot"
+  | Double_arrive -> "split-slot"
+  | Unallocated_slot -> "remap-slot"
+  | Undominated_wait -> "hoist-wait"
+
 let pp_finding ppf f =
   Format.fprintf ppf "srlint [%s] %s/bb%d (line %a) slot b%d: %s; fix: %s"
     (category_name f.category) f.site.in_func f.site.block pp_line f.site.src_line f.slot
     f.message f.fix
 
 let pp_machine ppf f =
-  Format.fprintf ppf "srlint: category=%s func=%s block=bb%d line=%a slot=b%d msg=%s fix=%s"
+  Format.fprintf ppf
+    "srlint: category=%s func=%s block=bb%d line=%a slot=b%d msg=%s fix=%s hint=%s"
     (category_name f.category) f.site.in_func f.site.block pp_line f.site.src_line f.slot
-    f.message f.fix
+    f.message f.fix (hint f)
 
 let render fs = String.concat "\n" (List.map (Format.asprintf "%a" pp_machine) fs)

@@ -61,6 +61,11 @@ type finding = {
   site : site;
   message : string;
   fix : string; (* actionable fix hint *)
+  related : Ir.Types.barrier list;
+      (* the other slots implicated: the full cycle for
+         [Bypassable_wait] (sorted, includes [slot]), the partner slot
+         for [Unseparated_overlap], [] otherwise. {!Barrier_repair}
+         enumerates candidate edits from these. *)
 }
 
 (** A speculative barrier's provenance, used for the dominance rule:
@@ -73,13 +78,18 @@ val check : ?speculative:speculative list -> Ir.Types.program -> finding list
     instruction index and category. An empty list is a proof (up to the
     abstraction) that no barrier placement can deadlock. *)
 
+val hint : finding -> string
+(** Stable kebab-case edit-class name ([insert-cancel], [split-slot],
+    [remap-slot], [hoist-wait]) the checker believes would clear the
+    finding — the vocabulary {!Barrier_repair} enumerates candidates in. *)
+
 val pp_finding : Format.formatter -> finding -> unit
 (** Human-readable, multi-line-free rendering. *)
 
 val pp_machine : Format.formatter -> finding -> unit
 (** Machine-readable one-liner:
     [srlint: category=<c> func=<f> block=bb<n> line=<l|?> slot=b<id>
-    msg=<message> fix=<hint>]. *)
+    msg=<message> fix=<hint> hint=<edit-class>]. *)
 
 val render : finding list -> string
 (** All findings, one machine-readable line each. *)

@@ -12,6 +12,8 @@ type mode =
 
 type threshold_override = Keep | Set of int | Unset
 
+type repair_mode = No_repair | Repair of { dry_run : bool; max_edits : int }
+
 type options = {
   mode : mode;
   coarsen : int option;
@@ -19,11 +21,12 @@ type options = {
   cleanup : bool;
   deconflict : bool;
   lint : bool;
+  repair : repair_mode;
 }
 
 let baseline =
   { mode = Baseline; coarsen = None; threshold = Keep; cleanup = true; deconflict = true;
-    lint = true }
+    lint = true; repair = No_repair }
 
 let speculative =
   {
@@ -33,6 +36,7 @@ let speculative =
     cleanup = true;
     deconflict = true;
     lint = true;
+    repair = No_repair;
   }
 
 let automatic =
@@ -49,7 +53,14 @@ let automatic =
     cleanup = true;
     deconflict = true;
     lint = true;
+    repair = No_repair;
   }
+
+type repair_report = {
+  pre_findings : Analysis.Barrier_safety.finding list;
+  outcome : Analysis.Barrier_repair.outcome;
+  before : Ir.Linear.t;
+}
 
 type compiled = {
   options : options;
@@ -62,6 +73,7 @@ type compiled = {
   deconflict_report : Passes.Deconflict.report option;
   candidates : Passes.Auto_detect.candidate list;
   lint_findings : Analysis.Barrier_safety.finding list;
+  repair_report : repair_report option;
 }
 
 (* Provenance for srlint's dominance rule: every speculative barrier the
@@ -169,17 +181,45 @@ let compile_ast options ast =
      placement the deconfliction rules should have ruled out), so it is a
      hard error unless the caller opted into warnings with lint=false
      (srcc --no-lint). *)
-  let lint_findings =
-    Analysis.Barrier_safety.check
-      ~speculative:(speculative_meta ~applied ~interproc:interproc_applied)
-      program
+  let spec_meta = speculative_meta ~applied ~interproc:interproc_applied in
+  let lint_findings = Analysis.Barrier_safety.check ~speculative:spec_meta program in
+  (* Opt-in repair stage ([srcc --fix]): synthesize a minimal edit
+     sequence whose re-check comes back empty. An accepted repair
+     replaces the program and clears the findings, so the lint gate
+     below sees a clean compile; a dry run or an unrepairable program
+     leaves both untouched and the gate fires as today. *)
+  let repair_report =
+    match options.repair with
+    | No_repair -> None
+    | Repair { max_edits; _ } ->
+      let before = Ir.Linear.linearize program in
+      let outcome =
+        match lint_findings with
+        | [] -> Analysis.Barrier_repair.Clean
+        | _ -> Analysis.Barrier_repair.repair ~speculative:spec_meta ~max_edits program
+      in
+      Some { pre_findings = lint_findings; outcome; before }
+  in
+  let program, lint_findings =
+    match (options.repair, repair_report) with
+    | ( Repair { dry_run = false; _ },
+        Some { outcome = Analysis.Barrier_repair.Repaired { program = p; _ }; _ } ) -> (p, [])
+    | _ -> (program, lint_findings)
   in
   (match lint_findings with
   | [] -> ()
   | fs when options.lint ->
+    let unrepairable =
+      match repair_report with
+      | Some { outcome = Analysis.Barrier_repair.Unrepairable { blocking; explored }; _ } ->
+        Printf.sprintf "\nsrfix: unrepairable after exploring %d candidate(s); blocked by: %s"
+          explored
+          (Format.asprintf "%a" Analysis.Barrier_safety.pp_machine blocking)
+      | _ -> ""
+    in
     failwith
-      (Printf.sprintf "srlint: %d barrier-safety finding(s):\n%s" (List.length fs)
-         (Analysis.Barrier_safety.render fs))
+      (Printf.sprintf "srlint: %d barrier-safety finding(s):\n%s%s" (List.length fs)
+         (Analysis.Barrier_safety.render fs) unrepairable)
   | fs ->
     List.iter (fun f -> Format.eprintf "warning: %a@." Analysis.Barrier_safety.pp_machine f) fs);
   let linear = Ir.Linear.linearize program in
@@ -195,6 +235,7 @@ let compile_ast options ast =
     deconflict_report;
     candidates;
     lint_findings;
+    repair_report;
   }
 
 let compile options ~source = compile_ast options (Front.Parser.parse_string source)

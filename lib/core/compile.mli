@@ -30,6 +30,18 @@ type threshold_override =
   | Set of int  (** force every label hint to a soft barrier with this threshold *)
   | Unset  (** force hard (full) barriers everywhere *)
 
+(** Opt-in repair stage (srcc [--fix] / [--fix-dry-run]): when barrier
+    safety findings survive deconfliction, run {!Analysis.Barrier_repair}
+    over them before the lint gate. *)
+type repair_mode =
+  | No_repair
+  | Repair of {
+      dry_run : bool;
+          (** synthesize and report the edit plan but keep the original
+              program — findings still reach the lint gate *)
+      max_edits : int;  (** search budget, {!Analysis.Barrier_repair.default_max_edits} *)
+    }
+
 type options = {
   mode : mode;
   coarsen : int option;
@@ -48,11 +60,26 @@ type options = {
           ([Failure]); when false they are demoted to stderr warnings
           (srcc's [--no-lint]). The checker always runs; findings are
           reported in {!compiled.lint_findings} either way. *)
+  repair : repair_mode;
+      (** attempt {!Analysis.Barrier_repair} on findings before the lint
+          gate; [No_repair] by default. An accepted (non-dry-run) repair
+          replaces the program and compiles clean; dry runs and
+          unrepairable programs fall through to the gate unchanged, the
+          latter with the blocking finding appended to the error. *)
 }
 
 val baseline : options
 val speculative : options (* dynamic deconfliction, source thresholds *)
 val automatic : options
+
+(** What the repair stage did, when {!options.repair} enabled it. *)
+type repair_report = {
+  pre_findings : Analysis.Barrier_safety.finding list;
+      (** findings before repair (what [--fix] was asked to clear) *)
+  outcome : Analysis.Barrier_repair.outcome;
+  before : Ir.Linear.t;
+      (** linearized pre-repair program, for the before/after diff *)
+}
 
 type compiled = {
   options : options;
@@ -65,7 +92,9 @@ type compiled = {
   deconflict_report : Passes.Deconflict.report option;
   candidates : Passes.Auto_detect.candidate list; (* automatic mode only *)
   lint_findings : Analysis.Barrier_safety.finding list;
-      (* barrier-safety findings ([] unless lint=false let them through) *)
+      (* barrier-safety findings ([] unless lint=false let them through,
+         or a repair cleared them) *)
+  repair_report : repair_report option; (* present iff options.repair <> No_repair *)
 }
 
 (** [compile options ~source] runs parse → (coarsen) → lower → threshold

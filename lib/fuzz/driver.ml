@@ -13,17 +13,27 @@ type report = {
   findings : finding list;
 }
 
-let run ?(params = Gen.default_params) ?max_issues ?chaos ?chaos_seed ?shrink_budget ~seed
-    ~count () =
+let run ?(params = Gen.default_params) ?max_issues ?chaos ?chaos_seed ?shrink_budget ?repair
+    ~seed ~count () =
+  (* [?repair] switches the campaign to the repair tier: each program
+     goes through {!Oracle.check_repair} with that many misplaced
+     variants instead of the standard matrix (the standard contracts
+     have their own campaigns; mixing the tiers would double the cost of
+     both). *)
+  let check ~id ast =
+    match repair with
+    | None -> Oracle.check ?max_issues ?chaos ?chaos_seed ast
+    | Some variants -> Oracle.check_repair ?max_issues ~variants ~id ast
+  in
   let passed = ref 0 and limited = ref 0 and findings = ref [] in
   for id = 0 to count - 1 do
     let case = Gen.generate ~params ~seed id in
-    match Oracle.check ?max_issues ?chaos ?chaos_seed case.Gen.ast with
+    match check ~id case.Gen.ast with
     | Oracle.Ok_run -> incr passed
     | Oracle.Limit _ -> incr limited
     | Oracle.Violation violation ->
       let same_kind ast =
-        match Oracle.check ?max_issues ?chaos ?chaos_seed ast with
+        match check ~id ast with
         | Oracle.Violation v -> v.Oracle.kind = violation.Oracle.kind
         | Oracle.Ok_run | Oracle.Limit _ -> false
       in

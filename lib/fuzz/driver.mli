@@ -22,10 +22,14 @@ type report = {
 }
 
 (** [chaos]/[chaos_seed] are passed through to {!Oracle.check}: each
-    clean program additionally survives that many seeded fault plans. *)
+    clean program additionally survives that many seeded fault plans.
+    [repair] switches the campaign to the repair tier instead: each
+    program runs {!Oracle.check_repair} with that many misplaced
+    variants (chaos is ignored there; the standard contracts have their
+    own campaigns). *)
 val run :
   ?params:Gen.params -> ?max_issues:int -> ?chaos:int -> ?chaos_seed:int ->
-  ?shrink_budget:int -> seed:int -> count:int -> unit ->
+  ?shrink_budget:int -> ?repair:int -> seed:int -> count:int -> unit ->
   report
 
 (** The corpus serialization: a header comment naming the campaign

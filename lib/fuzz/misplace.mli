@@ -1,0 +1,19 @@
+(** Barrier-misplacement mutator for the repair oracles.
+
+    Perturbs a compiled program's barrier placement — swapped wait
+    slots, duplicated joins, dropped cancels, stray slot ids, relocated
+    waits — to manufacture the misplacement shapes {!Analysis.Barrier_safety}
+    checks for, so {!Oracle.check_repair} can exercise
+    {!Analysis.Barrier_repair} on programs srlint actually flags. *)
+
+type mutation = Swap_waits | Dup_join | Drop_cancel | Stray_slot | Relocate_wait
+
+val mutation_name : mutation -> string
+(** Stable kebab-case name, used in violation details. *)
+
+val mutate : Support.Splitmix.t -> Ir.Types.program -> (string * Ir.Types.program) option
+(** [mutate rng p] draws mutations until one applies and passes the
+    structural verifier, returning (mutation name, mutated copy) —
+    [p] itself is never modified. [None] when nothing applies (after a
+    bounded number of draws). The mutant may still be checker-clean;
+    callers decide whether a clean mutant is interesting. *)

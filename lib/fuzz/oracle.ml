@@ -14,6 +14,8 @@ type kind =
   | Spurious_yield
   | Decode_mismatch
   | Serve_mismatch
+  | Repair_unsound
+  | Repair_incomplete
 
 let kind_name = function
   | Round_trip -> "round-trip"
@@ -27,6 +29,8 @@ let kind_name = function
   | Spurious_yield -> "spurious-yield"
   | Decode_mismatch -> "decode-mismatch"
   | Serve_mismatch -> "serve-mismatch"
+  | Repair_unsound -> "repair-unsound"
+  | Repair_incomplete -> "repair-incomplete"
 
 type violation = { kind : kind; detail : string }
 
@@ -112,6 +116,7 @@ let serve_options =
     cleanup = true;
     deconflict = true;
     lint = true;
+    repair = Core.Compile.No_repair;
   }
 
 let serve_matrix ~max_issues ast (linear : Ir.Linear.t) =
@@ -473,3 +478,188 @@ let check ?(max_issues = 1_500_000) ?(chaos = 0) ?(chaos_seed = 0xc4a05) ast =
           if chaos > 0 then chaos_matrix ~max_issues ~chaos ~chaos_seed staged;
           Ok_run
       with Stop v -> v))
+
+(* ------------------------------------------------------------------ *)
+(* Repair tier                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The repair oracles: manufacture misplaced variants of a clean
+   speculative compilation with {!Misplace}, then hold
+   Analysis.Barrier_repair to its contract on each flagged variant.
+
+   - repair-incomplete: every finding set must produce an outcome — a
+     repair or an explicit Unrepairable naming the blocking finding; a
+     "repaired" program srlint still flags is the repair pass lying
+     about its own acceptance condition.
+   - repair-unsound: an accepted repair must also hold dynamically —
+     verifier-clean, deadlock-free without yield under all three
+     schedulers, and memory bit-identical to the unfaulted PDOM
+     baseline. Generated programs are schedule-independent by
+     construction, so any divergence is introduced by the edits. *)
+let default_mut_seed = 0xf1c5
+
+let check_repair ?(max_issues = 1_500_000) ?(variants = 3) ?(mut_seed = default_mut_seed)
+    ?(id = 0) ast =
+  let compiled =
+    try
+      Ok
+        ( Pipeline.compile ~mode:Pipeline.Baseline ast,
+          Pipeline.compile ~mode:Pipeline.Specrecon ast )
+    with Pipeline.Stage_error (stage, msg) ->
+      Error { kind = Stage_failure; detail = Printf.sprintf "%s: %s" stage msg }
+  in
+  match compiled with
+  | Error v -> Violation v
+  | Ok (baseline, specrecon) when baseline.Pipeline.lint = [] && specrecon.Pipeline.lint = []
+    -> (
+    let speculative = specrecon.Pipeline.speculative in
+    (* Per-kernel PDOM reference images (first policy; the standard
+       matrix already proves baseline schedule-independence). *)
+    let reference =
+      List.map
+        (fun (kf : Ir.Linear.finfo) ->
+          let config = { base_config with Simt.Config.max_issues } in
+          let r =
+            Simt.Interp.run config baseline.Pipeline.decoded ~entry:kf.Ir.Linear.fname
+              ~args:[]
+              ~init_memory:(init_memory baseline.Pipeline.program)
+          in
+          (kf.Ir.Linear.fname, snapshot r.Simt.Interp.memory))
+        (runnable_kernels baseline.Pipeline.linear)
+    in
+    try
+      for v = 0 to variants - 1 do
+        let rng = Sm.of_ints mut_seed id v in
+        match Misplace.mutate rng specrecon.Pipeline.program with
+        | None -> ()
+        | Some (mname, mutant) -> (
+          match Analysis.Barrier_safety.check ~speculative mutant with
+          | [] -> () (* benign misplacement; nothing for the repair pass to do *)
+          | pre_findings -> (
+            let where = Printf.sprintf "variant %d (%s)" v mname in
+            match Analysis.Barrier_repair.repair ~speculative mutant with
+            | Analysis.Barrier_repair.Clean ->
+              raise
+                (Stop
+                   (Violation
+                      {
+                        kind = Repair_incomplete;
+                        detail =
+                          Printf.sprintf
+                            "%s: repair claims the program is already clean, but srlint \
+                             reports %d finding(s): %s"
+                            where
+                            (List.length pre_findings)
+                            (Format.asprintf "%a" Analysis.Barrier_safety.pp_machine
+                               (List.hd pre_findings));
+                      }))
+            | Analysis.Barrier_repair.Unrepairable { blocking = _; explored = _ } ->
+              (* Acceptable outcome: the contract only requires the
+                 blocking finding to be named, which the constructor
+                 carries by type. *)
+              ()
+            | Analysis.Barrier_repair.Repaired { program = repaired; edits; _ } -> (
+              let plan = Analysis.Barrier_repair.render_edits edits in
+              (match Analysis.Barrier_safety.check ~speculative repaired with
+              | [] -> ()
+              | f :: _ ->
+                raise
+                  (Stop
+                     (Violation
+                        {
+                          kind = Repair_unsound;
+                          detail =
+                            Printf.sprintf
+                              "%s: repaired program is still flagged: %s\nplan:\n%s" where
+                              (Format.asprintf "%a" Analysis.Barrier_safety.pp_machine f)
+                              plan;
+                        })));
+              match Ir.Verifier.check_program repaired with
+              | _ :: _ as errors ->
+                raise
+                  (Stop
+                     (Violation
+                        {
+                          kind = Repair_unsound;
+                          detail =
+                            Printf.sprintf "%s: repaired program fails the verifier: %s" where
+                              (String.concat "; "
+                                 (List.map
+                                    (Format.asprintf "%a" Ir.Verifier.pp_error)
+                                    errors));
+                        }))
+              | [] ->
+                let linear = Ir.Linear.linearize repaired in
+                let decoded = Ir.Decoded.decode linear in
+                List.iter
+                  (fun policy ->
+                    List.iter
+                      (fun (kf : Ir.Linear.finfo) ->
+                        let kname = kf.Ir.Linear.fname in
+                        let cell =
+                          Printf.sprintf "%s, %s/%s" where (policy_name policy) kname
+                        in
+                        let config =
+                          { base_config with Simt.Config.policy; max_issues }
+                        in
+                        let result =
+                          try
+                            Simt.Interp.run config decoded ~entry:kname ~args:[]
+                              ~init_memory:(init_memory repaired)
+                          with
+                          | Simt.Interp.Deadlock msg ->
+                            raise
+                              (Stop
+                                 (Violation
+                                    {
+                                      kind = Repair_unsound;
+                                      detail =
+                                        Printf.sprintf
+                                          "%s: accepted repair deadlocked: %s\nplan:\n%s"
+                                          cell msg plan;
+                                    }))
+                          | Simt.Interp.Runtime_error msg ->
+                            raise
+                              (Stop
+                                 (Violation
+                                    {
+                                      kind = Repair_unsound;
+                                      detail =
+                                        Printf.sprintf
+                                          "%s: accepted repair raised a runtime error: \
+                                           %s\nplan:\n%s"
+                                          cell msg plan;
+                                    }))
+                          | Simt.Interp.Runaway msg ->
+                            raise (Stop (Limit (Printf.sprintf "%s: %s" cell msg)))
+                        in
+                        match List.assoc_opt kname reference with
+                        | None -> ()
+                        | Some ref_snap -> (
+                          match
+                            first_diff ref_snap (snapshot result.Simt.Interp.memory)
+                          with
+                          | None -> ()
+                          | Some addr ->
+                            raise
+                              (Stop
+                                 (Violation
+                                    {
+                                      kind = Repair_unsound;
+                                      detail =
+                                        Printf.sprintf
+                                          "%s: repaired memory differs from the PDOM \
+                                           baseline at address %d\nplan:\n%s"
+                                          cell addr plan;
+                                    }))))
+                      (runnable_kernels linear))
+                  policies)))
+      done;
+      Ok_run
+    with Stop v -> v)
+  | Ok ((_, specrecon) as _staged) ->
+    (* The unmutated program is itself flagged — the standard tier owns
+       that contract (lint-spurious); skip it here. *)
+    Limit
+      (Printf.sprintf "repair tier skipped: unmutated program has %d finding(s)"
+         (List.length specrecon.Pipeline.lint))

@@ -78,6 +78,17 @@ type kind =
           one-shot [Core.Compile] + [Core.Runner] pipeline — wrong
           metrics, wrong memory digest, or cache counters that do not
           match the cold-then-warm submission order *)
+  | Repair_unsound
+      (** an accepted [--fix] repair failed its own contract: the
+          repaired program is still flagged by srlint, fails the
+          verifier, deadlocks or errors without yield under some
+          scheduler, or produces memory differing from the unfaulted
+          PDOM baseline *)
+  | Repair_incomplete
+      (** the repair pass produced no outcome for a flagged variant —
+          it claimed the program was already clean while srlint
+          disagreed (an unrepairable verdict naming the blocking finding
+          is an acceptable outcome, not a violation) *)
 
 val kind_name : kind -> string
 
@@ -94,11 +105,25 @@ val pp_verdict : Format.formatter -> verdict -> unit
     of 32 threads ([Gen.n_threads] total) under each scheduler policy. *)
 val policies : Simt.Config.policy list
 
+val policy_name : Simt.Config.policy -> string
+
 val base_config : Simt.Config.t
 
 (** Deterministic fill for the read-only [datai]/[dataf] input arrays —
     identical across modes because the global layout is fixed at lowering. *)
 val init_memory : Ir.Types.program -> Simt.Memsys.t -> unit
+
+(** Bit-exact memory image: float cells by IEEE bit pattern, tagged so an
+    int and a float holding the same bits cannot alias. *)
+val snapshot : Simt.Memsys.t -> (bool * int) array
+
+(** Index of the first differing cell (or the shorter length on a size
+    mismatch); [None] when the images are identical. *)
+val first_diff : (bool * int) array -> (bool * int) array -> int option
+
+(** The parameterless kernels — the entry points the run matrix can
+    launch (there is nothing to pass the others). *)
+val runnable_kernels : Ir.Linear.t -> Ir.Linear.finfo list
 
 (** [check ast] runs every oracle and returns the first violation found
     (round trip, then staging, then the run matrix, then — for clean
@@ -106,3 +131,21 @@ val init_memory : Ir.Types.program -> Simt.Memsys.t -> unit
     (default [0xc4a05]) roots the per-plan fault seeds, so a campaign is
     replayed exactly by its [(seed, chaos, chaos_seed)] coordinates. *)
 val check : ?max_issues:int -> ?chaos:int -> ?chaos_seed:int -> Front.Ast.program -> verdict
+
+(** Root seed for the misplacement mutator (0xf1c5); a repair campaign
+    is replayed exactly by its [(seed, variants, mut_seed)] coordinates. *)
+val default_mut_seed : int
+
+(** [check_repair ~id ast] runs the repair tier on one generated
+    program: compile both modes; skip (as {!Limit}) if the unmutated
+    program is already flagged; then for each of [variants] (default 3)
+    seeded {!Misplace} mutants of the speculative build whose
+    misplacement srlint flags, require {!Analysis.Barrier_repair} to
+    either repair it — re-check clean, verifier-clean, deadlock-free
+    without yield under all three schedulers, memory bit-identical to
+    the unfaulted PDOM baseline ({!Repair_unsound} otherwise) — or
+    report it unrepairable with the blocking finding named
+    ({!Repair_incomplete} when it does neither). [id] distinguishes
+    programs of one campaign in the mutation stream. *)
+val check_repair :
+  ?max_issues:int -> ?variants:int -> ?mut_seed:int -> ?id:int -> Front.Ast.program -> verdict

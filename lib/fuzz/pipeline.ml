@@ -12,6 +12,7 @@ type staged = {
   decoded : Ir.Decoded.t;
   resolutions : int;
   lint : Analysis.Barrier_safety.finding list;
+  speculative : Analysis.Barrier_safety.speculative list;
 }
 
 let stage name f =
@@ -104,4 +105,4 @@ let compile ?(deconflict = true) ?(deconflict_call_waits = true) ~mode ast =
   let lint = stage "srlint" (fun () -> Analysis.Barrier_safety.check ~speculative program) in
   let linear = stage "linearize" (fun () -> Ir.Linear.linearize program) in
   let decoded = stage "decode" (fun () -> Ir.Decoded.decode linear) in
-  { program; linear; decoded; resolutions; lint }
+  { program; linear; decoded; resolutions; lint; speculative }

@@ -30,6 +30,9 @@ type staged = {
       (** static barrier-safety findings on the final program; reported
           as data (never raised) so the oracles can check them against
           the simulator's verdict *)
+  speculative : Analysis.Barrier_safety.speculative list;
+      (** speculative-barrier provenance the lint stage checked under;
+          the repair oracles pass it to {!Analysis.Barrier_repair} *)
 }
 
 (** [compile ~mode ast] lowers and runs the mode's synchronization passes,

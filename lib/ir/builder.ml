@@ -95,3 +95,38 @@ let add_label f name bid =
 
 let add_hint f hint = f.hints <- f.hints @ [ hint ]
 let label_block f name = List.assoc_opt name f.labels
+
+(* Deep copy: blocks are the only mutable leaves below a function, and
+   instructions/terminators are immutable values, so copying each block
+   record (and the containing tables/lists) is a full structural copy. *)
+let copy_program (p : program) =
+  let funcs = Hashtbl.create (Hashtbl.length p.funcs) in
+  Hashtbl.iter
+    (fun name (f : func) ->
+      let blocks = Hashtbl.create (Hashtbl.length f.blocks) in
+      Hashtbl.iter
+        (fun id (b : block) ->
+          Hashtbl.replace blocks id
+            { id = b.id; insts = b.insts; term = b.term; src_line = b.src_line })
+        f.blocks;
+      Hashtbl.replace funcs name
+        {
+          fname = f.fname;
+          params = f.params;
+          blocks;
+          entry = f.entry;
+          next_reg = f.next_reg;
+          next_block = f.next_block;
+          hints = f.hints;
+          labels = f.labels;
+        })
+    p.funcs;
+  {
+    funcs;
+    kernel = p.kernel;
+    kernels = p.kernels;
+    next_barrier = p.next_barrier;
+    globals = Hashtbl.copy p.globals;
+    mem_size = p.mem_size;
+    float_regions = p.float_regions;
+  }

@@ -65,3 +65,8 @@ val add_hint : func -> predict_hint -> unit
 
 (** [label_block func name] resolves a label to its block. *)
 val label_block : func -> string -> block_id option
+
+(** [copy_program p] is a deep structural copy: mutating the copy's
+    blocks, hints or allocation counters never affects [p]. Used by
+    passes that explore candidate edits before committing them. *)
+val copy_program : program -> program

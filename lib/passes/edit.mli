@@ -17,3 +17,18 @@ val remove_barrier_ops : Ir.Types.func -> Ir.Types.barrier -> int
 (** [index_of_wait f bid barrier] — position of the first wait
     (hard or threshold) on [barrier] in the block, if any. *)
 val index_of_wait : Ir.Types.func -> int -> Ir.Types.barrier -> int option
+
+(** [remove_at f bid idx] deletes and returns the instruction at [idx].
+    @raise Invalid_argument when [idx] is out of range. *)
+val remove_at : Ir.Types.func -> int -> int -> Ir.Types.inst
+
+(** [rewrite_slot_at f bid idx slot] retargets the barrier primitive at
+    [idx] to [slot], keeping its opcode (and threshold).
+    @raise Invalid_argument if [idx] is out of range or the instruction
+    is not a barrier primitive. *)
+val rewrite_slot_at : Ir.Types.func -> int -> int -> Ir.Types.barrier -> unit
+
+(** [move_inst f ~from_block ~from_index ~to_block] removes the source
+    instruction and re-inserts it at the top of [to_block], after any
+    leading [Join]/[Rejoin] prefix. *)
+val move_inst : Ir.Types.func -> from_block:int -> from_index:int -> to_block:int -> unit

@@ -94,6 +94,7 @@ let options_of_request (r : P.request) =
     cleanup = true;
     deconflict = true;
     lint = true;
+    repair = Core.Compile.No_repair;
   }
 
 let config_of_request t (r : P.request) =

@@ -1,0 +1,92 @@
+(* Minimal unified diff over line sequences (LCS-based). Small inputs
+   only — the consumers diff disassembly listings of at most a few
+   hundred lines, so the quadratic LCS table is fine. *)
+
+type op = Keep of string | Del of string | Add of string
+
+let ops a b =
+  let n = Array.length a and m = Array.length b in
+  (* lcs.(i).(j) = LCS length of a[i..] and b[j..] *)
+  let lcs = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = n - 1 downto 0 do
+    for j = m - 1 downto 0 do
+      lcs.(i).(j) <-
+        (if String.equal a.(i) b.(j) then 1 + lcs.(i + 1).(j + 1)
+         else max lcs.(i + 1).(j) lcs.(i).(j + 1))
+    done
+  done;
+  let rec walk i j acc =
+    if i < n && j < m && String.equal a.(i) b.(j) then walk (i + 1) (j + 1) (Keep a.(i) :: acc)
+    else if i < n && (j = m || lcs.(i + 1).(j) >= lcs.(i).(j + 1)) then
+      walk (i + 1) j (Del a.(i) :: acc)
+    else if j < m then walk i (j + 1) (Add b.(j) :: acc)
+    else List.rev acc
+  in
+  walk 0 0 []
+
+let render ?(context = 3) ?(from_label = "before") ?(to_label = "after") a b =
+  let ops = Array.of_list (ops a b) in
+  let n = Array.length ops in
+  let is_change = function Keep _ -> false | Del _ | Add _ -> true in
+  (* An op index is emitted when within [context] of any change. *)
+  let emit = Array.make n false in
+  Array.iteri
+    (fun i op ->
+      if is_change op then
+        for j = max 0 (i - context) to min (n - 1) (i + context) do
+          emit.(j) <- true
+        done)
+    ops;
+  if not (Array.exists Fun.id emit) then ""
+  else begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (Printf.sprintf "--- %s\n+++ %s\n" from_label to_label);
+    (* Walk emitted runs, tracking 1-based line cursors into both sides. *)
+    let a_line = ref 1 and b_line = ref 1 in
+    let i = ref 0 in
+    while !i < n do
+      if not emit.(!i) then begin
+        (match ops.(!i) with
+        | Keep _ ->
+          incr a_line;
+          incr b_line
+        | Del _ -> incr a_line
+        | Add _ -> incr b_line);
+        incr i
+      end
+      else begin
+        let start = !i in
+        let stop = ref start in
+        while !stop < n && emit.(!stop) do
+          incr stop
+        done;
+        let a_start = !a_line and b_start = !b_line in
+        let a_count = ref 0 and b_count = ref 0 in
+        let body = Buffer.create 256 in
+        for j = start to !stop - 1 do
+          match ops.(j) with
+          | Keep l ->
+            Buffer.add_string body (" " ^ l ^ "\n");
+            incr a_count;
+            incr b_count
+          | Del l ->
+            Buffer.add_string body ("-" ^ l ^ "\n");
+            incr a_count
+          | Add l ->
+            Buffer.add_string body ("+" ^ l ^ "\n");
+            incr b_count
+        done;
+        a_line := a_start + !a_count;
+        b_line := b_start + !b_count;
+        Buffer.add_string buf
+          (Printf.sprintf "@@ -%d,%d +%d,%d @@\n" a_start !a_count b_start !b_count);
+        Buffer.add_buffer buf body;
+        i := !stop
+      end
+    done;
+    Buffer.contents buf
+  end
+
+let render_strings ?context ?from_label ?to_label a b =
+  let lines s = Array.of_list (String.split_on_char '\n' s) in
+  render ?context ?from_label ?to_label (lines a) (lines b)

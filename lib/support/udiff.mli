@@ -1,0 +1,15 @@
+(** Minimal unified diff over line sequences (LCS-based), used by
+    [srcc --fix] to show the before/after disassembly of a repaired
+    program. Quadratic in the input length — intended for listings of at
+    most a few hundred lines, not whole files. *)
+
+(** [render a b] is a unified diff of the two line arrays: [---]/[+++]
+    header, [@@] hunk markers with 1-based line ranges, [context]
+    (default 3) unchanged lines around each change. Empty string when
+    the inputs are equal. *)
+val render :
+  ?context:int -> ?from_label:string -> ?to_label:string -> string array -> string array -> string
+
+(** [render_strings a b] splits on newlines and diffs. *)
+val render_strings :
+  ?context:int -> ?from_label:string -> ?to_label:string -> string -> string -> string

@@ -79,6 +79,35 @@ let test_handle () =
   | exception Exit -> ()
   | code -> Alcotest.failf "tool bugs must crash loudly, got exit %d" code
 
+(* ---- the srcc --fix exit-code contract, end to end ----
+
+   A corpus deadlock repro compiled speculatively without deconfliction
+   is the canonical flagged program: --fix must repair it (exit 0),
+   --fix-dry-run must plan without failing the build (exit 0), and a
+   zero-edit budget must keep the lint hard error (exit 5,
+   Compile_error) in both modes — no new exit codes. *)
+
+let srcc args =
+  Sys.command (Printf.sprintf "../bin/srcc.exe %s > /dev/null 2>&1" args)
+
+let repro = "corpus/srfuzz_42_114_deadlock.simt --mode specrecon --no-deconflict"
+
+let test_srcc_fix_exit_codes () =
+  check_int "flagged placement without --fix keeps the lint error (5)"
+    (Cli.exit_code (Cli.Compile_error "")) (srcc repro);
+  check_int "--fix repairs it (0)" (Cli.exit_code Cli.Ok_exit) (srcc (repro ^ " --fix"));
+  check_int "--fix-dry-run plans without failing the build (0)"
+    (Cli.exit_code Cli.Ok_exit)
+    (srcc (repro ^ " --fix-dry-run"));
+  check_int "--fix with a zero budget is unrepairable (5)"
+    (Cli.exit_code (Cli.Compile_error ""))
+    (srcc (repro ^ " --fix --fix-budget 0"));
+  check_int "--fix-dry-run with a zero budget reports it too (5)"
+    (Cli.exit_code (Cli.Compile_error ""))
+    (srcc (repro ^ " --fix-dry-run --fix-budget 0"));
+  check_int "--fix on a clean program is a no-op (0)" (Cli.exit_code Cli.Ok_exit)
+    (srcc "../examples/kernels/loop_merge.simt --mode specrecon --fix")
+
 let tests =
   [
     ( "core.cli",
@@ -89,5 +118,6 @@ let tests =
         Alcotest.test_case "diagnostics are one line (except deadlock)" `Quick
           test_describe_one_line;
         Alcotest.test_case "handle" `Quick test_handle;
+        Alcotest.test_case "srcc --fix exit-code contract" `Quick test_srcc_fix_exit_codes;
       ] );
   ]

@@ -46,7 +46,7 @@ let test_bypassable_wait () =
     "srlint: category=bypassable-wait func=k block=bb3 line=? slot=b0 msg=wait can be \
      bypassed: slots {b0, b1, b2} form a waits-for cycle (each may block a holder of the \
      next), so no schedule can fire them fix=break the cycle: cancel or deconflict one of \
-     the slots before its conflicting wait"
+     the slots before its conflicting wait hint=insert-cancel"
 
 (* Two barriers held across complementary waits in divergent arms: the
    2-cycle is also the exact partial-overlap shape Deconflict must
@@ -65,11 +65,11 @@ let test_unseparated_overlap () =
     "srlint: category=bypassable-wait func=k block=bb2 line=? slot=b0 msg=wait can be \
      bypassed: slots {b0, b1} form a waits-for cycle (each may block a holder of the next), \
      so no schedule can fire them fix=break the cycle: cancel or deconflict one of the \
-     slots before its conflicting wait\n\
+     slots before its conflicting wait hint=insert-cancel\n\
      srlint: category=unseparated-overlap func=k block=bb2 line=? slot=b0 msg=slots b0 and \
      b1 overlap partially and can each block a holder of the other; Deconflict should have \
      separated them fix=re-run deconfliction on this pair, or cancel the held slot before \
-     the wait"
+     the wait hint=split-slot"
 
 let test_double_arrive () =
   let p = B.create_program () in
@@ -80,7 +80,7 @@ let test_double_arrive () =
   check_render "join twice on a live slot" p ~speculative:[]
     "srlint: category=double-arrive func=k block=bb0 line=? slot=b0 msg=arrive-after-arrive: \
      every path to this join already holds b0 fix=remove the redundant join, or use \
-     rejoin.barrier after the wait"
+     rejoin.barrier after the wait hint=split-slot"
 
 let test_unallocated_slot () =
   let p = B.create_program () in
@@ -91,7 +91,7 @@ let test_unallocated_slot () =
   check_render "slot id beyond next_barrier" p ~speculative:[]
     "srlint: category=unallocated-slot func=k block=bb0 line=? slot=b3 msg=slot b3 is \
      outside the allocated range [0, 1) fix=allocate the slot with Builder.fresh_barrier \
-     before referencing it"
+     before referencing it hint=remap-slot"
 
 let test_orphan_wait () =
   let p = B.create_program () in
@@ -102,7 +102,7 @@ let test_orphan_wait () =
   check_render "wait with no arrive site anywhere" p ~speculative:[]
     "srlint: category=unallocated-slot func=k block=bb0 line=? slot=b0 msg=wait/cancel on \
      b0, but no join/rejoin arrives on it anywhere fix=insert join.barrier on every \
-     participating path, or delete the orphan primitive"
+     participating path, or delete the orphan primitive hint=remap-slot"
 
 (* Join in one arm only, wait at the merge: a speculative placement whose
    BSSY does not dominate its BSYNC, the paper's rule 5. *)
@@ -122,7 +122,7 @@ let test_undominated_wait () =
     "srlint: category=undominated-wait func=k block=bb3 line=? slot=b0 msg=speculative wait \
      on b0 at bb3 is not dominated by its join block bb1: some participant can reach the \
      wait region without arriving fix=move the predict hint so the join dominates the \
-     wait, or drop the hint"
+     wait, or drop the hint hint=hoist-wait"
 
 (* Source-line provenance: lower a real kernel so blocks carry src_line,
    then inject a bad primitive and check the line shows up. *)
@@ -135,7 +135,7 @@ let test_provenance_line () =
   check_render "diagnostic carries the source line of the block" p ~speculative:[]
     "srlint: category=unallocated-slot func=k block=bb0 line=3 slot=b0 msg=slot b0 is \
      outside the allocated range [0, 0) fix=allocate the slot with Builder.fresh_barrier \
-     before referencing it"
+     before referencing it hint=remap-slot"
 
 (* ---- ablation: srlint flags the PR 2 interprocedural deadlock ---- *)
 

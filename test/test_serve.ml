@@ -286,6 +286,7 @@ let test_server_hit_serves_identical_artifact () =
       cleanup = true;
       deconflict = true;
       lint = true;
+      repair = Core.Compile.No_repair;
     }
   in
   let cache = Cache.create ~capacity:2 in
@@ -327,6 +328,7 @@ let test_registry_differential () =
           cleanup = true;
           deconflict = true;
           lint = true;
+          repair = Core.Compile.No_repair;
         }
       in
       let config =
