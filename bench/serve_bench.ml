@@ -120,6 +120,48 @@ let measure ~capacity ~warmup ~passes trace =
     errors = !errors;
   }
 
+(* Persisted-restart shape: every timed pass is a brand-new server —
+   the kill -9 / restart lifecycle the crash-safe store exists for. A
+   cold restart recompiles every kernel from source; a restart over a
+   populated --persist store deserializes the decoded artifacts
+   instead. The committed BENCH_service.json must show restart-warm ≥
+   2x restart-cold on the compile-heavy trace — that ratio is the
+   store's reason to exist. *)
+let measure_restart ?persist_dir ~passes trace =
+  let fresh () =
+    Serve.Server.create ~cache_capacity:256 ~max_issues:100_000_000 ?persist_dir ()
+  in
+  ignore (replay (fresh ()) trace) (* warmup: populates the store when given one *);
+  let errors = ref 0 in
+  let t0 = gettime () in
+  for _ = 1 to passes do
+    errors := !errors + replay (fresh ()) trace
+  done;
+  let dt = gettime () -. t0 in
+  {
+    launches_per_sec =
+      (if dt <= 0.0 then 0.0 else float_of_int (passes * List.length trace) /. dt);
+    hit_rate = 0.0;
+    errors = !errors;
+  }
+
+let restart_trace =
+  List.concat_map
+    (fun salt -> List.init 4 (fun id -> P.Run (P.make_request ~id ~warps:1 ~source:(cold_path ~salt ~n:160) ())))
+    (List.init 4 Fun.id)
+
+let measure_persisted_restart ~passes =
+  let dir = Filename.temp_file "srserved_bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+  @@ fun () ->
+  let cold = measure_restart ~passes restart_trace in
+  let warm = measure_restart ~persist_dir:dir ~passes restart_trace in
+  (cold, warm)
+
 let json_path = "BENCH_service.json"
 
 let () =
@@ -145,6 +187,22 @@ let () =
           (Printf.sprintf "serve/%s/warm_hit_rate" name, warm.hit_rate);
         ])
       traces
+  in
+  let rows =
+    let cold, warm = measure_persisted_restart ~passes:3 in
+    Printf.printf
+      "serve/persisted %5d launches/restart: cold restart %8.1f/s, persisted restart \
+       %8.1f/s (%.2fx), errors %d\n%!"
+      (List.length restart_trace) cold.launches_per_sec warm.launches_per_sec
+      (warm.launches_per_sec /. cold.launches_per_sec)
+      (cold.errors + warm.errors);
+    rows
+    @ [
+        ("serve/persisted/cold_restart_launches_per_sec", cold.launches_per_sec);
+        ("serve/persisted/warm_restart_launches_per_sec", warm.launches_per_sec);
+        ( "serve/persisted/restart_warm_over_cold",
+          warm.launches_per_sec /. cold.launches_per_sec );
+      ]
   in
   let oc = open_out json_path in
   output_string oc "{\n";

@@ -6,9 +6,35 @@
    across scheduler policies, deadlock/runtime-error classification, and
    (with --chaos N) N seeded fault-injection plans per clean program —
    shrinks any failure, and optionally writes the minimized repro into a
-   regression corpus directory. Exit status 1 when violations remain. *)
+   regression corpus directory. Exit status 1 when violations remain.
 
-let main seed count save max_issues chaos chaos_seed shrink_budget repair verbose =
+   --serve-chaos N runs the service chaos tier instead: N seeded
+   transport-fault plans against forked srserved socket servers, plus
+   the kill-9/restart persistence oracle (Fuzz.Serve_chaos). *)
+
+let serve_chaos_campaign ~seed ~count ~plans ~max_issues ~chaos_seed =
+  let c =
+    Fuzz.Serve_chaos.run ~count ~plans ?chaos_seed ~max_issues ~seed ()
+  in
+  Format.printf
+    "serve-chaos campaign seed %d: %d trace replays across %d fault plans (+ persistence \
+     generations): %d violation(s)@."
+    seed c.Fuzz.Serve_chaos.replays c.Fuzz.Serve_chaos.plans
+    (List.length c.Fuzz.Serve_chaos.violations);
+  List.iter
+    (fun (v : Fuzz.Oracle.violation) ->
+      Format.printf "VIOLATION [%s] %s@."
+        (Fuzz.Oracle.kind_name v.Fuzz.Oracle.kind)
+        v.Fuzz.Oracle.detail)
+    c.Fuzz.Serve_chaos.violations;
+  if c.Fuzz.Serve_chaos.violations <> [] then raise (Core.Cli.Error Core.Cli.Findings)
+
+let main seed count save max_issues chaos chaos_seed shrink_budget repair serve_chaos
+    verbose =
+  if serve_chaos > 0 then
+    serve_chaos_campaign ~seed ~count ~plans:serve_chaos
+      ~max_issues:(min max_issues 200_000) ~chaos_seed
+  else begin
   let repair = if repair = 0 then None else Some repair in
   let report =
     Fuzz.Driver.run ~max_issues ~chaos ?chaos_seed ~shrink_budget ?repair ~seed ~count ()
@@ -29,6 +55,7 @@ let main seed count save max_issues chaos chaos_seed shrink_budget repair verbos
           (Front.Pretty.to_string f.Fuzz.Driver.shrunk))
       report.Fuzz.Driver.findings;
   if report.Fuzz.Driver.findings <> [] then raise (Core.Cli.Error Core.Cli.Findings)
+  end
 
 open Cmdliner
 
@@ -67,6 +94,14 @@ let cmd =
                 "Run the repair tier instead of the standard matrix: mutate each program's \
                  barrier placement $(docv) times and require srcc --fix to repair every \
                  flagged mutant (or name the blocking finding); 0 disables")
+      $ Arg.(
+          value & opt int 0
+          & info [ "serve-chaos" ] ~docv:"N"
+              ~doc:
+                "Run the service chaos tier instead of the standard matrix: replay a \
+                 generated request trace (--count requests) against forked srserved \
+                 socket servers under $(docv) seeded transport-fault plans, plus the \
+                 kill-9/restart persistence oracle; 0 disables")
       $ Arg.(value & flag & info [ "verbose" ] ~doc:"Print shrunk repro sources"))
 
 let () =

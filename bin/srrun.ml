@@ -3,7 +3,7 @@
 
    Failure modes map to distinct exit codes via Core.Cli: 2 usage,
    3 i/o, 4 lex/parse, 5 compile, 6 deadlock, 7 runtime/runaway,
-   8 baseline mismatch. *)
+   8 baseline mismatch, 9 deadline (--deadline fuel exhausted). *)
 
 let usage msg = raise (Core.Cli.Error (Core.Cli.Usage msg))
 
@@ -50,8 +50,9 @@ let yield_policy_of_string = function
   | "lowest-slot" -> Simt.Config.Lowest_slot
   | other -> usage ("unknown yield policy " ^ other)
 
-let run path mode coarsen threshold warps warp_size policy seed yield yield_policy chaos replay
-    fault_trace no_deconflict no_lint fix digest check_baseline entry args =
+let run path mode coarsen threshold warps warp_size policy seed deadline yield yield_policy chaos
+    replay fault_trace no_deconflict no_lint fix digest check_baseline entry args =
+  if deadline < 0 then usage "--deadline must be >= 0 (0 = unlimited)";
   let mode = mode_of_string mode in
   let threshold =
     match threshold with
@@ -65,6 +66,7 @@ let run path mode coarsen threshold warps warp_size policy seed yield yield_poli
       warp_size;
       policy = policy_of_string policy;
       seed;
+      fuel = deadline;
       yield_on_stall = yield;
       yield_policy = yield_policy_of_string yield_policy }
   in
@@ -149,6 +151,14 @@ let cmd =
   in
   let policy = Arg.(value & opt string "most-threads" & info [ "policy" ]) in
   let seed = Arg.(value & opt int Simt.Config.default.Simt.Config.seed & info [ "seed" ]) in
+  let deadline =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline" ] ~docv:"FUEL"
+          ~doc:
+            "Stop the run deterministically after $(docv) issued instructions (exit 9); 0 \
+             disables the deadline")
+  in
   let yield =
     Arg.(
       value & flag
@@ -221,9 +231,9 @@ let cmd =
   Cmd.v
     (Cmd.info "srrun" ~doc:"Run a MiniSIMT kernel on the SIMT simulator")
     Term.(
-      const run $ path $ mode $ coarsen $ threshold $ warps $ warp_size $ policy $ seed $ yield
-      $ yield_policy $ chaos $ replay $ fault_trace $ no_deconflict $ no_lint $ fix $ digest
-      $ check_baseline $ entry $ kargs)
+      const run $ path $ mode $ coarsen $ threshold $ warps $ warp_size $ policy $ seed
+      $ deadline $ yield $ yield_policy $ chaos $ replay $ fault_trace $ no_deconflict $ no_lint
+      $ fix $ digest $ check_baseline $ entry $ kargs)
 
 let () =
   let code = Core.Cli.handle (fun () -> Cmd.eval ~catch:false cmd) in

@@ -8,6 +8,7 @@ type outcome =
   | Deadlock of string
   | Runtime_failure of string
   | Baseline_mismatch of string
+  | Deadline_exceeded of string
 
 exception Error of outcome
 
@@ -21,6 +22,7 @@ let exit_code = function
   | Deadlock _ -> 6
   | Runtime_failure _ -> 7
   | Baseline_mismatch _ -> 8
+  | Deadline_exceeded _ -> 9
 
 (* One line, except deadlock: its waits-for-cycle report is the whole
    point of the diagnostic, so it keeps its lines. *)
@@ -34,6 +36,7 @@ let describe = function
   | Deadlock msg -> "deadlock: " ^ msg
   | Runtime_failure msg -> "runtime error: " ^ msg
   | Baseline_mismatch msg -> "baseline mismatch: " ^ msg
+  | Deadline_exceeded msg -> "deadline exceeded: " ^ msg
 
 let one_line msg =
   match String.index_opt msg '\n' with
@@ -54,6 +57,7 @@ let classify = function
   | Simt.Interp.Deadlock msg -> Some (Deadlock msg)
   | Simt.Interp.Runtime_error msg -> Some (Runtime_failure msg)
   | Simt.Interp.Runaway msg -> Some (Runtime_failure ("runaway: " ^ msg))
+  | Simt.Interp.Deadline_exceeded msg -> Some (Deadline_exceeded msg)
   | _ -> None
 
 let handle f =

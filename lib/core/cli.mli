@@ -15,6 +15,7 @@
     6  simulator deadlock (conflicting barriers, no --yield)
     7  simulator runtime error or runaway
     8  faulted/yield run disagrees with the unfaulted PDOM baseline
+    9  request deadline exceeded (the configured fuel ran out)
     v} *)
 
 type outcome =
@@ -27,6 +28,7 @@ type outcome =
   | Deadlock of string
   | Runtime_failure of string
   | Baseline_mismatch of string
+  | Deadline_exceeded of string
 
 exception Error of outcome
 (** Tools raise this for outcomes no exception carries naturally (e.g. a

@@ -14,6 +14,8 @@ type kind =
   | Spurious_yield
   | Decode_mismatch
   | Serve_mismatch
+  | Serve_chaos
+  | Serve_persist
   | Repair_unsound
   | Repair_incomplete
 
@@ -29,6 +31,8 @@ let kind_name = function
   | Spurious_yield -> "spurious-yield"
   | Decode_mismatch -> "decode-mismatch"
   | Serve_mismatch -> "serve-mismatch"
+  | Serve_chaos -> "serve-chaos"
+  | Serve_persist -> "serve-persist"
   | Repair_unsound -> "repair-unsound"
   | Repair_incomplete -> "repair-incomplete"
 
@@ -253,6 +257,29 @@ let chaos_matrix ~max_issues ~chaos ~chaos_seed (staged : (Pipeline.mode * Pipel
             yield_on_stall = true;
             yield_policy = Simt.Config.Oldest_arrival }
         in
+        (* Re-execute under a replayed (sub)trace — the trace shrinker's
+           predicate runner. *)
+        let replay_run events =
+          let f = Simt.Faults.replay events in
+          match
+            Simt.Interp.run ~faults:f config specrecon.Pipeline.decoded
+              ~entry:kf.Ir.Linear.fname ~args:[]
+              ~init_memory:(init_memory specrecon.Pipeline.program)
+          with
+          | r -> Some r
+          | exception (Simt.Interp.Deadlock _ | Simt.Interp.Runtime_error _ | Simt.Interp.Runaway _)
+            ->
+            None
+        in
+        (* The minimal sub-trace still provoking [pred]: what the
+           violation detail prints, so a repro starts from the fewest
+           faults that matter (each candidate costs a simulation, hence
+           the small budget). *)
+        let minimal_trace faults pred =
+          Shrink.shrink_trace ~budget:48 (Simt.Faults.events faults)
+            ~still_failing:(fun evs ->
+              match replay_run evs with Some r -> pred r | None -> false)
+        in
         let result =
           try
             Simt.Interp.run ~faults config specrecon.Pipeline.decoded
@@ -282,9 +309,13 @@ let chaos_matrix ~max_issues ~chaos ~chaos_seed (staged : (Pipeline.mode * Pipel
                   { kind = Spurious_yield;
                     detail =
                       Printf.sprintf
-                        "%s: %d yield(s) on a checker-clean program (fault seed %d, trace:\n%s)"
+                        "%s: %d yield(s) on a checker-clean program (fault seed %d, minimal \
+                         trace:\n\
+                         %s)"
                         where yields fault_seed
-                        (Simt.Faults.trace_to_string (Simt.Faults.events faults)) }));
+                        (Simt.Faults.trace_to_string
+                           (minimal_trace faults (fun r ->
+                                r.Simt.Interp.metrics.Simt.Metrics.yields > 0))) }));
         let ref_snap, ref_finished = reference in
         let finished = result.Simt.Interp.metrics.Simt.Metrics.threads_finished in
         if finished <> ref_finished then
@@ -307,9 +338,11 @@ let chaos_matrix ~max_issues ~chaos ~chaos_seed (staged : (Pipeline.mode * Pipel
                     detail =
                       Printf.sprintf
                         "%s: memory differs from unfaulted baseline at address %d (fault seed \
-                         %d, trace:\n%s)"
+                         %d, minimal trace:\n%s)"
                         where addr fault_seed
-                        (Simt.Faults.trace_to_string (Simt.Faults.events faults)) }))
+                        (Simt.Faults.trace_to_string
+                           (minimal_trace faults (fun r ->
+                                first_diff ref_snap (snapshot r.Simt.Interp.memory) <> None))) }))
       done)
     (runnable_kernels specrecon.Pipeline.linear)
 

@@ -78,6 +78,19 @@ type kind =
           one-shot [Core.Compile] + [Core.Runner] pipeline — wrong
           metrics, wrong memory digest, or cache counters that do not
           match the cold-then-warm submission order *)
+  | Serve_chaos
+      (** a socket server under a seeded transport-fault plan
+          ({!Serve.Faults}: torn lines, slow-loris sends, injected fuel
+          budgets, vanishing clients) answered an undisturbed request
+          differently from the clean server's byte-identical stream, or
+          a fuel-faulted request with something other than the clean
+          response or a well-formed [deadline] (see
+          {!Serve_chaos.check_transport}) *)
+  | Serve_persist
+      (** a kill-9'd-then-restarted server over the same persistent
+          store answered a replayed trace differently from its pre-kill
+          run, failed to serve warm from the store, or mis-counted
+          injected store corruption (see {!Serve_chaos.check_persist}) *)
   | Repair_unsound
       (** an accepted [--fix] repair failed its own contract: the
           repaired program is still flagged by srlint, fails the

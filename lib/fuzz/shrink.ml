@@ -102,3 +102,32 @@ let shrink ?(budget = 300) ast ~still_failing =
       match next with Some smaller -> pass smaller | None -> current
   in
   pass ast
+
+(* Fault-trace minimization: same greedy discipline as [shrink], but the
+   candidates are drop-one-event sublists. Replay is keyed by
+   (channel, consultation index), so removing one event leaves every
+   other event applying at exactly its recorded point — sublists are
+   always well-formed traces. Lenient on entry: if the full trace no
+   longer reproduces (a nondeterministic repro), it is returned
+   unchanged rather than shrunk to a lie. *)
+let shrink_trace ?(budget = 200) events ~still_failing =
+  let evals = ref 0 in
+  let check evs =
+    incr evals;
+    still_failing evs
+  in
+  if not (check events) then events
+  else begin
+    let drop_nth evs n = List.filteri (fun i _ -> i <> n) evs in
+    let rec pass current =
+      let n = List.length current in
+      let rec try_drop i =
+        if i >= n || !evals >= budget then None
+        else
+          let candidate = drop_nth current i in
+          if check candidate then Some candidate else try_drop (i + 1)
+      in
+      match try_drop 0 with Some smaller -> pass smaller | None -> current
+    in
+    pass events
+  end

@@ -17,3 +17,13 @@
     evaluations (default 300). [still_failing ast] must be true on entry. *)
 val shrink :
   ?budget:int -> Front.Ast.program -> still_failing:(Front.Ast.program -> bool) -> Front.Ast.program
+
+(** [shrink_trace events ~still_failing] greedily drops events from a
+    recorded fault trace while the predicate keeps holding — replay is
+    keyed by (channel, consultation index), so any sublist is a
+    well-formed trace. Returns [events] unchanged if the full trace no
+    longer reproduces. [budget] caps predicate evaluations (default
+    200); each evaluation typically replays a full simulation, so
+    callers pass something far smaller. Works for any event type
+    ({!Simt.Faults.event}, {!Serve.Faults.event}). *)
+val shrink_trace : ?budget:int -> 'a list -> still_failing:('a list -> bool) -> 'a list

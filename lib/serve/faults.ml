@@ -1,0 +1,196 @@
+(* Seeded fault injection for the service layer — the serve-side mirror
+   of Simt.Faults. Where the simulator harness perturbs scheduler picks
+   and memory latencies, this one perturbs the transport and the store:
+   what a hostile network, a dying client, or a flaky disk does to
+   srserved.
+
+   Two channels, each with its own consultation counter:
+
+   - req: once per request a chaos client is about to send, the plan
+     may order it torn (truncate the line mid-byte and close), slowed
+     (dribble it out in tiny chunks — slow-loris), fueled (inject a
+     tight deadline= override so the launch exhausts its budget), or
+     aborted (send fully, read nothing, vanish);
+   - file: once per corruption opportunity between server generations,
+     the plan may order the persisted cache files mangled.
+
+   Faults draw from a SplitMix-seeded plan; every applied fault is
+   recorded with its consultation index and the trace replays exactly,
+   same contract as Simt.Faults. *)
+
+module Sm = Support.Splitmix
+
+type event =
+  | Truncate of { step : int; keep : int }
+  | Slow of { step : int; chunk : int }
+  | Fuel of { step : int; fuel : int }
+  | Abort of { step : int }
+  | Corrupt of { step : int }
+
+type disposition =
+  | Clean
+  | Truncated of int  (* send only this many bytes, then close *)
+  | Slowed of int  (* send in chunks of this many bytes *)
+  | Fueled of int  (* inject deadline=fuel into the request *)
+  | Aborted  (* send, read nothing, close *)
+
+type rates = {
+  trunc_rate : float;
+  slow_rate : float;
+  fuel_rate : float;
+  abort_rate : float;
+  corrupt_rate : float;
+  fuel_max : int;
+  chunk_max : int;
+}
+
+let default_rates =
+  {
+    trunc_rate = 0.10;
+    slow_rate = 0.10;
+    fuel_rate = 0.10;
+    abort_rate = 0.05;
+    corrupt_rate = 0.5;
+    fuel_max = 200;
+    chunk_max = 7;
+  }
+
+type channel = Req_ch | File_ch
+
+type mode = Generate of Sm.t * rates | Replay of (channel * int, event) Hashtbl.t
+
+type t = {
+  mode : mode;
+  mutable req_step : int;
+  mutable file_step : int;
+  mutable applied_rev : event list;
+}
+
+let create ?(rates = default_rates) ~seed () =
+  { mode = Generate (Sm.of_ints seed 0x5e17e 0xfa17, rates); req_step = 0; file_step = 0;
+    applied_rev = [] }
+
+let channel_of = function
+  | Truncate _ | Slow _ | Fuel _ | Abort _ -> Req_ch
+  | Corrupt _ -> File_ch
+
+let step_of = function
+  | Truncate { step; _ } | Slow { step; _ } | Fuel { step; _ } | Abort { step }
+  | Corrupt { step } ->
+    step
+
+let replay events =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun ev -> Hashtbl.replace tbl (channel_of ev, step_of ev) ev) events;
+  { mode = Replay tbl; req_step = 0; file_step = 0; applied_rev = [] }
+
+let events t = List.rev t.applied_rev
+
+let record t ev = t.applied_rev <- ev :: t.applied_rev
+
+(* [len] is the request line's byte length, so a truncation point can be
+   drawn inside it; replayed truncations clamp to it. *)
+let request_fault t ~len =
+  let step = t.req_step in
+  t.req_step <- step + 1;
+  match t.mode with
+  | Generate (rng, r) ->
+    let x = Sm.float rng in
+    if x < r.trunc_rate then begin
+      let keep = Sm.int rng (max 1 len) in
+      record t (Truncate { step; keep });
+      Truncated keep
+    end
+    else if x < r.trunc_rate +. r.slow_rate then begin
+      let chunk = 1 + Sm.int rng r.chunk_max in
+      record t (Slow { step; chunk });
+      Slowed chunk
+    end
+    else if x < r.trunc_rate +. r.slow_rate +. r.fuel_rate then begin
+      let fuel = 1 + Sm.int rng r.fuel_max in
+      record t (Fuel { step; fuel });
+      Fueled fuel
+    end
+    else if x < r.trunc_rate +. r.slow_rate +. r.fuel_rate +. r.abort_rate then begin
+      record t (Abort { step });
+      Aborted
+    end
+    else Clean
+  | Replay tbl -> (
+    match Hashtbl.find_opt tbl (Req_ch, step) with
+    | Some (Truncate { keep; _ }) ->
+      let keep = min keep (max 0 (len - 1)) in
+      record t (Truncate { step; keep });
+      Truncated keep
+    | Some (Slow { chunk; _ }) ->
+      record t (Slow { step; chunk });
+      Slowed chunk
+    | Some (Fuel { fuel; _ }) ->
+      record t (Fuel { step; fuel });
+      Fueled fuel
+    | Some (Abort _) ->
+      record t (Abort { step });
+      Aborted
+    | _ -> Clean)
+
+let file_fault t =
+  let step = t.file_step in
+  t.file_step <- step + 1;
+  match t.mode with
+  | Generate (rng, r) ->
+    if Sm.float rng < r.corrupt_rate then begin
+      record t (Corrupt { step });
+      true
+    end
+    else false
+  | Replay tbl -> (
+    match Hashtbl.find_opt tbl (File_ch, step) with
+    | Some (Corrupt _) ->
+      record t (Corrupt { step });
+      true
+    | _ -> false)
+
+(* ---- trace printing and parsing ---- *)
+
+let pp_event ppf = function
+  | Truncate { step; keep } -> Format.fprintf ppf "fault trunc step=%d keep=%d" step keep
+  | Slow { step; chunk } -> Format.fprintf ppf "fault slow step=%d chunk=%d" step chunk
+  | Fuel { step; fuel } -> Format.fprintf ppf "fault fuel step=%d fuel=%d" step fuel
+  | Abort { step } -> Format.fprintf ppf "fault abort step=%d" step
+  | Corrupt { step } -> Format.fprintf ppf "fault corrupt step=%d" step
+
+let pp_trace ppf events =
+  List.iter (fun ev -> Format.fprintf ppf "%a@." pp_event ev) events
+
+let trace_to_string events = Format.asprintf "%a" pp_trace events
+
+let parse_event line =
+  let fail () = failwith (Printf.sprintf "Serve.Faults.parse_trace: malformed line %S" line) in
+  let field name kv =
+    match String.split_on_char '=' kv with
+    | [ k; v ] when String.equal k name -> (
+      match int_of_string_opt v with Some n -> n | None -> fail ())
+    | _ -> fail ()
+  in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "fault"; kind; s ] -> (
+    let step = field "step" s in
+    match kind with
+    | "abort" -> Abort { step }
+    | "corrupt" -> Corrupt { step }
+    | _ -> fail ())
+  | [ "fault"; kind; s; x ] -> (
+    let step = field "step" s in
+    match kind with
+    | "trunc" -> Truncate { step; keep = field "keep" x }
+    | "slow" -> Slow { step; chunk = field "chunk" x }
+    | "fuel" -> Fuel { step; fuel = field "fuel" x }
+    | _ -> fail ())
+  | _ -> fail ()
+
+let parse_trace text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l ->
+         let l = String.trim l in
+         String.length l > 0 && not (String.length l >= 1 && l.[0] = '#'))
+  |> List.map parse_event

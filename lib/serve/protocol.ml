@@ -54,6 +54,7 @@ type request = {
   entry : string option;
   args : Ir.Types.value list;
   init : string;
+  deadline : int option;
   source : string;
 }
 
@@ -63,10 +64,11 @@ let inits = [ "none"; "data" ]
 
 let make_request ~id ?(mode = "specrecon") ?(policy = "most-threads") ?(warps = 2)
     ?(warp_size = 32) ?(seed = 11) ?coarsen ?threshold ?entry ?(args = []) ?(init = "none")
-    ~source () =
-  { id; mode; policy; warps; warp_size; seed; coarsen; threshold; entry; args; init; source }
+    ?deadline ~source () =
+  { id; mode; policy; warps; warp_size; seed; coarsen; threshold; entry; args; init; deadline;
+    source }
 
-type command = Run of request | Stats of int | Quit
+type command = Run of request | Stats of int | Quit | Shutdown
 
 (* Kernel arguments print tagged so the reader never guesses: ints as
    decimal, floats as C99 hex floats (%h), which are bit-exact and —
@@ -99,6 +101,7 @@ let parse_args s =
 
 let print_command = function
   | Quit -> "quit"
+  | Shutdown -> "shutdown"
   | Stats id -> Printf.sprintf "stats id=%d" id
   | Run r ->
     let buf = Buffer.create 256 in
@@ -110,6 +113,7 @@ let print_command = function
     Option.iter (fun e -> Buffer.add_string buf (" entry=" ^ encode e)) r.entry;
     if r.args <> [] then Buffer.add_string buf (" args=" ^ print_args r.args);
     Buffer.add_string buf (" init=" ^ r.init);
+    Option.iter (fun d -> Buffer.add_string buf (Printf.sprintf " deadline=%d" d)) r.deadline;
     Buffer.add_string buf (" source=" ^ encode r.source);
     Buffer.contents buf
 
@@ -189,10 +193,16 @@ let parse_run words =
       match parse_args (decode_field "args" v) with Ok vs -> vs | Error msg -> raise (Bad msg))
   in
   let init = match take tbl "init" with Some v -> enum_field "init" inits v | None -> "none" in
+  let deadline =
+    match Option.map (int_field "deadline") (take tbl "deadline") with
+    | Some d when d < 0 -> raise (Bad (Printf.sprintf "field deadline=%d must be >= 0" d))
+    | d -> d
+  in
   let source = decode_field "source" (require tbl "source") in
   no_leftovers tbl;
   Run
-    { id; mode; policy; warps; warp_size; seed; coarsen; threshold; entry; args; init; source }
+    { id; mode; policy; warps; warp_size; seed; coarsen; threshold; entry; args; init; deadline;
+      source }
 
 let parse_command line =
   with_bad (fun () ->
@@ -201,6 +211,9 @@ let parse_command line =
       | "quit" :: rest ->
         no_leftovers (fields_of_words rest);
         Quit
+      | "shutdown" :: rest ->
+        no_leftovers (fields_of_words rest);
+        Shutdown
       | "stats" :: rest ->
         let tbl = fields_of_words rest in
         let id = match take tbl "id" with Some v -> int_field "id" v | None -> 0 in
@@ -229,7 +242,8 @@ type reply = {
 type response =
   | Ok_run of reply
   | Error of { rid : int; code : int; kind : string; msg : string }
-  | Overloaded of { rid : int }
+  | Overloaded of { rid : int; retry_after : int option }
+  | Deadline of { rid : int; fuel : int }
   | Stats_reply of {
       rid : int;
       hits : int;
@@ -237,6 +251,8 @@ type response =
       evictions : int;
       entries : int;
       served : int;
+      phits : int;
+      pcorrupt : int;
     }
   | Bye
 
@@ -250,10 +266,14 @@ let print_response = function
       r.hits r.misses r.evictions r.cycles r.issues r.active r.finished r.digest
   | Error { rid; code; kind; msg } ->
     Printf.sprintf "error id=%d code=%d kind=%s msg=%s" rid code kind (encode msg)
-  | Overloaded { rid } -> Printf.sprintf "overloaded id=%d" rid
-  | Stats_reply { rid; hits; misses; evictions; entries; served } ->
-    Printf.sprintf "stats id=%d hits=%d misses=%d evictions=%d entries=%d served=%d" rid hits
-      misses evictions entries served
+  | Overloaded { rid; retry_after = None } -> Printf.sprintf "overloaded id=%d" rid
+  | Overloaded { rid; retry_after = Some s } ->
+    Printf.sprintf "overloaded id=%d retry-after=%d" rid s
+  | Deadline { rid; fuel } -> Printf.sprintf "deadline id=%d fuel=%d" rid fuel
+  | Stats_reply { rid; hits; misses; evictions; entries; served; phits; pcorrupt } ->
+    Printf.sprintf
+      "stats id=%d hits=%d misses=%d evictions=%d entries=%d served=%d phits=%d pcorrupt=%d"
+      rid hits misses evictions entries served phits pcorrupt
   | Bye -> "bye"
 
 let parse_response line =
@@ -266,8 +286,15 @@ let parse_response line =
       | "overloaded" :: rest ->
         let tbl = fields_of_words rest in
         let rid = int_field "id" (require tbl "id") in
+        let retry_after = Option.map (int_field "retry-after") (take tbl "retry-after") in
         no_leftovers tbl;
-        Overloaded { rid }
+        Overloaded { rid; retry_after }
+      | "deadline" :: rest ->
+        let tbl = fields_of_words rest in
+        let rid = int_field "id" (require tbl "id") in
+        let fuel = int_field "fuel" (require tbl "fuel") in
+        no_leftovers tbl;
+        Deadline { rid; fuel }
       | "error" :: rest ->
         let tbl = fields_of_words rest in
         let rid = int_field "id" (require tbl "id") in
@@ -284,8 +311,10 @@ let parse_response line =
         let evictions = int_field "evictions" (require tbl "evictions") in
         let entries = int_field "entries" (require tbl "entries") in
         let served = int_field "served" (require tbl "served") in
+        let phits = int_field "phits" (require tbl "phits") in
+        let pcorrupt = int_field "pcorrupt" (require tbl "pcorrupt") in
         no_leftovers tbl;
-        Stats_reply { rid; hits; misses; evictions; entries; served }
+        Stats_reply { rid; hits; misses; evictions; entries; served; phits; pcorrupt }
       | "ok" :: rest ->
         let tbl = fields_of_words rest in
         let rid = int_field "id" (require tbl "id") in

@@ -2,8 +2,9 @@
     request/response lines.
 
     Every request and every response is exactly one line of printable
-    ASCII: a head word ([run] / [stats] / [quit], [ok] / [error] /
-    [overloaded] / [bye]) followed by space-separated [key=value] fields.
+    ASCII: a head word ([run] / [stats] / [quit] / [shutdown], [ok] /
+    [error] / [overloaded] / [deadline] / [bye]) followed by
+    space-separated [key=value] fields.
     Values are percent-encoded ({!encode}) so sources with spaces and
     newlines survive the line discipline; fields may arrive in any order
     and unknown keys are a parse error (a typo'd field silently ignored
@@ -16,7 +17,11 @@
     [overloaded] is not an error code but its own response head: the
     request was never admitted, and retrying it later is expected to
     succeed — conflating that with a 0–8 failure would poison retry
-    logic. *)
+    logic. A draining server attaches [retry-after=SECONDS] so clients
+    back off instead of hammering a server on its way down. [deadline]
+    likewise stands apart from [error]: the request's fuel budget ran
+    out, which is an {e expected} outcome of a budgeted run, not a tool
+    failure (it maps to exit code 9 on the one-shot path). *)
 
 (** {2 Percent encoding} *)
 
@@ -45,11 +50,15 @@ type request = {
   entry : string option;  (** kernel to launch (default: program default) *)
   args : Ir.Types.value list;  (** kernel arguments *)
   init : string;  (** none|data — pre-launch memory fill (see {!Server.data_init}) *)
+  deadline : int option;
+      (** per-request fuel budget override; [None] inherits the server's
+          default, [Some 0] means unlimited *)
   source : string;  (** MiniSIMT text *)
 }
 
 (** [make_request ~id ~source ()] with every other field at its
-    default (specrecon, most-threads, 2 warps of 32, seed 11, no init). *)
+    default (specrecon, most-threads, 2 warps of 32, seed 11, no init,
+    no deadline override). *)
 val make_request :
   id:int ->
   ?mode:string ->
@@ -62,6 +71,7 @@ val make_request :
   ?entry:string ->
   ?args:Ir.Types.value list ->
   ?init:string ->
+  ?deadline:int ->
   source:string ->
   unit ->
   request
@@ -70,6 +80,9 @@ type command =
   | Run of request
   | Stats of int  (** report cache/served counters; the int is the echoed id *)
   | Quit
+  | Shutdown
+      (** graceful drain: finish in-flight work, answer pendings, then
+          stop the whole server (not just this connection) *)
 
 (** [parse_command line] — strict: unknown heads, unknown keys, bad
     escapes, bad integers, unknown mode/policy/init names and a missing
@@ -102,8 +115,13 @@ type response =
   | Ok_run of reply
   | Error of { rid : int; code : int; kind : string; msg : string }
       (** [code] per {!Core.Cli.exit_code}; [kind] its symbolic name *)
-  | Overloaded of { rid : int }
-      (** bounced by backpressure before admission; safe to retry *)
+  | Overloaded of { rid : int; retry_after : int option }
+      (** bounced by backpressure before admission; safe to retry.
+          [retry_after] (seconds) is set by a draining server as a
+          back-off hint *)
+  | Deadline of { rid : int; fuel : int }
+      (** the launch ran out of its fuel budget (exit code 9 on the
+          one-shot path); [fuel] is the budget that was exhausted *)
   | Stats_reply of {
       rid : int;
       hits : int;
@@ -111,6 +129,8 @@ type response =
       evictions : int;
       entries : int;
       served : int;
+      phits : int;  (** compiles satisfied from the persistent cache *)
+      pcorrupt : int;  (** corrupt persisted entries degraded to misses *)
     }
   | Bye
 

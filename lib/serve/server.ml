@@ -25,14 +25,30 @@ module Sm = Support.Splitmix
 
 type t = {
   cache : Core.Compile.compiled Cache.t;
+  persist : Persist.t option;
   max_inflight : int;
   max_issues : int;
+  fuel : int; (* default per-launch fuel budget; 0 = unlimited *)
+  retry_after : int; (* back-off hint attached while draining *)
+  mutable draining : bool;
   mutable served : int;
 }
 
-let create ?(cache_capacity = 128) ?(max_inflight = 256) ?(max_issues = 1_500_000) () =
+let create ?(cache_capacity = 128) ?(max_inflight = 256) ?(max_issues = 1_500_000) ?(fuel = 0)
+    ?persist_dir ?(retry_after = 1) () =
   if max_inflight < 1 then invalid_arg "Server.create: max_inflight must be >= 1";
-  { cache = Cache.create ~capacity:cache_capacity; max_inflight; max_issues; served = 0 }
+  if fuel < 0 then invalid_arg "Server.create: fuel must be >= 0";
+  if retry_after < 0 then invalid_arg "Server.create: retry_after must be >= 0";
+  {
+    cache = Cache.create ~capacity:cache_capacity;
+    persist = Option.map (fun dir -> Persist.create ~dir) persist_dir;
+    max_inflight;
+    max_issues;
+    fuel;
+    retry_after;
+    draining = false;
+    served = 0;
+  }
 
 (* The fuzz oracles' input pattern (moved here from lib/fuzz so the wire
    protocol's [init=data] and the one-shot comparison path share it):
@@ -60,6 +76,10 @@ let cache_hits t = Cache.hits t.cache
 let cache_misses t = Cache.misses t.cache
 let cache_evictions t = Cache.evictions t.cache
 let cache_entries t = Cache.length t.cache
+let persist_hits t = match t.persist with Some p -> Persist.hits p | None -> 0
+let persist_corrupt t = match t.persist with Some p -> Persist.corrupt p | None -> 0
+let draining t = t.draining
+let drain t = t.draining <- true
 
 (* ---- request -> compile options / launch config ---- *)
 
@@ -97,6 +117,10 @@ let options_of_request (r : P.request) =
     repair = Core.Compile.No_repair;
   }
 
+(* Effective fuel: the request's deadline override, else the server
+   default. 0 means unlimited either way. *)
+let fuel_of_request t (r : P.request) = Option.value r.P.deadline ~default:t.fuel
+
 let config_of_request t (r : P.request) =
   let config =
     { Simt.Config.default with
@@ -104,7 +128,8 @@ let config_of_request t (r : P.request) =
       warp_size = r.P.warp_size;
       policy = policy_of_string r.P.policy;
       seed = r.P.seed;
-      max_issues = t.max_issues }
+      max_issues = t.max_issues;
+      fuel = fuel_of_request t r }
   in
   Simt.Config.validate config;
   config
@@ -131,6 +156,7 @@ let outcome_kind_and_message = function
   | Core.Cli.Deadlock m -> ("deadlock", m)
   | Core.Cli.Runtime_failure m -> ("runtime", m)
   | Core.Cli.Baseline_mismatch m -> ("baseline-mismatch", m)
+  | Core.Cli.Deadline_exceeded m -> ("deadline", m)
 
 let error_response rid exn =
   match Core.Cli.classify exn with
@@ -173,25 +199,47 @@ let launch_slot t = function
           finished = m.Simt.Metrics.threads_finished;
           digest = Simt.Memsys.digest outcome.Core.Runner.memory;
         }
-    with exn -> error_response req.P.id exn)
+    with
+    | Simt.Interp.Deadline_exceeded _ ->
+      (* An expected outcome of a budgeted run, not a failure: its own
+         response head, mirroring exit code 9 on the one-shot path. *)
+      P.Deadline { rid = req.P.id; fuel = fuel_of_request t req }
+    | exn -> error_response req.P.id exn)
 
 let run_segment t (requests : P.request list) =
-  (* Phase 1: admission. *)
+  (* Phase 1: admission. A draining server admits nothing and attaches
+     its back-off hint; a live one bounces only the overflow. *)
   let slots =
     List.mapi
       (fun i r ->
-        if i < t.max_inflight then Either.Left r else Either.Right (P.Overloaded { rid = r.P.id }))
+        if t.draining then
+          Either.Right (P.Overloaded { rid = r.P.id; retry_after = Some t.retry_after })
+        else if i < t.max_inflight then Either.Left r
+        else Either.Right (P.Overloaded { rid = r.P.id; retry_after = None }))
       requests
   in
-  (* Phase 2a: compile the distinct uncached keys in parallel. *)
+  (* Phase 2a: resolve what can be had without compiling. Persist loads
+     happen here, sequentially in request order on the coordinating
+     domain, so the phits/pcorrupt counters are deterministic; a
+     persisted artifact skips the parallel compile but still commits to
+     the in-memory cache as a Miss in phase 2b — the response stream is
+     byte-identical whether the artifact was compiled or exhumed. *)
+  let persisted = Hashtbl.create 8 in
   let missing = Hashtbl.create 8 in
   List.iter
     (function
       | Either.Right _ -> ()
       | Either.Left r ->
         let key = cache_key r in
-        if (not (Cache.mem t.cache ~key)) && not (Hashtbl.mem missing key) then
-          Hashtbl.replace missing key (options_of_request r, r.P.source))
+        if
+          (not (Cache.mem t.cache ~key))
+          && (not (Hashtbl.mem persisted key))
+          && not (Hashtbl.mem missing key)
+        then begin
+          match Option.bind t.persist (fun p -> Persist.load p ~key) with
+          | Some compiled -> Hashtbl.replace persisted key (compiled : Core.Compile.compiled)
+          | None -> Hashtbl.replace missing key (options_of_request r, r.P.source)
+        end)
     slots;
   let missing_keys = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) missing []) in
   let precompiled = Hashtbl.create 8 in
@@ -214,10 +262,19 @@ let run_segment t (requests : P.request list) =
         | Either.Left r -> (
           let key = cache_key r in
           let build () =
-            match Hashtbl.find_opt precompiled key with
-            | Some (Ok compiled) -> compiled
-            | Some (Error exn) -> raise exn
-            | None -> Core.Compile.compile (options_of_request r) ~source:r.P.source
+            match Hashtbl.find_opt persisted key with
+            | Some compiled -> compiled
+            | None -> (
+              let compiled =
+                match Hashtbl.find_opt precompiled key with
+                | Some (Ok compiled) -> compiled
+                | Some (Error exn) -> raise exn
+                | None -> Core.Compile.compile (options_of_request r) ~source:r.P.source
+              in
+              (* Freshly compiled (not exhumed): write it through so a
+                 restarted server can answer this key warm. *)
+              Option.iter (fun p -> Persist.store p ~key compiled) t.persist;
+              compiled)
           in
           match Cache.find_or_add t.cache ~key build with
           | cache, compiled ->
@@ -241,8 +298,9 @@ let run_segment t (requests : P.request list) =
   responses
 
 let submit t commands =
-  (* Split into maximal Run segments; Stats/Quit are sequential markers
-     whose responses observe every launch submitted before them. *)
+  (* Split into maximal Run segments; Stats/Quit/Shutdown are sequential
+     markers whose responses observe every launch submitted before
+     them. *)
   let flush pending acc =
     if pending = [] then acc else List.rev_append (run_segment t (List.rev pending)) acc
   in
@@ -260,11 +318,20 @@ let submit t commands =
             evictions = cache_evictions t;
             entries = cache_entries t;
             served = t.served;
+            phits = persist_hits t;
+            pcorrupt = persist_corrupt t;
           }
       in
       go [] (reply :: acc) rest
     | P.Quit :: rest ->
       let acc = flush pending acc in
+      go [] (P.Bye :: acc) rest
+    | P.Shutdown :: rest ->
+      (* Everything submitted before the shutdown completes and is
+         answered; everything after it (this batch included) sees a
+         draining server. *)
+      let acc = flush pending acc in
+      drain t;
       go [] (P.Bye :: acc) rest
   in
   go [] [] commands

@@ -21,15 +21,39 @@
       never admitted; the client retries).
 
     Failures never tear the server down: per-request errors map through
-    {!Core.Cli.classify} to the 0–8 code contract and come back as
-    [error] responses. *)
+    {!Core.Cli.classify} to the 0–9 code contract and come back as
+    [error] responses (fuel exhaustion gets its own [deadline] head).
+
+    With [persist_dir] set, freshly compiled artifacts are written
+    through to a crash-safe on-disk store ({!Persist}) and future
+    misses try the disk before compiling — a restarted server answers a
+    replayed trace warm, byte-identically to its pre-crash run stream
+    (persist loads commit to the in-memory cache as ordinary misses and
+    are only visible in [stats] replies, as [phits]/[pcorrupt]).
+
+    A {e draining} server ({!drain}, or a [shutdown] command) still
+    answers everything already submitted, but admits nothing new:
+    subsequent runs get [overloaded] with a [retry-after] back-off
+    hint. *)
 
 type t
 
 (** [create ()] — [cache_capacity] entries ([0] disables caching),
     [max_inflight] admitted launches per batch segment, [max_issues]
-    the per-launch runaway budget. *)
-val create : ?cache_capacity:int -> ?max_inflight:int -> ?max_issues:int -> unit -> t
+    the per-launch runaway budget, [fuel] the default per-launch
+    deadline budget ([0] = unlimited; requests override it with
+    [deadline=]), [persist_dir] the on-disk artifact store to write
+    through to, [retry_after] the back-off hint (seconds) attached to
+    [overloaded] responses while draining. *)
+val create :
+  ?cache_capacity:int ->
+  ?max_inflight:int ->
+  ?max_issues:int ->
+  ?fuel:int ->
+  ?persist_dir:string ->
+  ?retry_after:int ->
+  unit ->
+  t
 
 (** The deterministic input-array fill the fuzz oracles launch under:
     [datai]/[dataf] get SplitMix streams keyed by global base address,
@@ -63,3 +87,18 @@ val cache_misses : t -> int
 val cache_evictions : t -> int
 
 val cache_entries : t -> int
+
+(** Compiles satisfied from the persistent store (0 without
+    [persist_dir]). *)
+val persist_hits : t -> int
+
+(** Persisted entries rejected by verification and degraded to misses
+    (0 without [persist_dir]). *)
+val persist_corrupt : t -> int
+
+(** [drain t] — stop admitting new launches: every subsequent run
+    request is answered [overloaded retry-after=N]. Stats/quit still
+    answer; already-submitted work completes. Idempotent. *)
+val drain : t -> unit
+
+val draining : t -> bool

@@ -1,0 +1,33 @@
+(** Unix-domain-socket front end for srserved ([--socket PATH]).
+
+    A single-threaded select loop serving any number of concurrent
+    client connections over one shared {!Server.t}. Each connection
+    gets its own input buffer and batch under the stdio batching rules
+    (blank-line flush, [max_batch] segment cap, non-run lines flush
+    then answer in place), so its response stream is byte-identical to
+    what the same lines would produce over stdio — regardless of how
+    other connections interleave.
+
+    Hostile peers are contained per connection: a torn line older than
+    [read_timeout] seconds earns a [timeout] error and a close; a line
+    over [max_line] bytes earns an [overflow] error and a close; a
+    failed write closes only that connection. None of it disturbs any
+    other connection's stream.
+
+    [quit] ends one connection. [shutdown] — or {!Server.drain} called
+    from a signal handler — drains the whole service: buffered work is
+    answered by the draining server ([overloaded retry-after=N]), every
+    connection gets [bye], the socket file is unlinked, and [serve]
+    returns (the caller then exits 0). SIGPIPE is set to ignore. *)
+
+(** [serve server ~socket_path ()] binds, listens, and serves until the
+    server drains. Replaces any stale socket file at [socket_path].
+    Defaults: [max_batch] 64, [read_timeout] 30s, [max_line] 1MB. *)
+val serve :
+  ?max_batch:int ->
+  ?read_timeout:float ->
+  ?max_line:int ->
+  Server.t ->
+  socket_path:string ->
+  unit ->
+  unit

@@ -31,6 +31,7 @@ type t = {
   yield_policy : yield_policy;
   seed : int;
   max_issues : int;
+  fuel : int;
 }
 
 let default =
@@ -49,6 +50,7 @@ let default =
     yield_policy = Oldest_arrival;
     seed = 42;
     max_issues = 200_000_000;
+    fuel = 0;
   }
 
 let validate t =
@@ -58,6 +60,7 @@ let validate t =
          Support.Mask.max_width);
   if t.n_warps <= 0 then invalid_arg "Config: n_warps must be positive";
   if t.max_issues <= 0 then invalid_arg "Config: max_issues must be positive";
+  if t.fuel < 0 then invalid_arg "Config: fuel must be non-negative (0 = unlimited)";
   let l = t.latencies in
   if l.alu <= 0 || l.float_op <= 0 || l.special <= 0 || l.branch <= 0 || l.barrier <= 0
      || l.call <= 0 || l.rand <= 0

@@ -63,6 +63,14 @@ type t = {
   yield_policy : yield_policy;
   seed : int;
   max_issues : int; (** safety net against runaway programs *)
+  fuel : int;
+      (** request deadline: the run stops deterministically with
+          {!Interp.Deadline_exceeded} once this many instructions have
+          issued ([0] = unlimited). Unlike [max_issues] — a tool-bug
+          safety net mapped to the runtime failure code — fuel
+          exhaustion is an expected, budgeted outcome with its own exit
+          code, so a service can bound a hostile request without
+          conflating it with a broken simulator. *)
 }
 
 val default : t

@@ -5,6 +5,7 @@ type event =
   | Mem_spike of { step : int; warp : int; extra : int }
   | Release of { step : int; warp : int; slot : int }
   | Stall of { step : int; warp : int; cycles : int }
+  | Io_delay of { step : int; warp : int; extra : int }
 
 type disturbance = D_release of int | D_stall of int
 
@@ -15,6 +16,8 @@ type rates = {
   release_rate : float;
   stall_rate : float;
   stall_max : int;
+  io_rate : float;
+  io_max : int;
 }
 
 let default_rates =
@@ -25,12 +28,14 @@ let default_rates =
     release_rate = 0.004;
     stall_rate = 0.004;
     stall_max = 64;
+    io_rate = 0.03;
+    io_max = 48;
   }
 
 (* Replay lookup is keyed by (channel, per-channel consultation index):
    the simulator is deterministic between consultations, so applying the
    recorded event at the same index reproduces the faulted run exactly. *)
-type channel = Pick_ch | Mem_ch | Disturb_ch
+type channel = Pick_ch | Mem_ch | Disturb_ch | Io_ch
 
 type mode = Generate of Sm.t * rates | Replay of (channel * int, event) Hashtbl.t
 
@@ -39,6 +44,7 @@ type t = {
   mutable pick_step : int;
   mutable mem_step : int;
   mutable disturb_step : int;
+  mutable io_step : int;
   mutable applied_rev : event list;
 }
 
@@ -48,6 +54,7 @@ let create ?(rates = default_rates) ~seed () =
     pick_step = 0;
     mem_step = 0;
     disturb_step = 0;
+    io_step = 0;
     applied_rev = [];
   }
 
@@ -55,14 +62,18 @@ let channel_of = function
   | Pick _ -> Pick_ch
   | Mem_spike _ -> Mem_ch
   | Release _ | Stall _ -> Disturb_ch
+  | Io_delay _ -> Io_ch
 
 let step_of = function
-  | Pick { step; _ } | Mem_spike { step; _ } | Release { step; _ } | Stall { step; _ } -> step
+  | Pick { step; _ } | Mem_spike { step; _ } | Release { step; _ } | Stall { step; _ }
+  | Io_delay { step; _ } ->
+    step
 
 let replay events =
   let tbl = Hashtbl.create 64 in
   List.iter (fun ev -> Hashtbl.replace tbl (channel_of ev, step_of ev) ev) events;
-  { mode = Replay tbl; pick_step = 0; mem_step = 0; disturb_step = 0; applied_rev = [] }
+  { mode = Replay tbl; pick_step = 0; mem_step = 0; disturb_step = 0; io_step = 0;
+    applied_rev = [] }
 
 let events t = List.rev t.applied_rev
 
@@ -101,6 +112,29 @@ let mem_spike t ~warp =
     match Hashtbl.find_opt tbl (Mem_ch, step) with
     | Some (Mem_spike { extra; _ }) ->
       record t (Mem_spike { step; warp; extra });
+      extra
+    | _ -> 0)
+
+(* io-delay: seeded per-warp memory-response jitter. A separate channel
+   (own counter, own rate) from mem_spike: a spike models one slow
+   transaction, jitter models interconnect noise on every response — and
+   keeping the streams apart lets a replay reproduce either without the
+   other. *)
+let io_delay t ~warp =
+  let step = t.io_step in
+  t.io_step <- step + 1;
+  match t.mode with
+  | Generate (rng, r) ->
+    if Sm.float rng < r.io_rate then begin
+      let extra = 1 + Sm.int rng r.io_max in
+      record t (Io_delay { step; warp; extra });
+      extra
+    end
+    else 0
+  | Replay tbl -> (
+    match Hashtbl.find_opt tbl (Io_ch, step) with
+    | Some (Io_delay { extra; _ }) ->
+      record t (Io_delay { step; warp; extra });
       extra
     | _ -> 0)
 
@@ -143,6 +177,8 @@ let pp_event ppf = function
     Format.fprintf ppf "fault release step=%d warp=%d slot=%d" step warp slot
   | Stall { step; warp; cycles } ->
     Format.fprintf ppf "fault stall step=%d warp=%d cycles=%d" step warp cycles
+  | Io_delay { step; warp; extra } ->
+    Format.fprintf ppf "fault io step=%d warp=%d extra=%d" step warp extra
 
 let pp_trace ppf events =
   List.iter (fun ev -> Format.fprintf ppf "%a@." pp_event ev) events
@@ -165,6 +201,7 @@ let parse_event line =
     | "mem" -> Mem_spike { step; warp; extra = field "extra" x }
     | "release" -> Release { step; warp; slot = field "slot" x }
     | "stall" -> Stall { step; warp; cycles = field "cycles" x }
+    | "io" -> Io_delay { step; warp; extra = field "extra" x }
     | _ -> fail ())
   | _ -> fail ()
 

@@ -8,6 +8,9 @@
       index (the "chaos scheduler" perturbation);
     - {e mem}: a warp-level memory access may be charged extra latency
       (a memory spike);
+    - {e io}: the same access may additionally be charged seeded
+      per-warp response jitter (io-delay) — a separate channel with its
+      own counter and rate, so spike and jitter replay independently;
     - {e disturb}: once per issued instruction the warp may suffer a
       spurious release (a convergence barrier with blocked lanes fires
       early, exactly like a threshold fire) or a forced stall (every
@@ -25,6 +28,7 @@ type event =
   | Mem_spike of { step : int; warp : int; extra : int }
   | Release of { step : int; warp : int; slot : int }
   | Stall of { step : int; warp : int; cycles : int }
+  | Io_delay of { step : int; warp : int; extra : int }
 
 (** What {!disturb} asks the interpreter to do. *)
 type disturbance = D_release of int  (** force-release this barrier slot *)
@@ -37,6 +41,8 @@ type rates = {
   release_rate : float;  (** P(spurious release) per issue *)
   stall_rate : float;  (** P(forced stall) per issue *)
   stall_max : int;  (** stall length drawn from [1, max] *)
+  io_rate : float;  (** P(io-delay jitter) per warp memory access *)
+  io_max : int;  (** jitter size drawn from [1, max] *)
 }
 
 val default_rates : rates
@@ -60,6 +66,12 @@ val pick : t -> warp:int -> k:int -> chosen:int -> int
 (** [mem_spike t ~warp] — extra latency cycles for this access (0 when
     the access is left alone). *)
 val mem_spike : t -> warp:int -> int
+
+(** [io_delay t ~warp] — seeded memory-response jitter for this access
+    (0 when undisturbed). Consulted once per warp memory access, after
+    {!mem_spike}; a distinct channel, so a trace replays either stream
+    without the other. *)
+val io_delay : t -> warp:int -> int
 
 (** [disturb t ~warp ~waiting_slots] — per-issue disturbance;
     [waiting_slots] lists the warp's barrier slots that currently have

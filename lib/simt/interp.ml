@@ -6,6 +6,7 @@ module T = Ir.Types
 exception Deadlock of string
 exception Runtime_error of string
 exception Runaway of string
+exception Deadline_exceeded of string
 
 type yield_event = {
   at_cycle : int;
@@ -187,7 +188,14 @@ let run ?tracer ?faults ?entry (config : Config.t) (dprog : D.t) ~args ~init_mem
      the rest is the index — no ADT, no frame-list walk. *)
   let eval_enc th e = if e land 1 = 0 then th.cur_regs.(e lsr 1) else vals.(e lsr 1) in
   let mem_cost w cost =
-    match faults with Some f -> cost + Faults.mem_spike f ~warp:w.wid | None -> cost
+    match faults with
+    | Some f ->
+      (* Channel order is part of the replay contract: the spike stream
+         draws before the io-delay stream on every access. *)
+      let spike = Faults.mem_spike f ~warp:w.wid in
+      let jitter = Faults.io_delay f ~warp:w.wid in
+      cost + spike + jitter
+    | None -> cost
   in
   (* ---- incremental group-table maintenance ---- *)
   let detach w th =
@@ -956,6 +964,8 @@ let run ?tracer ?faults ?entry (config : Config.t) (dprog : D.t) ~args ~init_mem
       metrics.issues <- metrics.issues + 1;
       if metrics.issues > config.max_issues then
         raise (Runaway (Printf.sprintf "issue budget %d exhausted" config.max_issues));
+      if config.fuel > 0 && metrics.issues > config.fuel then
+        raise (Deadline_exceeded (Printf.sprintf "fuel %d exhausted" config.fuel));
       metrics.active_sum <- metrics.active_sum + Mask.count active;
       (match tracer with
       | Some observe ->

@@ -41,6 +41,12 @@ exception Runtime_error of string
 exception Runaway of string
 (** The configured [max_issues] budget was exhausted. *)
 
+exception Deadline_exceeded of string
+(** The configured [fuel] deadline was reached: exactly [config.fuel]
+    instructions issued, then the run stopped. Deterministic — the issue
+    loop counts issues, not wall clock — so the same request exhausts
+    its deadline at the same instruction on every replay. *)
+
 (** One yield-recovery release, for determinism tests and lost-convergence
     attribution: [released] lanes were forced past the wait at [slot];
     [abandoned] lanes remain participants whose reconvergence with the

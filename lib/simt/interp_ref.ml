@@ -375,7 +375,14 @@ let run ?tracer ?faults ?entry (config : Config.t) (lprog : L.t) ~args ~init_mem
           th.ready_at <- !cycle + latency)
     in
     let mem_cost cost =
-      match faults with Some f -> cost + Faults.mem_spike f ~warp:w.wid | None -> cost
+      match faults with
+      | Some f ->
+        (* Same channel order as the decoded interpreter: spike first,
+           then io-delay — replay indices must line up between them. *)
+        let spike = Faults.mem_spike f ~warp:w.wid in
+        let jitter = Faults.io_delay f ~warp:w.wid in
+        cost + spike + jitter
+      | None -> cost
     in
     (* Blocking and thread exit are the only transitions that can leave a
        warp with every live group blocked — check right here, so a doomed
@@ -638,6 +645,8 @@ let run ?tracer ?faults ?entry (config : Config.t) (lprog : L.t) ~args ~init_mem
       metrics.issues <- metrics.issues + 1;
       if metrics.issues > config.max_issues then
         raise (Interp.Runaway (Printf.sprintf "issue budget %d exhausted" config.max_issues));
+      if config.fuel > 0 && metrics.issues > config.fuel then
+        raise (Interp.Deadline_exceeded (Printf.sprintf "fuel %d exhausted" config.fuel));
       metrics.active_sum <- metrics.active_sum + Mask.count active;
       (match tracer with
       | Some observe ->

@@ -18,7 +18,8 @@ let test_exit_codes () =
   expect 5 (Cli.Compile_error "no kernel declared");
   expect 6 (Cli.Deadlock "all live threads blocked");
   expect 7 (Cli.Runtime_failure "division by zero");
-  expect 8 (Cli.Baseline_mismatch "digest a, baseline b")
+  expect 8 (Cli.Baseline_mismatch "digest a, baseline b");
+  expect 9 (Cli.Deadline_exceeded "issue budget 50 exhausted")
 
 let test_classify_per_failure_mode () =
   let expect name exn outcome = check_bool name true (Cli.classify exn = Some outcome) in
@@ -42,6 +43,9 @@ let test_classify_per_failure_mode () =
     (Cli.Runtime_failure "out of bounds");
   expect "runaway -> runtime (7)" (Simt.Interp.Runaway "issue budget")
     (Cli.Runtime_failure "runaway: issue budget");
+  expect "deadline -> deadline (9)"
+    (Simt.Interp.Deadline_exceeded "fuel 50 exhausted")
+    (Cli.Deadline_exceeded "fuel 50 exhausted");
   expect "tool-raised outcome passes through" (Cli.Error (Cli.Baseline_mismatch "x"))
     (Cli.Baseline_mismatch "x");
   (* Failure diagnostics are truncated to their first line. *)
@@ -65,6 +69,7 @@ let test_describe_one_line () =
       Cli.Compile_error "c";
       Cli.Runtime_failure "r";
       Cli.Baseline_mismatch "b";
+      Cli.Deadline_exceeded "d";
     ];
   check_bool "deadlock keeps its report lines" true
     (String.contains (Cli.describe (Cli.Deadlock "cycle:\nb0 -> b1")) '\n')

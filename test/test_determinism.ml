@@ -58,6 +58,52 @@ let test_serve_domain_independence () =
   Alcotest.(check string) "byte-identical response stream under 1 vs 4 domains"
     (render_serve 1) (render_serve 4)
 
+(* And once more over the wire: the same trace through a
+   Serve.Transport socket server must come back byte-identical whatever
+   SPECRECON_DOMAINS says — the select-loop transport adds no
+   nondeterminism of its own on top of the engine's ordered batch
+   phases. The server runs in a spawned domain rather than a forked
+   child: OCaml 5 forbids Unix.fork in any process that ever created a
+   domain, and the sibling tests here force 4-domain pools (the forked
+   lifecycle — exit 0 on drain, kill -9 restarts — is covered by
+   srserved --smoke and srfuzz --serve-chaos, whose parents never touch
+   Domain_pool before forking). *)
+let render_socket domains =
+  Test_support.with_domains domains (fun () ->
+      let dir = Filename.temp_file "srsockdet" "" in
+      Sys.remove dir;
+      Unix.mkdir dir 0o700;
+      Fun.protect ~finally:(fun () ->
+          Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+          Unix.rmdir dir)
+      @@ fun () ->
+      let socket_path = Filename.concat dir "det.sock" in
+      let server_domain =
+        Domain.spawn (fun () ->
+            Serve.Transport.serve (Serve.Server.create ~cache_capacity:32 ()) ~socket_path ())
+      in
+      let stream =
+        let c = Serve.Client.connect socket_path in
+        let responses = Serve.Client.round_trip c serve_trace in
+        let bye =
+          Serve.Client.round_trip c [ Serve.Protocol.print_command Serve.Protocol.Shutdown ]
+        in
+        Serve.Client.close c;
+        String.concat "\n" (responses @ bye)
+      in
+      (* shutdown drains the whole service, so serve returns. *)
+      Domain.join server_domain;
+      stream)
+
+let test_socket_domain_independence () =
+  let one = render_socket 1 in
+  Alcotest.(check string) "byte-identical socket stream under 1 vs 4 domains" one
+    (render_socket 4);
+  (* The transport also matches the in-process engine answer-for-answer
+     (plus the trailing bye the socket's shutdown earns). *)
+  Alcotest.(check string) "socket stream matches the stdio engine"
+    (render_serve 1 ^ "\nbye") one
+
 let tests =
   [
     ( "determinism.domains",
@@ -66,5 +112,7 @@ let tests =
           test_funnel_domain_independence;
         Alcotest.test_case "srserved response stream under 1 vs 4 domains" `Slow
           test_serve_domain_independence;
+        Alcotest.test_case "socket transport stream under 1 vs 4 domains" `Slow
+          test_socket_domain_independence;
       ] );
   ]

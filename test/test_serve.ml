@@ -52,8 +52,10 @@ let test_command_round_trips () =
           ~seed:99 ~coarsen:8 ~threshold:(-1) ~entry:"k"
           ~args:[ Ir.Types.I 42; Ir.Types.F 0.5; Ir.Types.F (-1.25) ]
           ~init:"data" ~source:sample_source ()));
+  round_trip_command (P.Run (P.make_request ~id:8 ~deadline:5000 ~source:sample_source ()));
   round_trip_command (P.Stats 12);
-  round_trip_command P.Quit
+  round_trip_command P.Quit;
+  round_trip_command P.Shutdown
 
 let round_trip_response resp =
   match P.parse_response (P.print_response resp) with
@@ -78,9 +80,21 @@ let test_response_round_trips () =
        });
   round_trip_response
     (P.Error { rid = 9; code = 4; kind = "syntax"; msg = "line 2: unexpected token\nhint" });
-  round_trip_response (P.Overloaded { rid = 11 });
+  round_trip_response (P.Overloaded { rid = 11; retry_after = None });
+  round_trip_response (P.Overloaded { rid = 12; retry_after = Some 3 });
+  round_trip_response (P.Deadline { rid = 13; fuel = 5000 });
   round_trip_response
-    (P.Stats_reply { rid = 1; hits = 10; misses = 4; evictions = 2; entries = 2; served = 14 });
+    (P.Stats_reply
+       {
+         rid = 1;
+         hits = 10;
+         misses = 4;
+         evictions = 2;
+         entries = 2;
+         served = 14;
+         phits = 3;
+         pcorrupt = 1;
+       });
   round_trip_response P.Bye
 
 let test_malformed_commands () =
@@ -99,6 +113,7 @@ let test_malformed_commands () =
       "run id=1 init=random source=x";
       "run id=1 source=%zz";         (* bad escape *)
       "run id=1 id=2 source=x";      (* duplicate key *)
+      "run id=1 deadline=-1 source=x"; (* negative deadline *)
       "ok rid=1";                    (* response head on the request side *)
     ]
 
@@ -209,7 +224,9 @@ let test_server_overloaded () =
   let server = Server.create ~cache_capacity:8 ~max_inflight:1 () in
   let req id = P.Run (P.make_request ~id ~warps:1 ~source:ok_source ()) in
   (match Server.submit server [ req 0; req 1; req 2 ] with
-  | [ P.Ok_run _; P.Overloaded { rid = 1 }; P.Overloaded { rid = 2 } ] -> ()
+  | [ P.Ok_run _;
+      P.Overloaded { rid = 1; retry_after = None };
+      P.Overloaded { rid = 2; retry_after = None } ] -> ()
   | other ->
     Alcotest.failf "expected ok + 2 overloaded, got: %s"
       (String.concat " | " (List.map P.print_response other)));
@@ -299,6 +316,200 @@ let test_server_hit_serves_identical_artifact () =
     (Format.asprintf "%a" Ir.Decoded.pp fresh.Core.Compile.decoded)
     (Format.asprintf "%a" Ir.Decoded.pp cached.Core.Compile.decoded)
 
+(* ---- persistence, deadlines, drain ---- *)
+
+let temp_dir () =
+  let path = Filename.temp_file "srserve_test" ".d" in
+  Sys.remove path;
+  Sys.mkdir path 0o700;
+  path
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let with_temp_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let test_persist_round_trip () =
+  with_temp_dir (fun dir ->
+      let p = Serve.Persist.create ~dir in
+      check_bool "missing key is a plain miss" true (Serve.Persist.load p ~key:"k" = None);
+      check_int "missing key is not corruption" 0 (Serve.Persist.corrupt p);
+      Serve.Persist.store p ~key:"k" [ 1; 2; 3 ];
+      check_bool "stored value loads back" true (Serve.Persist.load p ~key:"k" = Some [ 1; 2; 3 ]);
+      check_int "one persist hit" 1 (Serve.Persist.hits p);
+      (* A different key hashing to a different file stays a miss. *)
+      check_bool "other key misses" true ((Serve.Persist.load p ~key:"other" : int list option) = None);
+      (* Crash-safety residue: a stray .tmp never shadows the entry. *)
+      check_bool "no tmp residue after store" true
+        (Array.for_all
+           (fun f -> not (Filename.check_suffix f ".tmp"))
+           (Sys.readdir dir)))
+
+let corrupt_every_entry dir =
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".art" then begin
+        let path = Filename.concat dir f in
+        let oc = open_out_bin path in
+        output_string oc "srpersist1 garbage";
+        close_out oc
+      end)
+    (Sys.readdir dir)
+
+let truncate_every_entry dir =
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".art" then begin
+        let path = Filename.concat dir f in
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let half = really_input_string ic (n / 2) in
+        close_in ic;
+        let oc = open_out_bin path in
+        output_string oc half;
+        close_out oc
+      end)
+    (Sys.readdir dir)
+
+let test_persist_corruption_degrades_to_miss () =
+  with_temp_dir (fun dir ->
+      let p = Serve.Persist.create ~dir in
+      Serve.Persist.store p ~key:"k" "payload";
+      truncate_every_entry dir;
+      check_bool "truncated entry is a miss" true ((Serve.Persist.load p ~key:"k" : string option) = None);
+      check_int "truncation counted as corrupt" 1 (Serve.Persist.corrupt p);
+      Serve.Persist.store p ~key:"k" "payload";
+      corrupt_every_entry dir;
+      check_bool "mangled entry is a miss" true ((Serve.Persist.load p ~key:"k" : string option) = None);
+      check_int "mangling counted as corrupt" 2 (Serve.Persist.corrupt p);
+      check_int "no hits from corrupt entries" 0 (Serve.Persist.hits p))
+
+(* A restarted server with the same persist dir must answer the same
+   trace with a byte-identical run-response stream (persist loads commit
+   as in-memory misses), visible only as phits in stats. *)
+let test_server_persist_restart () =
+  with_temp_dir (fun dir ->
+      let trace =
+        [
+          P.Run (P.make_request ~id:0 ~warps:1 ~source:ok_source ());
+          P.Run (P.make_request ~id:1 ~warps:1 ~source:other_source ());
+          P.Run (P.make_request ~id:2 ~warps:1 ~source:ok_source ());
+        ]
+      in
+      let render server = List.map P.print_response (Server.submit server trace) in
+      let cold = Server.create ~cache_capacity:8 ~persist_dir:dir () in
+      let cold_lines = render cold in
+      check_int "cold run persisted nothing from disk" 0 (Server.persist_hits cold);
+      (* "Restart": a brand-new server over the same directory. *)
+      let warm = Server.create ~cache_capacity:8 ~persist_dir:dir () in
+      let warm_lines = render warm in
+      List.iteri
+        (fun i (a, b) -> check_string (Printf.sprintf "response %d byte-identical" i) a b)
+        (List.combine cold_lines warm_lines);
+      check_bool "restart answered from the persistent store" true (Server.persist_hits warm > 0);
+      check_int "no corruption seen" 0 (Server.persist_corrupt warm);
+      (* Corrupt the store: a third server still answers identically,
+         counting the damage. *)
+      truncate_every_entry dir;
+      let hurt = Server.create ~cache_capacity:8 ~persist_dir:dir () in
+      let hurt_lines = render hurt in
+      List.iteri
+        (fun i (a, b) ->
+          check_string (Printf.sprintf "post-corruption response %d byte-identical" i) a b)
+        (List.combine cold_lines hurt_lines);
+      check_bool "corruption detected" true (Server.persist_corrupt hurt > 0);
+      check_int "corrupt entries served no hits" 0 (Server.persist_hits hurt))
+
+let loop_source =
+  "global out: int[64];\n\n\
+   kernel k() {\n\
+  \  var j: int = 0;\n\
+  \  while (j < 1000) {\n\
+  \    j = j + 1;\n\
+  \  }\n\
+  \  out[tid()] = j;\n\
+   }\n"
+
+let test_server_deadline () =
+  (* Server-default fuel: the loop kernel exhausts it; the server
+     survives and the next healthy request still answers. *)
+  let server = Server.create ~cache_capacity:8 ~fuel:50 () in
+  let loop id = P.Run (P.make_request ~id ~warps:1 ~source:loop_source ()) in
+  (match Server.submit server [ loop 0 ] with
+  | [ P.Deadline { rid = 0; fuel = 50 } ] -> ()
+  | other ->
+    Alcotest.failf "expected deadline, got: %s"
+      (String.concat " | " (List.map P.print_response other)));
+  (* A per-request override lifts the default (0 = unlimited)... *)
+  (match Server.submit server [ P.Run (P.make_request ~id:1 ~warps:1 ~deadline:0 ~source:loop_source ()) ] with
+  | [ P.Ok_run _ ] -> ()
+  | other ->
+    Alcotest.failf "deadline=0 override should run to completion, got: %s"
+      (String.concat " | " (List.map P.print_response other)));
+  (* ... and tightens it on a server with no default. *)
+  let unbounded = Server.create ~cache_capacity:8 () in
+  (match Server.submit unbounded [ P.Run (P.make_request ~id:2 ~warps:1 ~deadline:50 ~source:loop_source ()) ] with
+  | [ P.Deadline { rid = 2; fuel = 50 } ] -> ()
+  | other ->
+    Alcotest.failf "expected per-request deadline, got: %s"
+      (String.concat " | " (List.map P.print_response other)));
+  (* Deadline outcomes count as served (the launch consumed resources). *)
+  check_int "deadline counts as served" 2 (Server.served server);
+  match Server.submit server [ P.Run (P.make_request ~id:3 ~warps:1 ~source:ok_source ()) ] with
+  | [ P.Ok_run _ ] -> ()
+  | other ->
+    Alcotest.failf "server did not survive a deadline: %s"
+      (String.concat " | " (List.map P.print_response other))
+
+(* The one-shot mapping: the same fuel exhaustion classifies to exit 9. *)
+let test_deadline_exit_code () =
+  let config = { Simt.Config.default with Simt.Config.n_warps = 1; fuel = 50 } in
+  let options =
+    {
+      Core.Compile.mode = Core.Compile.Speculative Passes.Deconflict.Dynamic;
+      coarsen = None;
+      threshold = Core.Compile.Keep;
+      cleanup = true;
+      deconflict = true;
+      lint = true;
+      repair = Core.Compile.No_repair;
+    }
+  in
+  match Core.Runner.run_source ~config options ~source:loop_source ~args:[] with
+  | _ -> Alcotest.fail "expected the fuel budget to expire"
+  | exception exn -> (
+    match Core.Cli.classify exn with
+    | Some outcome ->
+      check_int "fuel exhaustion is exit 9" 9 (Core.Cli.exit_code outcome);
+      check_string "server kind is deadline" "deadline"
+        (fst (Server.outcome_kind_and_message outcome))
+    | None -> Alcotest.fail "deadline exception not classified")
+
+let test_server_drain () =
+  let server = Server.create ~cache_capacity:8 ~retry_after:2 () in
+  let run id = P.Run (P.make_request ~id ~warps:1 ~source:ok_source ()) in
+  (* Work submitted before the shutdown completes and is answered;
+     work after it bounces with the back-off hint. *)
+  (match Server.submit server [ run 0; P.Shutdown; run 1 ] with
+  | [ P.Ok_run { P.rid = 0; _ }; P.Bye; P.Overloaded { rid = 1; retry_after = Some 2 } ] -> ()
+  | other ->
+    Alcotest.failf "drain batch answered: %s"
+      (String.concat " | " (List.map P.print_response other)));
+  check_bool "server is draining" true (Server.draining server);
+  (* Draining persists across batches; stats still answers. *)
+  match Server.submit server [ run 2; P.Stats 9 ] with
+  | [ P.Overloaded { rid = 2; retry_after = Some 2 }; P.Stats_reply s ] ->
+    check_int "stats answers while draining" 9 s.rid;
+    check_int "drained launch was served before shutdown" 1 s.served
+  | other ->
+    Alcotest.failf "draining server answered: %s"
+      (String.concat " | " (List.map P.print_response other))
+
 (* ---- the registry differential: serve vs one-shot ---- *)
 
 (* Every Table-2 workload through the server must answer with exactly
@@ -385,5 +596,18 @@ let tests =
           test_server_hit_serves_identical_artifact;
         Alcotest.test_case "full registry matches the one-shot pipeline" `Slow
           test_registry_differential;
+      ] );
+    ( "serve.robustness",
+      [
+        Alcotest.test_case "persist round trip" `Quick test_persist_round_trip;
+        Alcotest.test_case "persist corruption degrades to a miss" `Quick
+          test_persist_corruption_degrades_to_miss;
+        Alcotest.test_case "restart answers byte-identical from the store" `Quick
+          test_server_persist_restart;
+        Alcotest.test_case "deadlines answer and the server survives" `Quick
+          test_server_deadline;
+        Alcotest.test_case "fuel exhaustion is exit 9 one-shot" `Quick test_deadline_exit_code;
+        Alcotest.test_case "shutdown drains then bounces with retry-after" `Quick
+          test_server_drain;
       ] );
   ]
