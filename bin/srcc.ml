@@ -35,8 +35,8 @@ let mode_of_string = function
       }
   | other -> raise (Core.Cli.Error (Core.Cli.Usage ("unknown mode " ^ other)))
 
-let run path mode coarsen threshold dumps emit_decoded lint_mode no_lint no_deconflict fix
-    fix_dry_run fix_budget =
+let run path mode coarsen threshold dumps emit_decoded lint_mode no_lint no_deconflict
+    race_mode no_race fix fix_dry_run fix_budget =
   let mode = mode_of_string mode in
   let dumps = if emit_decoded then dumps @ [ Dump_decoded ] else dumps in
   (
@@ -64,6 +64,7 @@ let run path mode coarsen threshold dumps emit_decoded lint_mode no_lint no_deco
         cleanup = true;
         lint = not (lint_mode || no_lint || fix_dry_run);
         deconflict = not no_deconflict;
+        race = race_mode || not no_race;
         repair }
     in
     let source = read_file path in
@@ -88,6 +89,22 @@ let run path mode coarsen threshold dumps emit_decoded lint_mode no_lint no_deco
       Format.printf "srlint: %d finding(s) in %s@." (List.length findings) path;
       if findings <> [] then raise (Core.Cli.Error Core.Cli.Findings)
     | compiled ->
+      (* Race stage reporting mirrors srlint: --race collects the
+         findings as machine-readable srrace: lines and exits 1 on any;
+         by default they are demoted to stderr warnings (a race can be
+         source-level, so an ordinary compile still succeeds). *)
+      let race_findings = compiled.Core.Compile.race_findings in
+      if race_mode then begin
+        List.iter
+          (fun f -> Format.printf "%a@." Analysis.Race_safety.pp_machine f)
+          race_findings;
+        Format.printf "srrace: %d finding(s) in %s@." (List.length race_findings) path;
+        if race_findings <> [] then raise (Core.Cli.Error Core.Cli.Findings)
+      end
+      else
+        List.iter
+          (fun f -> Format.eprintf "warning: %a@." Analysis.Race_safety.pp_machine f)
+          race_findings;
       (match compiled.Core.Compile.repair_report with
       | None -> ()
       | Some r -> (
@@ -233,6 +250,21 @@ let no_deconflict_arg =
           "Skip barrier deconfliction, shipping conflicting placements as-is (for the \
            fault-injection harness; run with srrun --yield)")
 
+let race_arg =
+  Arg.(
+    value & flag
+    & info [ "race" ]
+        ~doc:
+          "Run the static data-race checker (srrace) over barrier intervals and print \
+           machine-readable diagnostics; exit 1 if any finding. Under the speculative \
+           modes, findings absent from the PDOM placement of the same source are \
+           upgraded to race-introduced")
+
+let no_race_arg =
+  Arg.(
+    value & flag
+    & info [ "no-race" ] ~doc:"Skip the static data-race checker entirely")
+
 let fix_arg =
   Arg.(
     value & flag
@@ -262,8 +294,8 @@ let cmd =
     (Cmd.info "srcc" ~doc:"MiniSIMT compiler with Speculative Reconvergence")
     Term.(
       const run $ path_arg $ mode_arg $ coarsen_arg $ threshold_arg $ dumps_arg
-      $ emit_decoded_arg $ lint_arg $ no_lint_arg $ no_deconflict_arg $ fix_arg
-      $ fix_dry_run_arg $ fix_budget_arg)
+      $ emit_decoded_arg $ lint_arg $ no_lint_arg $ no_deconflict_arg $ race_arg
+      $ no_race_arg $ fix_arg $ fix_dry_run_arg $ fix_budget_arg)
 
 let () =
   let code = Core.Cli.handle (fun () -> Cmd.eval ~catch:false cmd) in

@@ -51,7 +51,7 @@ let yield_policy_of_string = function
   | other -> usage ("unknown yield policy " ^ other)
 
 let run path mode coarsen threshold warps warp_size policy seed deadline yield yield_policy chaos
-    replay fault_trace no_deconflict no_lint fix digest check_baseline entry args =
+    replay fault_trace no_deconflict no_lint fix race_check digest check_baseline entry args =
   if deadline < 0 then usage "--deadline must be >= 0 (0 = unlimited)";
   let mode = mode_of_string mode in
   let threshold =
@@ -77,6 +77,7 @@ let run path mode coarsen threshold warps warp_size policy seed deadline yield y
       cleanup = true;
       lint = not no_lint;
       deconflict = not no_deconflict;
+      race = true;
       repair =
         (if fix then
            Core.Compile.Repair
@@ -97,7 +98,16 @@ let run path mode coarsen threshold warps warp_size policy seed deadline yield y
   in
   if fault_trace <> None && faults = None then
     usage "--fault-trace requires a fault source (--chaos or --replay)";
-  let outcome = Core.Runner.run_source ~config ?faults ?entry options ~source ~args in
+  let compiled = Core.Compile.compile options ~source in
+  let race =
+    if race_check then
+      Some
+        (Simt.Race_log.create
+           ~size:compiled.Core.Compile.program.Ir.Types.mem_size
+           ~n_warps:warps ())
+    else None
+  in
+  let outcome = Core.Runner.launch ~config ?faults ?race ?entry compiled ~args in
   Format.printf "%a@." Simt.Metrics.pp outcome.Core.Runner.metrics;
   Format.printf "simt efficiency: %.2f%%@." (100.0 *. Core.Runner.efficiency outcome);
   if digest then
@@ -122,6 +132,7 @@ let run path mode coarsen threshold warps warp_size policy seed deadline yield y
         cleanup = true;
         lint = false;
         deconflict = true;
+        race = false;
         repair = Core.Compile.No_repair }
     in
     let base_config = { config with Simt.Config.yield_on_stall = false } in
@@ -134,7 +145,13 @@ let run path mode coarsen threshold warps warp_size policy seed deadline yield y
            (Core.Cli.Baseline_mismatch
               (Printf.sprintf "memory digest %016x, unfaulted PDOM baseline %016x" got want)))
     else Format.printf "baseline check: ok (digest %016x)@." got
-  end
+  end;
+  match race with
+  | None -> ()
+  | Some rl ->
+    List.iter (fun ev -> Format.printf "%a@." Simt.Race_log.pp_event ev) (Simt.Race_log.events rl);
+    Format.printf "race check: %d race(s) detected@." (Simt.Race_log.total rl);
+    if Simt.Race_log.total rl > 0 then raise (Core.Cli.Error Core.Cli.Findings)
 
 open Cmdliner
 
@@ -210,6 +227,15 @@ let cmd =
             "Repair barrier-safety findings before running (srcc --fix); unrepairable \
              programs keep the lint hard error")
   in
+  let race_check =
+    Arg.(
+      value & flag
+      & info [ "race-check" ]
+          ~doc:
+            "Attach the shadow-memory race logger: report every pair of same-cell accesses \
+             by different threads of one warp in one barrier interval (at least one a \
+             write), and exit 1 if any — the dynamic ground truth behind srcc --race")
+  in
   let digest =
     Arg.(value & flag & info [ "digest" ] ~doc:"Print the final memory digest")
   in
@@ -233,7 +259,7 @@ let cmd =
     Term.(
       const run $ path $ mode $ coarsen $ threshold $ warps $ warp_size $ policy $ seed
       $ deadline $ yield $ yield_policy $ chaos $ replay $ fault_trace $ no_deconflict $ no_lint
-      $ fix $ digest $ check_baseline $ entry $ kargs)
+      $ fix $ race_check $ digest $ check_baseline $ entry $ kargs)
 
 let () =
   let code = Core.Cli.handle (fun () -> Cmd.eval ~catch:false cmd) in

@@ -296,7 +296,7 @@ let smoke () =
 (* ---- CLI ---- *)
 
 let main smoke_flag trace socket persist cache_capacity max_batch max_inflight max_issues
-    deadline retry_after read_timeout max_line =
+    deadline retry_after read_timeout max_line race_gate =
   if cache_capacity < 0 then usage "--cache-capacity must be >= 0";
   if max_batch < 1 then usage "--max-batch must be >= 1";
   if max_inflight < 1 then usage "--max-inflight must be >= 1";
@@ -309,7 +309,7 @@ let main smoke_flag trace socket persist cache_capacity max_batch max_inflight m
   else begin
     let server =
       Serve.Server.create ~cache_capacity ~max_inflight ~max_issues ~fuel:deadline
-        ?persist_dir:persist ~retry_after ()
+        ?persist_dir:persist ~retry_after ~race_gate ()
     in
     match socket with
     | Some socket_path ->
@@ -397,7 +397,14 @@ let cmd =
       $ Arg.(
           value & opt int 1_000_000
           & info [ "max-line" ] ~docv:"BYTES"
-              ~doc:"Socket mode: reject request lines longer than $(docv)"))
+              ~doc:"Socket mode: reject request lines longer than $(docv)")
+      $ Arg.(
+          value & flag
+          & info [ "race-gate" ]
+              ~doc:
+                "Refuse to launch programs with static data-race findings (srcc --race): \
+                 such requests are answered with an error response of kind race instead of \
+                 executing"))
 
 let () =
   let code = Core.Cli.handle (fun () -> Cmd.eval ~catch:false cmd) in

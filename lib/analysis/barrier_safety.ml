@@ -150,6 +150,88 @@ let must_step sums m inst =
       | T.Rand _ | T.Randint _ | T.Arrived _ -> s)
 
 (* ------------------------------------------------------------------ *)
+(* Predicate-aware reachability                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Block-local constant propagation over the integer registers feeding
+   conditional branches: a [Br] whose condition is an integer
+   immediate, or a register the block itself pins to a constant, has
+   exactly one live successor. Pruning the dead edge keeps barriers on
+   statically untakeable paths out of the waits-for relation — passes
+   leave such guards behind (a specialized trip count of zero, a
+   folded feature flag), and a join/wait on the dead side must not
+   manufacture a cycle against the live code. The environment resets
+   at block entry, so only facts the block itself establishes are
+   used: an absent register means "unknown", never a guess, which
+   keeps the pruning an under-approximation of deadness (the
+   soundness direction {!Cfg.of_func} requires). *)
+let fold_int_bin op x y =
+  let bool_ b = Some (if b then 1 else 0) in
+  match (op : T.binop) with
+  | T.Add -> Some (x + y)
+  | T.Sub -> Some (x - y)
+  | T.Mul -> Some (x * y)
+  | T.Div -> if y = 0 then None else Some (x / y)
+  | T.Rem -> if y = 0 then None else Some (x mod y)
+  | T.Min -> Some (min x y)
+  | T.Max -> Some (max x y)
+  | T.Land -> Some (x land y)
+  | T.Lor -> Some (x lor y)
+  | T.Lxor -> Some (x lxor y)
+  | T.Shl -> if y < 0 || y > 62 then None else Some (x lsl y)
+  | T.Shr -> if y < 0 || y > 62 then None else Some (x asr y)
+  | T.Eq -> bool_ (x = y)
+  | T.Ne -> bool_ (x <> y)
+  | T.Lt -> bool_ (x < y)
+  | T.Le -> bool_ (x <= y)
+  | T.Gt -> bool_ (x > y)
+  | T.Ge -> bool_ (x >= y)
+  | T.Fadd | T.Fsub | T.Fmul | T.Fdiv | T.Fmin | T.Fmax | T.Feq | T.Fne | T.Flt | T.Fle
+  | T.Fgt | T.Fge -> None
+
+let fold_int_un op x =
+  match (op : T.unop) with
+  | T.Neg -> Some (-x)
+  | T.Not -> Some (if x = 0 then 1 else 0)
+  | T.Bnot -> Some (lnot x)
+  | T.Fneg | T.Itof | T.Ftoi | T.Sqrt | T.Exp | T.Log | T.Sin | T.Cos | T.Fabs -> None
+
+let branch_pruner (f : T.func) =
+  let dead : (int * int, unit) Hashtbl.t = Hashtbl.create 8 in
+  T.iter_blocks f (fun b ->
+      match b.T.term with
+      | T.Br { cond; if_true; if_false } when if_true <> if_false ->
+        let env : (int, int) Hashtbl.t = Hashtbl.create 8 in
+        let operand = function
+          | T.Imm (T.I k) -> Some k
+          | T.Imm (T.F _) -> None
+          | T.Reg r -> Hashtbl.find_opt env r
+        in
+        let set r = function Some v -> Hashtbl.replace env r v | None -> Hashtbl.remove env r in
+        List.iter
+          (fun inst ->
+            match inst with
+            | T.Mov (r, op) -> set r (operand op)
+            | T.Bin (op, r, a, b) ->
+              set r
+                (match (operand a, operand b) with
+                | Some x, Some y -> fold_int_bin op x y
+                | _ -> None)
+            | T.Un (op, r, a) ->
+              set r (match operand a with Some x -> fold_int_un op x | None -> None)
+            | T.Load (r, _) | T.Tid r | T.Lane r | T.Nthreads r | T.Rand r | T.Randint (r, _)
+            | T.Arrived (r, _) -> set r None
+            | T.Call { ret = Some r; _ } -> set r None
+            | T.Call { ret = None; _ } | T.Store _ | T.Join _ | T.Rejoin _ | T.Wait _
+            | T.Wait_threshold _ | T.Cancel _ -> ())
+          b.T.insts;
+        (match operand cond with
+        | Some k -> Hashtbl.replace dead (b.T.id, (if k <> 0 then if_false else if_true)) ()
+        | None -> ())
+      | T.Br _ | T.Jump _ | T.Ret _ | T.Exit -> ());
+  fun src dst -> not (Hashtbl.mem dead (src, dst))
+
+(* ------------------------------------------------------------------ *)
 (* Summary fixpoint                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -206,7 +288,7 @@ let compute_summaries (p : T.program) =
     List.iter
       (fun n ->
         let f = Hashtbl.find p.T.funcs n in
-        let g = Cfg.of_func f in
+        let g = Cfg.of_func ~live_edge:(branch_pruner f) f in
         let res =
           Held_solver.solve g Dataflow.Forward ~boundary:Held.bottom ~transfer:(fun id st ->
               List.fold_left (held_step sums) st (T.block f id).insts)
@@ -242,7 +324,7 @@ let compute_summaries (p : T.program) =
   List.iter
     (fun n ->
       let f = Hashtbl.find p.T.funcs n in
-      let g = Cfg.of_func f in
+      let g = Cfg.of_func ~live_edge:(branch_pruner f) f in
       let res =
         Held_solver.solve g Dataflow.Forward ~boundary:Held.bottom ~transfer:(fun id st ->
             List.fold_left (held_step sums) st (T.block f id).insts)
@@ -317,7 +399,7 @@ let check ?(speculative = []) (p : T.program) =
   List.iter
     (fun n ->
       let f = Hashtbl.find p.T.funcs n in
-      let g = Cfg.of_func f in
+      let g = Cfg.of_func ~live_edge:(branch_pruner f) f in
       let held_res = held_of n in
       let must_res =
         Must_solver.solve g Dataflow.Forward ~boundary:(Must.Known Int_set.empty)
@@ -448,7 +530,7 @@ let check ?(speculative = []) (p : T.program) =
       match Hashtbl.find_opt p.T.funcs sp.sfunc with
       | None -> ()
       | Some f ->
-        let g = Cfg.of_func f in
+        let g = Cfg.of_func ~live_edge:(branch_pruner f) f in
         let jb = if Cfg.mem g sp.join_block then Some (T.block f sp.join_block) else None in
         let joins_here bl =
           List.exists

@@ -47,11 +47,12 @@ let build ~entry ~edges =
   restrict pred_tbl;
   { entry; order; succ_tbl; pred_tbl }
 
-let of_func (f : Ir.Types.func) =
+let of_func ?live_edge (f : Ir.Types.func) =
+  let keep = match live_edge with None -> fun _ _ -> true | Some p -> p in
   let edges = ref [] in
   Ir.Types.iter_blocks f (fun b ->
       List.iter
-        (fun s -> edges := (b.Ir.Types.id, s) :: !edges)
+        (fun s -> if keep b.Ir.Types.id s then edges := (b.Ir.Types.id, s) :: !edges)
         (Ir.Types.successors b.Ir.Types.term));
   build ~entry:f.Ir.Types.entry ~edges:(List.rev !edges)
 

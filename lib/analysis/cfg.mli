@@ -11,8 +11,15 @@ type t
     id (block ids are non-negative). *)
 val synthetic_exit : int
 
-(** [of_func f] builds the CFG of [f]'s reachable blocks. *)
-val of_func : Ir.Types.func -> t
+(** [of_func f] builds the CFG of [f]'s reachable blocks. [live_edge
+    src dst] (default: always true) filters terminator edges as the
+    graph is built — a client with predicate knowledge (e.g. a branch
+    condition proven constant) can drop statically untakeable edges,
+    and blocks reachable only through dropped edges vanish from the
+    graph entirely. The filter must be an {e under}-approximation of
+    deadness: dropping a takeable edge is unsound for every analysis
+    built on this view. *)
+val of_func : ?live_edge:(int -> int -> bool) -> Ir.Types.func -> t
 
 val entry : t -> int
 

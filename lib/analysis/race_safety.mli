@@ -1,0 +1,88 @@
+(** srrace — interprocedural static data-race detection over barrier
+    intervals (the static half of the race tier; {!Simt.Race_log} via
+    [srrun --race-check] is its dynamic differential oracle).
+
+    {2 Phase model}
+
+    A full [wait.barrier] separates the execution of every thread that
+    crosses it into {e barrier intervals}: accesses in different
+    intervals of the same launch cannot race. The analysis computes, for
+    every global-memory access, its set of {e phase roots} — the program
+    points (kernel entry, or a full-wait site) from which the access is
+    reachable without crossing another full wait — by forward dataflow
+    over the CFG. Two accesses {e may happen in parallel} exactly when
+    their root sets intersect. Threshold waits and cancels release
+    participants without ordering the stragglers, so they do {e not}
+    separate phases. Calls are summarized bottom-up over {!Callgraph}
+    (§4.4 call-as-wait falls out naturally: a callee whose every path
+    waits replaces the caller's roots with the callee's exit roots);
+    functions under recursion fall back to a universal root that
+    intersects everything.
+
+    {2 Access abstraction}
+
+    Integer registers are abstracted per function to lane-affine forms
+    [c0 + c1*tid], constant ranges, or unknown (sound top), by a
+    widening worklist analysis. Addresses are anchored to the global
+    region containing their lowest realizable cell — sound under the
+    in-bounds assumption that an executed access through [g[e]] stays
+    inside [g] (the front end's bounds-checked indexing idiom and the
+    generator both guarantee this). Conflict between two accesses of a
+    region is decided exactly on affine forms (a gcd residue test) and
+    conservatively on ranges; unknown conflicts with everything.
+
+    {2 Differential verdicts}
+
+    Running the checker on the speculative placement and the PDOM
+    placement of the same kernel and diffing ({!diff}) re-categorizes
+    findings present only under speculation as [Race_introduced]: an
+    ordering PDOM provided that the speculative transform broke —
+    precisely the class of miscompilation the paper's §4.3 deconfliction
+    exists to prevent. *)
+
+type category =
+  | Write_write  (** two stores to the same cell in one barrier interval *)
+  | Read_write  (** a load and a store to the same cell in one interval *)
+  | Race_introduced
+      (** the pair is ordered under PDOM placement but racy under the
+          speculative placement — the transform broke synchronization *)
+
+val category_name : category -> string
+val category_rank : category -> int
+
+type site = { in_func : string; block : int; index : int; src_line : int option }
+
+type finding = {
+  category : category;
+  global : string;  (** region name, ["?"] when the address is unresolvable *)
+  site : site;  (** anchor access (the write, for read-write findings) *)
+  other : site;  (** the conflicting access (equal to [site] for
+                     single-site conflicts between threads) *)
+  message : string;
+  fix : string;
+}
+
+(** [check p] analyses every kernel of [p] (or just [kernels] when
+    given — the fuzz oracles restrict to runnable, parameterless ones)
+    and returns the conflicts, deterministically ordered and deduplicated.
+    An empty list is a proof {e under the abstraction} that no two
+    threads touch the same cell in the same barrier interval with a
+    write involved. *)
+val check : ?kernels:string list -> Ir.Types.program -> finding list
+
+(** [diff ~baseline findings] re-categorizes findings (matched by
+    source provenance, robust to block renumbering between placements)
+    that do not appear in [baseline] as {!Race_introduced}. *)
+val diff : baseline:finding list -> finding list -> finding list
+
+(** Stable edit-class of the suggested fix ([insert-wait],
+    [restore-pdom-order]) — same contract as {!Barrier_safety.hint}. *)
+val hint : finding -> string
+
+val pp_finding : Format.formatter -> finding -> unit
+
+(** One-line [key=value] rendering for tooling ([srcc --race]). *)
+val pp_machine : Format.formatter -> finding -> unit
+
+(** All findings, machine-rendered, newline-separated. *)
+val render : finding list -> string

@@ -21,12 +21,13 @@ type options = {
   cleanup : bool;
   deconflict : bool;
   lint : bool;
+  race : bool;
   repair : repair_mode;
 }
 
 let baseline =
   { mode = Baseline; coarsen = None; threshold = Keep; cleanup = true; deconflict = true;
-    lint = true; repair = No_repair }
+    lint = true; race = true; repair = No_repair }
 
 let speculative =
   {
@@ -36,6 +37,7 @@ let speculative =
     cleanup = true;
     deconflict = true;
     lint = true;
+    race = true;
     repair = No_repair;
   }
 
@@ -53,6 +55,7 @@ let automatic =
     cleanup = true;
     deconflict = true;
     lint = true;
+    race = true;
     repair = No_repair;
   }
 
@@ -73,6 +76,7 @@ type compiled = {
   deconflict_report : Passes.Deconflict.report option;
   candidates : Passes.Auto_detect.candidate list;
   lint_findings : Analysis.Barrier_safety.finding list;
+  race_findings : Analysis.Race_safety.finding list;
   repair_report : repair_report option;
 }
 
@@ -127,6 +131,18 @@ let make_priority ~applied ~interproc ~pdom =
     interproc;
   List.iter (fun (fname, _, b) -> Hashtbl.replace rank (fname, b) 1) pdom;
   fun fname b -> Option.value (Hashtbl.find_opt rank (fname, b)) ~default:1
+
+(* The race differential needs the PDOM placement of the same source:
+   re-lower the (already coarsened) AST through the baseline pipeline
+   rather than recursing into [compile_ast], which would re-run the lint
+   gate and spray its warnings a second time. *)
+let pdom_race_findings ast =
+  let p = Front.Lower.lower ast in
+  strip_hints p;
+  let divergence = Analysis.Divergence.run p in
+  ignore (Passes.Pdom_sync.run p divergence);
+  ignore (Passes.Cleanup.run p);
+  Analysis.Race_safety.check p
 
 let compile_ast options ast =
   let ast =
@@ -222,6 +238,22 @@ let compile_ast options ast =
          (Analysis.Barrier_safety.render fs) unrepairable)
   | fs ->
     List.iter (fun f -> Format.eprintf "warning: %a@." Analysis.Barrier_safety.pp_machine f) fs);
+  (* Race stage ([srcc --race]): unlike lint, findings are reported, not
+     gated — a data race can be source-level (present under every
+     placement), so the caller decides severity. Under a speculative
+     placement, findings absent from the PDOM placement of the same
+     source are upgraded to [race-introduced]: the transform broke an
+     ordering PDOM had. The PDOM baseline is built lazily — only when
+     there is something to diff. *)
+  let race_findings =
+    if not options.race then []
+    else
+      let findings = Analysis.Race_safety.check program in
+      match (options.mode, findings) with
+      | (No_sync | Baseline), _ | _, [] -> findings
+      | (Speculative _ | Automatic _), _ ->
+        Analysis.Race_safety.diff ~baseline:(pdom_race_findings ast) findings
+  in
   let linear = Ir.Linear.linearize program in
   let decoded = Ir.Decoded.decode linear in
   {
@@ -235,6 +267,7 @@ let compile_ast options ast =
     deconflict_report;
     candidates;
     lint_findings;
+    race_findings;
     repair_report;
   }
 

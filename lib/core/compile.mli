@@ -60,6 +60,14 @@ type options = {
           ([Failure]); when false they are demoted to stderr warnings
           (srcc's [--no-lint]). The checker always runs; findings are
           reported in {!compiled.lint_findings} either way. *)
+  race : bool;
+      (** run {!Analysis.Race_safety} after the lint gate; on by
+          default, off under srcc's [--no-race]. Unlike lint, findings
+          never raise — they are reported in {!compiled.race_findings}
+          and the caller decides severity (a race can be source-level,
+          present under every placement). In the speculative/automatic
+          modes, findings absent under the PDOM placement of the same
+          source are upgraded to [race-introduced]. *)
   repair : repair_mode;
       (** attempt {!Analysis.Barrier_repair} on findings before the lint
           gate; [No_repair] by default. An accepted (non-dry-run) repair
@@ -94,6 +102,9 @@ type compiled = {
   lint_findings : Analysis.Barrier_safety.finding list;
       (* barrier-safety findings ([] unless lint=false let them through,
          or a repair cleared them) *)
+  race_findings : Analysis.Race_safety.finding list;
+      (* static data-race findings over all kernels, PDOM-diffed in the
+         speculative modes; [] when options.race = false *)
   repair_report : repair_report option; (* present iff options.repair <> No_repair *)
 }
 

@@ -12,10 +12,10 @@ let cycles o = o.metrics.Simt.Metrics.cycles
 (* The pure run stage: artifact in, outcome out. Everything the launch
    depends on is an argument, so a cached artifact and a fresh compile
    behave identically here (the srserved contract). *)
-let launch ?(config = Simt.Config.default) ?(init = fun _ _ -> ()) ?faults ?entry
+let launch ?(config = Simt.Config.default) ?(init = fun _ _ -> ()) ?faults ?race ?entry
     (compiled : Compile.compiled) ~args =
   let result =
-    Simt.Interp.run ?faults ?entry config compiled.Compile.decoded ~args
+    Simt.Interp.run ?faults ?race ?entry config compiled.Compile.decoded ~args
       ~init_memory:(fun mem -> init compiled.Compile.program mem)
   in
   {

@@ -25,12 +25,15 @@ val cycles : outcome -> int
 (** [launch ?config ?init ?faults ?entry compiled ~args] executes a
     compiled program: [init] fills global memory before the launch
     (default: leave it zeroed), [entry] selects the kernel, [faults]
-    injects chaos. [check] in the outcome is [Ok ()] — output checks
-    belong to workload specs, not the run stage. *)
+    injects chaos, [race] attaches the shadow-memory race logger
+    (srrun [--race-check], the fuzz race oracles). [check] in the
+    outcome is [Ok ()] — output checks belong to workload specs, not
+    the run stage. *)
 val launch :
   ?config:Simt.Config.t ->
   ?init:(Ir.Types.program -> Simt.Memsys.t -> unit) ->
   ?faults:Simt.Faults.t ->
+  ?race:Simt.Race_log.t ->
   ?entry:string ->
   Compile.compiled ->
   args:Ir.Types.value list ->

@@ -447,13 +447,76 @@ let mixed_body st env =
   in
   decls @ gen_block st env (fuel / 2) @ mid @ gen_block st env (fuel / 3) @ finish accf acci
 
+(* ---- shared-array access stanzas (the srrace differential corpus) ----
+
+   Appended after the shape body with some probability: aliasing and
+   overlapping accesses to the [sharei]/[sharef] scratch arrays, some
+   deliberately racy. Racy stores are value-canonical — every thread
+   that writes cell [c] writes the same function of [c] — so the final
+   image stays mode- and schedule-deterministic and the rest of the
+   oracle matrix (result-divergence, serve, chaos) still applies; only
+   the access *ordering* races, which is exactly what the shadow
+   logger observes and srrace must predict. Collisions are kept within
+   a warp's 32 lanes so the intra-warp logger realizes every racy
+   shape dynamically (a static finding no run realizes would be
+   reported race-spurious). *)
+
+let share_stanza st env =
+  match Sm.int st.rng 6 with
+  | 0 ->
+    (* clean: injective per-thread store, optional same-cell read-back *)
+    let v = fresh st "s" in
+    [ stmt (Index_assign ("sharei", tid (), int_expr st env 2)) ]
+    @ (if chance st 0.5 then
+         [ stmt
+             (Decl
+                { name = v; ty = Some Tint; init = e (Index ("sharei", tid ())); mutable_ = false });
+           stmt (Index_assign ("outi", tid (), evar v)) ]
+       else [])
+  | 1 ->
+    (* clean: overlapping cross-thread reads (RR never races) *)
+    let v = fresh st "s" in
+    let off = 1 + Sm.int st.rng 31 in
+    [ stmt
+        (Decl
+           { name = v;
+             ty = Some Tint;
+             init =
+               bin Badd
+                 (e (Index ("datai", tid ())))
+                 (e (Index ("datai", bin Brem (bin Badd (tid ()) (ilit off)) (ilit data_size))));
+             mutable_ = false });
+      stmt (Index_assign ("outi", tid (), evar v)) ]
+  | 2 ->
+    (* racy WW: every thread stores one constant to one cell *)
+    let k = Sm.int st.rng n_threads in
+    if chance st 0.5 then [ stmt (Index_assign ("sharei", ilit k, ilit (1 + Sm.int st.rng 9))) ]
+    else [ stmt (Index_assign ("sharef", ilit k, float_literal st)) ]
+  | 3 ->
+    (* racy WW: modular collision, value canonical in the cell index *)
+    let m = pick st [ 2; 4; 8 ] in
+    let cell () = bin Brem (tid ()) (ilit m) in
+    [ stmt (Index_assign ("sharei", cell (), bin Badd (bin Bmul (cell ()) (ilit 3)) (ilit 1))) ]
+  | 4 ->
+    (* racy WW: shifted pair — threads t and t-1 both write cell t *)
+    let shifted () = bin Brem (bin Badd (tid ()) (ilit 1)) (ilit n_threads) in
+    [ stmt (Index_assign ("sharei", tid (), tid ()));
+      stmt (Index_assign ("sharei", shifted (), shifted ())) ]
+  | _ ->
+    (* racy WW across divergent arms: both sides hit the same cells *)
+    let cell () = bin Brem (tid ()) (ilit 8) in
+    let store () = stmt (Index_assign ("sharei", cell (), bin Badd (cell ()) (ilit 5))) in
+    [ stmt (If (cond st env 1, [ store () ], [ store () ])) ]
+
 (* ---- program assembly ---- *)
 
 let globals =
   [ { gname = "outi"; gty = Tint; gsize = Some n_threads };
     { gname = "outf"; gty = Tfloat; gsize = Some n_threads };
     { gname = "datai"; gty = Tint; gsize = Some data_size };
-    { gname = "dataf"; gty = Tfloat; gsize = Some data_size } ]
+    { gname = "dataf"; gty = Tfloat; gsize = Some data_size };
+    { gname = "sharei"; gty = Tint; gsize = Some n_threads };
+    { gname = "sharef"; gty = Tfloat; gsize = Some n_threads } ]
 
 let pick_shape st =
   let x = Sm.float st.rng in
@@ -513,5 +576,10 @@ let generate ?(params = default_params) ~seed id =
       [ { name = "k2"; params = []; ret = None; body = body2; is_kernel = true; fpos = pos } ]
     end
     else []
+  in
+  (* Share-array stanza last in the draw order, so campaigns re-rolled
+     from pre-srrace seeds keep their base programs prefix-stable. *)
+  let kernel =
+    if chance st 0.35 then { kernel with body = kernel.body @ share_stanza st env } else kernel
   in
   { id; shape; ast = { globals; funcs = dfuncs @ [ kernel ] @ extra } }

@@ -7,10 +7,16 @@
     where their target label (or callee) is statically reachable.
 
     Schedule independence, the property the differential oracles rely on,
-    is also enforced structurally: kernels write only to per-thread cells
-    ([outi[tid()]] / [outf[tid()]]) and read only from read-only input
-    arrays ([datai] / [dataf]), so the final memory image cannot depend on
-    the warp scheduler or the compilation mode.
+    is also enforced structurally: the shape bodies write only to
+    per-thread cells ([outi[tid()]] / [outf[tid()]]) and read only from
+    read-only input arrays ([datai] / [dataf]). A kernel may additionally
+    end with a {e share stanza} — aliasing or overlapping accesses to the
+    [sharei]/[sharef] scratch arrays, some deliberately racy, feeding the
+    srrace differential oracles. Racy stores are value-canonical (every
+    thread writing cell [c] writes the same function of [c]) and collide
+    within one warp, so the final image is still deterministic — only the
+    access ordering races, which the shadow logger must observe and the
+    static checker must predict.
 
     Generation is biased toward the divergence shapes of the paper's §3 —
     divergent-if-in-loop (Figure 2(a) / Listing 1), divergent trip counts

@@ -12,7 +12,8 @@ type kind =
   | Lint_spurious
   | Chaos_divergence
   | Spurious_yield
-  | Decode_mismatch
+  | Race_unsound
+  | Race_spurious
   | Serve_mismatch
   | Serve_chaos
   | Serve_persist
@@ -29,7 +30,8 @@ let kind_name = function
   | Lint_spurious -> "lint-spurious"
   | Chaos_divergence -> "chaos-divergence"
   | Spurious_yield -> "spurious-yield"
-  | Decode_mismatch -> "decode-mismatch"
+  | Race_unsound -> "race-unsound"
+  | Race_spurious -> "race-spurious"
   | Serve_mismatch -> "serve-mismatch"
   | Serve_chaos -> "serve-chaos"
   | Serve_persist -> "serve-persist"
@@ -120,6 +122,7 @@ let serve_options =
     cleanup = true;
     deconflict = true;
     lint = true;
+    race = true;
     repair = Core.Compile.No_repair;
   }
 
@@ -362,19 +365,17 @@ let check ?(max_issues = 1_500_000) ?(chaos = 0) ?(chaos_seed = 0xc4a05) ast =
     match compiled with
     | Error v -> Violation v
     | Ok staged -> (
-      (* Decode-mismatch oracle: one sampled (mode, first-policy) row per
-         program re-executes through the legacy ADT-walking interpreter
-         ({!Simt.Interp_ref}) and must reproduce the decoded path's
-         metrics and memory exactly. Sampling one of the two modes keeps
-         the differential cost at a sixth of the matrix while every
-         program still exercises the comparison. *)
-      let sample_mode =
-        if Hashtbl.hash (Front.Pretty.to_string ast) land 1 = 0 then Pipeline.Baseline
-        else Pipeline.Specrecon
-      in
       (* Per-kernel reference row: every (mode, policy) cell must match
          the first run of the same kernel. *)
       let reference = Hashtbl.create 4 in
+      (* The race differential: every matrix cell runs under the
+         shadow-memory logger. A dynamic race on a mode whose static
+         pass came back empty is a soundness hole (race-unsound, caught
+         at the cell); a static finding on a program no cell of the
+         whole matrix — both modes, all three schedulers — dynamically
+         realizes is a false alarm (race-spurious, checked after the
+         matrix). *)
+      let dynamic_race = ref false in
       try
         List.iter
           (fun (mode, (s : Pipeline.staged)) ->
@@ -388,9 +389,13 @@ let check ?(max_issues = 1_500_000) ?(chaos = 0) ?(chaos_seed = 0xc4a05) ast =
                         kname
                     in
                     let config = { base_config with Simt.Config.policy; max_issues } in
+                    let race_log =
+                      Simt.Race_log.create ~size:s.Pipeline.program.T.mem_size
+                        ~n_warps:config.Simt.Config.n_warps ()
+                    in
                     let result =
                       try
-                        Simt.Interp.run config s.decoded ~entry:kname ~args:[]
+                        Simt.Interp.run ~race:race_log config s.decoded ~entry:kname ~args:[]
                           ~init_memory:(init_memory s.program)
                       with
                       | Simt.Interp.Deadlock msg ->
@@ -420,44 +425,23 @@ let check ?(max_issues = 1_500_000) ?(chaos = 0) ?(chaos_seed = 0xc4a05) ast =
                     let finished =
                       result.Simt.Interp.metrics.Simt.Metrics.threads_finished
                     in
-                    if mode = sample_mode && policy = List.hd policies then begin
-                      let ref_result =
-                        try
-                          Simt.Interp_ref.run config s.linear ~entry:kname ~args:[]
-                            ~init_memory:(init_memory s.program)
-                        with e ->
-                          raise
-                            (Stop
-                               (Violation
-                                  { kind = Decode_mismatch;
-                                    detail =
-                                      Printf.sprintf
-                                        "%s: reference interpreter raised %s where the \
-                                         decoded path succeeded"
-                                        where (Printexc.to_string e) }))
-                      in
-                      if ref_result.Simt.Interp.metrics <> result.Simt.Interp.metrics then
+                    if Simt.Race_log.total race_log > 0 then begin
+                      dynamic_race := true;
+                      if s.Pipeline.race = [] then
                         raise
                           (Stop
                              (Violation
-                                { kind = Decode_mismatch;
+                                { kind = Race_unsound;
                                   detail =
                                     Printf.sprintf
-                                      "%s: metrics differ between decoded and reference \
-                                       interpreters"
-                                      where }));
-                      match first_diff (snapshot ref_result.Simt.Interp.memory) snap with
-                      | None -> ()
-                      | Some addr ->
-                        raise
-                          (Stop
-                             (Violation
-                                { kind = Decode_mismatch;
-                                  detail =
-                                    Printf.sprintf
-                                      "%s: memory differs between decoded and reference \
-                                       interpreters at address %d"
-                                      where addr }))
+                                      "%s: shadow logger observed %d race(s) but srrace was \
+                                       clean; first: %s"
+                                      where
+                                      (Simt.Race_log.total race_log)
+                                      (match Simt.Race_log.events race_log with
+                                      | ev :: _ ->
+                                        Format.asprintf "%a" Simt.Race_log.pp_event ev
+                                      | [] -> "(no retained events)") }))
                     end;
                     match Hashtbl.find_opt reference kname with
                     | None -> Hashtbl.replace reference kname (where, snap, finished)
@@ -500,7 +484,29 @@ let check ?(max_issues = 1_500_000) ?(chaos = 0) ?(chaos_seed = 0xc4a05) ast =
                   (Pipeline.mode_name mode)
                   (Format.asprintf "%a" Analysis.Barrier_safety.pp_machine f);
             }
-        | None ->
+        | None -> (
+          (* Race precision: the whole matrix ran with the shadow
+             logger armed — both modes, all three schedulers — and no
+             cell realized a race, so a surviving static race finding
+             is a false alarm. *)
+          match
+            (if !dynamic_race then None
+             else
+               List.find_opt
+                 (fun (_, (s : Pipeline.staged)) -> s.Pipeline.race <> [])
+                 staged)
+          with
+          | Some (mode, s) ->
+            let f = List.hd s.Pipeline.race in
+            Violation
+              {
+                kind = Race_spurious;
+                detail =
+                  Printf.sprintf "no cell of the matrix realized a race, yet %s: %s"
+                    (Pipeline.mode_name mode)
+                    (Format.asprintf "%a" Analysis.Race_safety.pp_machine f);
+              }
+          | None ->
           (* Serve tier: clean programs must come back from the batched
              service byte-identical to the one-shot pipeline, cold and
              warm. *)
@@ -509,7 +515,7 @@ let check ?(max_issues = 1_500_000) ?(chaos = 0) ?(chaos_seed = 0xc4a05) ast =
           (* Only lint-clean programs reach the chaos tier, so the
              zero-yields contract applies unconditionally. *)
           if chaos > 0 then chaos_matrix ~max_issues ~chaos ~chaos_seed staged;
-          Ok_run
+          Ok_run)
       with Stop v -> v))
 
 (* ------------------------------------------------------------------ *)

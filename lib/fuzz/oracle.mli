@@ -23,12 +23,14 @@
       program that completes under both modes and all three schedulers
       is {!Lint_spurious} (a false alarm that would break clean builds,
       since the checker is a mandatory {!Core.Compile} stage).
-    + {b Decode fidelity} — one sampled (mode, policy) cell per program
-      re-executes through the legacy ADT-walking interpreter
-      ({!Simt.Interp_ref}); the pre-decoded jump-table path must
-      reproduce its metrics and memory exactly ({!Decode_mismatch}
-      otherwise). This is the runtime proof that {!Ir.Decoded.decode}
-      preserves semantics instruction-for-instruction.
+    + {b srrace differential} — every matrix cell runs under the
+      shadow-memory race logger ({!Simt.Race_log}). A dynamic race on a
+      mode whose static {!Analysis.Race_safety} pass came back clean is
+      {!Race_unsound} (a hole in the access abstraction, raised at the
+      offending cell); a static race finding on a program no cell of the
+      whole matrix — both modes, all three schedulers — dynamically
+      realizes is {!Race_spurious} (a false alarm that would break clean
+      builds, since [srcc --race] gates on findings).
     + {b Serve fidelity} — every clean program is additionally submitted
       through an in-process srserved engine ({!Serve.Server}), cold
       (empty compile cache) then warm (artifact cached): each response
@@ -70,9 +72,12 @@ type kind =
           memory differing from the unfaulted PDOM baseline *)
   | Spurious_yield
       (** yield recovery fired on a checker-clean program under faults *)
-  | Decode_mismatch
-      (** the pre-decoded interpreter and the legacy ADT interpreter
-          disagree on metrics or memory for the same program *)
+  | Race_unsound
+      (** the shadow-memory logger observed a data race in a matrix cell
+          whose mode the static race checker passed as clean *)
+  | Race_spurious
+      (** srrace flagged a program that no cell of the whole run matrix
+          dynamically races on, under any mode or scheduler *)
   | Serve_mismatch
       (** the srserved engine answered a request differently from the
           one-shot [Core.Compile] + [Core.Runner] pipeline — wrong

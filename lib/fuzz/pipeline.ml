@@ -12,6 +12,7 @@ type staged = {
   decoded : Ir.Decoded.t;
   resolutions : int;
   lint : Analysis.Barrier_safety.finding list;
+  race : Analysis.Race_safety.finding list;
   speculative : Analysis.Barrier_safety.speculative list;
 }
 
@@ -103,6 +104,10 @@ let compile ?(deconflict = true) ?(deconflict_call_waits = true) ~mode ast =
   (* srlint runs as its own stage but never raises: the oracles need the
      findings as data, to compare against what the simulator does. *)
   let lint = stage "srlint" (fun () -> Analysis.Barrier_safety.check ~speculative program) in
+  (* srrace likewise: findings are oracle data, never an error. The
+     race oracles compare per mode, so no PDOM diffing here — a finding
+     present only under Specrecon is visible as exactly that. *)
+  let race = stage "srrace" (fun () -> Analysis.Race_safety.check program) in
   let linear = stage "linearize" (fun () -> Ir.Linear.linearize program) in
   let decoded = stage "decode" (fun () -> Ir.Decoded.decode linear) in
-  { program; linear; decoded; resolutions; lint; speculative }
+  { program; linear; decoded; resolutions; lint; race; speculative }

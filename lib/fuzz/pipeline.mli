@@ -19,7 +19,7 @@ exception Stage_error of string * string
 (** [(stage, message)]: the pass raised, or the verifier found structural
     errors after it. Stages: ["lower"], ["specrecon"], ["interproc"],
     ["pdom_sync"], ["deconflict"], ["cleanup"], ["srlint"],
-    ["linearize"], ["decode"]. *)
+    ["srrace"], ["linearize"], ["decode"]. *)
 
 type staged = {
   program : Ir.Types.program;
@@ -30,6 +30,10 @@ type staged = {
       (** static barrier-safety findings on the final program; reported
           as data (never raised) so the oracles can check them against
           the simulator's verdict *)
+  race : Analysis.Race_safety.finding list;
+      (** static data-race findings on the final program (this mode's
+          placement, no PDOM diffing) — what the race oracles hold
+          against the shadow-memory logger *)
   speculative : Analysis.Barrier_safety.speculative list;
       (** speculative-barrier provenance the lint stage checked under;
           the repair oracles pass it to {!Analysis.Barrier_repair} *)

@@ -4,7 +4,7 @@ module T = Types
 (* Opcodes: dense from 0 so the interpreter's integer match compiles to a
    flat jump table. The interpreter matches on the literal values — any
    renumbering here must be mirrored in Simt.Interp's dispatch (the
-   decode-mismatch oracle and the differential goldens pin this down). *)
+   fuzz oracles and the differential goldens pin this down). *)
 let op_bin = 0
 let op_un = 1
 let op_mov = 2

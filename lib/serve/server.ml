@@ -30,12 +30,13 @@ type t = {
   max_issues : int;
   fuel : int; (* default per-launch fuel budget; 0 = unlimited *)
   retry_after : int; (* back-off hint attached while draining *)
+  race_gate : bool; (* refuse to launch programs with static race findings *)
   mutable draining : bool;
   mutable served : int;
 }
 
 let create ?(cache_capacity = 128) ?(max_inflight = 256) ?(max_issues = 1_500_000) ?(fuel = 0)
-    ?persist_dir ?(retry_after = 1) () =
+    ?persist_dir ?(retry_after = 1) ?(race_gate = false) () =
   if max_inflight < 1 then invalid_arg "Server.create: max_inflight must be >= 1";
   if fuel < 0 then invalid_arg "Server.create: fuel must be >= 0";
   if retry_after < 0 then invalid_arg "Server.create: retry_after must be >= 0";
@@ -46,6 +47,7 @@ let create ?(cache_capacity = 128) ?(max_inflight = 256) ?(max_issues = 1_500_00
     max_issues;
     fuel;
     retry_after;
+    race_gate;
     draining = false;
     served = 0;
   }
@@ -114,6 +116,10 @@ let options_of_request (r : P.request) =
     cleanup = true;
     deconflict = true;
     lint = true;
+    (* Findings travel in the artifact either way; the per-server
+       race gate decides at launch time, so gated and ungated servers
+       share cache/persist entries for one key. *)
+    race = true;
     repair = Core.Compile.No_repair;
   }
 
@@ -178,6 +184,18 @@ let init_of_request (r : P.request) =
 
 let launch_slot t = function
   | Done r -> r
+  | Compiled (req, compiled, _, _, _, _)
+    when t.race_gate && compiled.Core.Compile.race_findings <> [] ->
+    let fs = compiled.Core.Compile.race_findings in
+    P.Error
+      {
+        rid = req.P.id;
+        code = Core.Cli.exit_code Core.Cli.Findings;
+        kind = "race";
+        msg =
+          Printf.sprintf "%d static race finding(s); first: %s" (List.length fs)
+            (Format.asprintf "%a" Analysis.Race_safety.pp_machine (List.hd fs));
+      }
   | Compiled (req, compiled, cache, hits, misses, evictions) -> (
     try
       let config = config_of_request t req in

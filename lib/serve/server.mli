@@ -44,7 +44,11 @@ type t
     deadline budget ([0] = unlimited; requests override it with
     [deadline=]), [persist_dir] the on-disk artifact store to write
     through to, [retry_after] the back-off hint (seconds) attached to
-    [overloaded] responses while draining. *)
+    [overloaded] responses while draining, [race_gate] refuses to
+    launch programs with static {!Analysis.Race_safety} findings
+    (answered as [error] responses of kind [race]; the gate applies at
+    launch time, so gated and ungated servers share artifacts for one
+    key). *)
 val create :
   ?cache_capacity:int ->
   ?max_inflight:int ->
@@ -52,6 +56,7 @@ val create :
   ?fuel:int ->
   ?persist_dir:string ->
   ?retry_after:int ->
+  ?race_gate:bool ->
   unit ->
   t
 

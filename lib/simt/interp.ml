@@ -82,7 +82,7 @@ type warp = {
   mutable ready_stale : bool;
 }
 
-let run ?tracer ?faults ?entry (config : Config.t) (dprog : D.t) ~args ~init_memory =
+let run ?tracer ?faults ?race ?entry (config : Config.t) (dprog : D.t) ~args ~init_memory =
   Config.validate config;
   let lprog = dprog.D.linear in
   let entry_info =
@@ -256,12 +256,16 @@ let run ?tracer ?faults ?entry (config : Config.t) (dprog : D.t) ~args ~init_mem
        everyone released at the same point joins one fresh group. *)
     regroup w released
   in
-  (* Release every lane the barrier fire condition allows. *)
+  (* Release every lane the barrier fire condition allows. Organic fires
+     (and only they) advance the warp's race-logger interval: a forced
+     release is lost synchronization, so it must not separate accesses
+     in the race model. *)
   let release_fired w b =
     match Barrier_unit.fired w.barriers b with
     | None -> ()
     | Some released ->
       metrics.barrier_fires <- metrics.barrier_fires + 1;
+      (match race with Some rl -> Race_log.bump rl ~warp:w.wid | None -> ());
       apply_release w released
   in
   let finish_thread w th =
@@ -601,7 +605,18 @@ let run ?tracer ?faults ?entry (config : Config.t) (dprog : D.t) ~args ~init_mem
         th.pc <- pc1;
         th.ready_at <- ready;
         bits := !bits land (!bits - 1)
-      done
+      done;
+      (match race with
+      | None -> ()
+      | Some rl ->
+        let i = ref 0 in
+        let bits = ref (Mask.bits active) in
+        while !bits <> 0 do
+          let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+          Race_log.on_read rl ~warp:w.wid ~tid:th.tid ~pc ~addr:addr_buf.(!i);
+          incr i;
+          bits := !bits land (!bits - 1)
+        done)
     | 4 (* store *) ->
       metrics.mem_accesses <- metrics.mem_accesses + 1;
       let x = da.(pc) and v = db.(pc) in
@@ -627,7 +642,18 @@ let run ?tracer ?faults ?entry (config : Config.t) (dprog : D.t) ~args ~init_mem
         th.pc <- pc1;
         th.ready_at <- ready;
         bits := !bits land (!bits - 1)
-      done
+      done;
+      (match race with
+      | None -> ()
+      | Some rl ->
+        let i = ref 0 in
+        let bits = ref (Mask.bits active) in
+        while !bits <> 0 do
+          let th = threads.(Mask.lowest (Mask.of_bits !bits)) in
+          Race_log.on_write rl ~warp:w.wid ~tid:th.tid ~pc ~addr:addr_buf.(!i);
+          incr i;
+          bits := !bits land (!bits - 1)
+        done)
     | 5 (* tid *) ->
       let d = da.(pc) in
       let pc1 = pc + 1 and ready = !cycle + lat_tbl.(pc) in

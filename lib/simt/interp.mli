@@ -88,6 +88,10 @@ type issue_event = {
     [tracer], when given, observes every issued warp instruction;
     [faults], when given, injects scheduler, memory-latency and barrier
     faults at the injector's decision points ({!Faults});
+    [race], when given, records every load/store into the shadow-memory
+    race logger ({!Race_log}) and advances its per-warp barrier-interval
+    id on every organic barrier fire — the dynamic side of
+    [srrun --race-check]; when absent the issue loop pays nothing;
     [entry] launches the named function instead of the program's default
     kernel (multi-kernel programs; the function must be launchable).
 
@@ -97,6 +101,7 @@ type issue_event = {
 val run :
   ?tracer:(issue_event -> unit) ->
   ?faults:Faults.t ->
+  ?race:Race_log.t ->
   ?entry:string ->
   Config.t ->
   Ir.Decoded.t ->

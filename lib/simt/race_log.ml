@@ -1,0 +1,162 @@
+(* Shadow-memory race logger. See the .mli for the detection model; the
+   implementation is a flat last-writer / two-reader shadow table so the
+   interpreter pays O(1) per logged access and nothing at all when no
+   log is attached. *)
+
+type kind = Write_write | Read_write
+
+let kind_name = function Write_write -> "write-write" | Read_write -> "read-write"
+
+type event = {
+  addr : int;
+  kind : kind;
+  warp : int;
+  epoch : int;
+  first_tid : int;
+  first_pc : int;
+  second_tid : int;
+  second_pc : int;
+}
+
+type t = {
+  epochs : int array; (* per-warp barrier-interval id *)
+  (* last writer per cell *)
+  w_warp : int array;
+  w_epoch : int array;
+  w_tid : int array;
+  w_pc : int array;
+  (* two reader slots per cell: two distinct-thread readers of the same
+     interval are enough to witness any read-write conflict the writer
+     side could ever pair with *)
+  r1_warp : int array;
+  r1_epoch : int array;
+  r1_tid : int array;
+  r1_pc : int array;
+  r2_warp : int array;
+  r2_epoch : int array;
+  r2_tid : int array;
+  r2_pc : int array;
+  cap : int;
+  mutable events : event list; (* newest first, capped at [cap] *)
+  mutable n_events : int;
+  mutable total : int;
+}
+
+let create ?(cap = 64) ~size ~n_warps () =
+  let size = max size 1 in
+  let neg () = Array.make size (-1) in
+  {
+    epochs = Array.make (max n_warps 1) 0;
+    w_warp = neg ();
+    w_epoch = neg ();
+    w_tid = neg ();
+    w_pc = neg ();
+    r1_warp = neg ();
+    r1_epoch = neg ();
+    r1_tid = neg ();
+    r1_pc = neg ();
+    r2_warp = neg ();
+    r2_epoch = neg ();
+    r2_tid = neg ();
+    r2_pc = neg ();
+    cap;
+    events = [];
+    n_events = 0;
+    total = 0;
+  }
+
+let bump t ~warp = t.epochs.(warp) <- t.epochs.(warp) + 1
+let epoch t ~warp = t.epochs.(warp)
+
+let record t ev =
+  t.total <- t.total + 1;
+  if t.n_events < t.cap then begin
+    t.events <- ev :: t.events;
+    t.n_events <- t.n_events + 1
+  end
+
+let on_write t ~warp ~tid ~pc ~addr =
+  let e = t.epochs.(warp) in
+  if t.w_epoch.(addr) = e && t.w_warp.(addr) = warp && t.w_tid.(addr) <> tid then
+    record t
+      {
+        addr;
+        kind = Write_write;
+        warp;
+        epoch = e;
+        first_tid = t.w_tid.(addr);
+        first_pc = t.w_pc.(addr);
+        second_tid = tid;
+        second_pc = pc;
+      };
+  if t.r1_epoch.(addr) = e && t.r1_warp.(addr) = warp && t.r1_tid.(addr) <> tid then
+    record t
+      {
+        addr;
+        kind = Read_write;
+        warp;
+        epoch = e;
+        first_tid = t.r1_tid.(addr);
+        first_pc = t.r1_pc.(addr);
+        second_tid = tid;
+        second_pc = pc;
+      };
+  if t.r2_epoch.(addr) = e && t.r2_warp.(addr) = warp && t.r2_tid.(addr) <> tid then
+    record t
+      {
+        addr;
+        kind = Read_write;
+        warp;
+        epoch = e;
+        first_tid = t.r2_tid.(addr);
+        first_pc = t.r2_pc.(addr);
+        second_tid = tid;
+        second_pc = pc;
+      };
+  t.w_warp.(addr) <- warp;
+  t.w_epoch.(addr) <- e;
+  t.w_tid.(addr) <- tid;
+  t.w_pc.(addr) <- pc
+
+let on_read t ~warp ~tid ~pc ~addr =
+  let e = t.epochs.(warp) in
+  if t.w_epoch.(addr) = e && t.w_warp.(addr) = warp && t.w_tid.(addr) <> tid then
+    record t
+      {
+        addr;
+        kind = Read_write;
+        warp;
+        epoch = e;
+        first_tid = t.w_tid.(addr);
+        first_pc = t.w_pc.(addr);
+        second_tid = tid;
+        second_pc = pc;
+      };
+  let r1_live = t.r1_epoch.(addr) = e && t.r1_warp.(addr) = warp in
+  if r1_live then begin
+    if t.r1_tid.(addr) <> tid then begin
+      let r2_live = t.r2_epoch.(addr) = e && t.r2_warp.(addr) = warp in
+      if not r2_live then begin
+        t.r2_warp.(addr) <- warp;
+        t.r2_epoch.(addr) <- e;
+        t.r2_tid.(addr) <- tid;
+        t.r2_pc.(addr) <- pc
+      end
+      (* two distinct same-interval readers already recorded: any writer
+         that conflicts with this read also conflicts with one of them *)
+    end
+  end
+  else begin
+    t.r1_warp.(addr) <- warp;
+    t.r1_epoch.(addr) <- e;
+    t.r1_tid.(addr) <- tid;
+    t.r1_pc.(addr) <- pc
+  end
+
+let total t = t.total
+let events t = List.rev t.events
+
+let pp_event ppf ev =
+  Format.fprintf ppf
+    "race [%s] addr=%d warp=%d interval=%d: tid %d (pc %d) vs tid %d (pc %d)" (kind_name ev.kind)
+    ev.addr ev.warp ev.epoch ev.first_tid ev.first_pc ev.second_tid ev.second_pc

@@ -1,8 +1,10 @@
 (* Decode-time resolution (Ir.Decoded): every label, block and function
    reference must be resolved to an absolute index at decode time, and
-   the decoded program must execute identically to the legacy ADT
-   interpreter (Simt.Interp_ref) — including entry selection in
-   multi-kernel translation units. *)
+   executing the decoded program must pick the right kernel under
+   ?entry in multi-kernel translation units. (The legacy ADT-walking
+   reference interpreter this file once compared against is gone; the
+   decoded path is the only interpreter, and its semantics are pinned
+   by the fuzz oracles and the race-logger differential instead.) *)
 
 module T = Ir.Types
 module B = Ir.Builder
@@ -130,19 +132,17 @@ let test_entry_selection () =
   let run ?entry () =
     Simt.Interp.run ?entry small_config d ~args:[] ~init_memory:(fun _ -> ())
   in
-  let run_ref ?entry () =
-    Simt.Interp_ref.run ?entry small_config l ~args:[] ~init_memory:(fun _ -> ())
-  in
   let out r = Simt.Valops.to_int (Simt.Memsys.read r.Simt.Interp.memory base) in
   let dflt = run () and alt = run ~entry:"alt" () in
   check_int "default entry computes twice(21)" 42 (out dflt);
   check_int "?entry computes twice(4)" 8 (out alt);
-  let dflt_ref = run_ref () and alt_ref = run_ref ~entry:"alt" () in
-  check_bool "metrics match reference (default)" true
-    (dflt.Simt.Interp.metrics = dflt_ref.Simt.Interp.metrics);
-  check_bool "metrics match reference (?entry)" true
-    (alt.Simt.Interp.metrics = alt_ref.Simt.Interp.metrics);
-  check_int "memory matches reference (?entry)" (out alt_ref) (out alt);
+  (* Entry selection must not depend on decode order: both kernels run
+     from one shared decode, and a uniform single-warp run is
+     deterministic, so re-running is bit-stable. *)
+  let alt2 = run ~entry:"alt" () in
+  check_bool "?entry rerun metrics are stable" true
+    (alt.Simt.Interp.metrics = alt2.Simt.Interp.metrics);
+  check_int "?entry rerun memory is stable" (out alt) (out alt2);
   match run ~entry:"nope" () with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument for unknown entry"

@@ -37,8 +37,10 @@ let test_bypassable_wait () =
   let arm1 = B.add_block f and arm2 = B.add_block f and arm3 = B.add_block f in
   let mid = B.add_block f in
   List.iter (B.append f f.T.entry) [ T.Join b0; T.Join b1; T.Join b2 ];
-  B.set_term f f.T.entry (T.Br { cond = T.Imm (T.I 0); if_true = arm1; if_false = mid });
-  B.set_term f mid (T.Br { cond = T.Imm (T.I 0); if_true = arm2; if_false = arm3 });
+  let c = B.fresh_reg f in
+  B.append f f.T.entry (T.Tid c);
+  B.set_term f f.T.entry (T.Br { cond = T.Reg c; if_true = arm1; if_false = mid });
+  B.set_term f mid (T.Br { cond = T.Reg c; if_true = arm2; if_false = arm3 });
   List.iter (B.append f arm1) [ T.Cancel b2; T.Wait b0 ];
   List.iter (B.append f arm2) [ T.Cancel b0; T.Wait b1 ];
   List.iter (B.append f arm3) [ T.Cancel b1; T.Wait b2 ];
@@ -58,7 +60,9 @@ let test_unseparated_overlap () =
   let b0 = B.fresh_barrier p and b1 = B.fresh_barrier p in
   let arm1 = B.add_block f and arm2 = B.add_block f in
   List.iter (B.append f f.T.entry) [ T.Join b0; T.Join b1 ];
-  B.set_term f f.T.entry (T.Br { cond = T.Imm (T.I 0); if_true = arm1; if_false = arm2 });
+  let c = B.fresh_reg f in
+  B.append f f.T.entry (T.Tid c);
+  B.set_term f f.T.entry (T.Br { cond = T.Reg c; if_true = arm1; if_false = arm2 });
   List.iter (B.append f arm1) [ T.Wait b0; T.Cancel b1 ];
   List.iter (B.append f arm2) [ T.Wait b1; T.Cancel b0 ];
   check_render "mutual partial overlap reports cycle and overlap" p ~speculative:[]
@@ -112,7 +116,9 @@ let test_undominated_wait () =
   B.set_kernel p "k";
   let b0 = B.fresh_barrier p in
   let arm = B.add_block f and skip = B.add_block f and merge = B.add_block f in
-  B.set_term f f.T.entry (T.Br { cond = T.Imm (T.I 0); if_true = arm; if_false = skip });
+  let c = B.fresh_reg f in
+  B.append f f.T.entry (T.Tid c);
+  B.set_term f f.T.entry (T.Br { cond = T.Reg c; if_true = arm; if_false = skip });
   B.append f arm (T.Join b0);
   B.set_term f arm (T.Jump merge);
   B.set_term f skip (T.Jump merge);
@@ -123,6 +129,54 @@ let test_undominated_wait () =
      on b0 at bb3 is not dominated by its join block bb1: some participant can reach the \
      wait region without arriving fix=move the predict hint so the join dominates the \
      wait, or drop the hint hint=hoist-wait"
+
+(* Predicate-aware reachability: a wait reachable only through a branch
+   whose condition the block itself pins to a constant must not feed
+   the waits-for relation. The live path here is benign — everyone
+   joins both slots and waits them in one order — while the dead arm
+   waits b0 first, which (if believed reachable) completes the mutual
+   {b0, b1} cycle. Before the refinement this exact program was
+   flagged bypassable-wait; the pin is that it stays clean, and that
+   the same shape with an opaque condition is still flagged. *)
+let constant_guard_program cond_of =
+  let p = B.create_program () in
+  let f = B.create_func p "k" ~params:0 in
+  B.set_kernel p "k";
+  let b0 = B.fresh_barrier p and b1 = B.fresh_barrier p in
+  let dead = B.add_block f and live = B.add_block f in
+  List.iter (B.append f f.T.entry) [ T.Join b0; T.Join b1 ];
+  let cond = cond_of f in
+  B.set_term f f.T.entry (T.Br { cond; if_true = dead; if_false = live });
+  (* Dead arm: waits b0 while holding b1 — the edge that would close
+     the cycle against the live arm's wait on b1. *)
+  B.append f dead (T.Wait b0);
+  B.set_term f dead (T.Jump live);
+  List.iter (B.append f live) [ T.Wait b1; T.Wait b0 ];
+  p
+
+let test_constant_branch_pruned () =
+  (* Immediate-false condition: the arm is statically untakeable. *)
+  check_render "immediate-false guard leaves no findings"
+    (constant_guard_program (fun _ -> T.Imm (T.I 0)))
+    ~speculative:[] "";
+  (* A register the block itself folds to 0 is just as dead. *)
+  let folded (f : T.func) =
+    let a = B.fresh_reg f and c = B.fresh_reg f in
+    B.append f f.T.entry (T.Mov (a, T.Imm (T.I 3)));
+    B.append f f.T.entry (T.Bin (T.Lt, c, T.Reg a, T.Imm (T.I 2)));
+    T.Reg c
+  in
+  check_render "block-locally folded guard leaves no findings"
+    (constant_guard_program folded) ~speculative:[] "";
+  (* Control: with an opaque condition the cycle is real and reported. *)
+  let opaque (f : T.func) =
+    let c = B.fresh_reg f in
+    B.append f f.T.entry (T.Tid c);
+    T.Reg c
+  in
+  let findings = BS.check (constant_guard_program opaque) in
+  Alcotest.(check bool) "opaque guard still reports the cycle" true
+    (List.exists (fun (fd : BS.finding) -> fd.BS.category = BS.Bypassable_wait) findings)
 
 (* Source-line provenance: lower a real kernel so blocks carry src_line,
    then inject a bad primitive and check the line shows up. *)
@@ -252,6 +306,7 @@ let tests =
         Alcotest.test_case "double-arrive" `Quick test_double_arrive;
         Alcotest.test_case "unallocated slot id" `Quick test_unallocated_slot;
         Alcotest.test_case "orphan wait" `Quick test_orphan_wait;
+        Alcotest.test_case "constant-branch arms pruned" `Quick test_constant_branch_pruned;
         Alcotest.test_case "undominated speculative wait" `Quick test_undominated_wait;
         Alcotest.test_case "source-line provenance" `Quick test_provenance_line;
       ] );

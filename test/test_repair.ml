@@ -53,8 +53,10 @@ let cycle3_program () =
   let arm1 = B.add_block f and arm2 = B.add_block f and arm3 = B.add_block f in
   let mid = B.add_block f in
   List.iter (B.append f f.T.entry) [ T.Join b0; T.Join b1; T.Join b2 ];
-  B.set_term f f.T.entry (T.Br { cond = T.Imm (T.I 0); if_true = arm1; if_false = mid });
-  B.set_term f mid (T.Br { cond = T.Imm (T.I 0); if_true = arm2; if_false = arm3 });
+  let c = B.fresh_reg f in
+  B.append f f.T.entry (T.Tid c);
+  B.set_term f f.T.entry (T.Br { cond = T.Reg c; if_true = arm1; if_false = mid });
+  B.set_term f mid (T.Br { cond = T.Reg c; if_true = arm2; if_false = arm3 });
   List.iter (B.append f arm1) [ T.Cancel b2; T.Wait b0 ];
   List.iter (B.append f arm2) [ T.Cancel b0; T.Wait b1 ];
   List.iter (B.append f arm3) [ T.Cancel b1; T.Wait b2 ];
@@ -83,7 +85,9 @@ let test_unseparated_overlap () =
   let b0 = B.fresh_barrier p and b1 = B.fresh_barrier p in
   let arm1 = B.add_block f and arm2 = B.add_block f in
   List.iter (B.append f f.T.entry) [ T.Join b0; T.Join b1 ];
-  B.set_term f f.T.entry (T.Br { cond = T.Imm (T.I 0); if_true = arm1; if_false = arm2 });
+  let c = B.fresh_reg f in
+  B.append f f.T.entry (T.Tid c);
+  B.set_term f f.T.entry (T.Br { cond = T.Reg c; if_true = arm1; if_false = arm2 });
   List.iter (B.append f arm1) [ T.Wait b0; T.Cancel b1 ];
   List.iter (B.append f arm2) [ T.Wait b1; T.Cancel b0 ];
   check_int "cycle and overlap reported" 2 (List.length (BS.check p));
@@ -141,7 +145,9 @@ let test_undominated_wait () =
   B.set_kernel p "k";
   let b0 = B.fresh_barrier p in
   let arm = B.add_block f and skip = B.add_block f and merge = B.add_block f in
-  B.set_term f f.T.entry (T.Br { cond = T.Imm (T.I 0); if_true = arm; if_false = skip });
+  let c = B.fresh_reg f in
+  B.append f f.T.entry (T.Tid c);
+  B.set_term f f.T.entry (T.Br { cond = T.Reg c; if_true = arm; if_false = skip });
   B.append f arm (T.Join b0);
   B.set_term f arm (T.Jump merge);
   B.set_term f skip (T.Jump merge);
@@ -170,9 +176,11 @@ let test_cost_prefers_cooler_block () =
   let arm_a = B.add_block f in
   let head = B.add_block f and body = B.add_block f and out = B.add_block f in
   List.iter (B.append f f.T.entry) [ T.Join b0; T.Join b1 ];
-  B.set_term f f.T.entry (T.Br { cond = T.Imm (T.I 0); if_true = arm_a; if_false = head });
+  let c = B.fresh_reg f in
+  B.append f f.T.entry (T.Tid c);
+  B.set_term f f.T.entry (T.Br { cond = T.Reg c; if_true = arm_a; if_false = head });
   B.append f arm_a (T.Wait b0);
-  B.set_term f head (T.Br { cond = T.Imm (T.I 0); if_true = body; if_false = out });
+  B.set_term f head (T.Br { cond = T.Reg c; if_true = body; if_false = out });
   B.append f body (T.Wait b1);
   B.set_term f body (T.Jump head);
   ignore out;
@@ -199,13 +207,15 @@ let double_cycle_program () =
   let arm3 = B.add_block f and arm4 = B.add_block f in
   let tail = B.add_block f in
   List.iter (B.append f f.T.entry) [ T.Join b0; T.Join b1 ];
-  B.set_term f f.T.entry (T.Br { cond = T.Imm (T.I 0); if_true = arm1; if_false = arm2 });
+  let c = B.fresh_reg f in
+  B.append f f.T.entry (T.Tid c);
+  B.set_term f f.T.entry (T.Br { cond = T.Reg c; if_true = arm1; if_false = arm2 });
   List.iter (B.append f arm1) [ T.Wait b0; T.Cancel b1 ];
   List.iter (B.append f arm2) [ T.Wait b1; T.Cancel b0 ];
   B.set_term f arm1 (T.Jump mid);
   B.set_term f arm2 (T.Jump mid);
   List.iter (B.append f mid) [ T.Join b2; T.Join b3 ];
-  B.set_term f mid (T.Br { cond = T.Imm (T.I 0); if_true = arm3; if_false = arm4 });
+  B.set_term f mid (T.Br { cond = T.Reg c; if_true = arm3; if_false = arm4 });
   List.iter (B.append f arm3) [ T.Wait b2; T.Cancel b3 ];
   List.iter (B.append f arm4) [ T.Wait b3; T.Cancel b2 ];
   B.set_term f arm3 (T.Jump tail);

@@ -303,6 +303,7 @@ let test_server_hit_serves_identical_artifact () =
       cleanup = true;
       deconflict = true;
       lint = true;
+      race = true;
       repair = Core.Compile.No_repair;
     }
   in
@@ -477,6 +478,7 @@ let test_deadline_exit_code () =
       cleanup = true;
       deconflict = true;
       lint = true;
+      race = true;
       repair = Core.Compile.No_repair;
     }
   in
@@ -539,6 +541,7 @@ let test_registry_differential () =
           cleanup = true;
           deconflict = true;
           lint = true;
+          race = true;
           repair = Core.Compile.No_repair;
         }
       in
